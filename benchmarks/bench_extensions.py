@@ -1,0 +1,119 @@
+"""Extension benchmarks beyond the paper's tables/figures.
+
+1. **1-D prefix-sum family** (paper ref. [13]) — measures the "large
+   constant factor" that makes the paper reject the asymptotically optimal
+   repeated-doubling scan in favour of block-structured algorithms.
+2. **Out-of-core SAT** — streams a matrix through a band-sized memory
+   budget (the extension that lifts Section VIII's 18K/3GB cap), with the
+   bands optionally computed on the simulated HMM.
+3. **CPU locality at scale** — the 2R2W(CPU) vs 4R1W(CPU) gap as matrices
+   outgrow caches, the effect the paper attributes its CPU ranking to.
+"""
+
+import numpy as np
+import pytest
+
+from repro.machine.params import MachineParams
+from repro.prefix import scan_blocked, scan_doubling, scan_sequential
+from repro.sat.cpu import cpu_2r2w, cpu_4r1w
+from repro.sat.out_of_core import PeakMemoryMeter, sat_streamed
+from repro.sat.reference import sat_reference
+from repro.util.formatting import format_table
+from repro.util.matrices import random_matrix
+
+PARAMS = MachineParams(width=32, latency=512)
+
+
+def test_prefix_scan_constant_factors(once, report):
+    k = 1 << 16
+    rng = np.random.default_rng(0)
+    a = rng.random(k)
+
+    def run():
+        return {
+            "sequential": scan_sequential(a, PARAMS),
+            "blocked": scan_blocked(a, PARAMS),
+            "doubling": scan_doubling(a, PARAMS),
+        }
+
+    results = once(run)
+    want = np.cumsum(a)
+    rows = []
+    for name, r in results.items():
+        assert np.allclose(r.values, want)
+        rows.append(
+            [
+                name,
+                f"{r.accesses_per_element:.2f}",
+                r.counters.barriers,
+                f"{r.cost:.0f}",
+            ]
+        )
+    report(
+        "ext_prefix_scans",
+        format_table(
+            ["scan", "accesses/elt", "barriers", "cost (units)"],
+            rows,
+            title=f"1-D prefix sums of {k} elements (w=32) — ref. [13]'s trade-off",
+        ),
+    )
+    by = {r[0]: float(r[1]) for r in rows}
+    # The paper's qualitative claims, measured:
+    assert by["blocked"] < 3.2  # O(1) overhead over the 2-access lower bound
+    assert by["doubling"] > 5 * by["blocked"]  # the "large constant factor"
+
+
+def test_out_of_core_sat(once, report):
+    n = 512
+    band = 32
+    a = random_matrix(n, seed=3)
+
+    def run():
+        meter = PeakMemoryMeter(a)
+        out = np.empty_like(a)
+        for r0, sat_band in sat_streamed(meter, a.shape, band):
+            out[r0 : r0 + sat_band.shape[0]] = sat_band
+        return out, meter
+
+    out, meter = once(run)
+    assert np.allclose(out, sat_reference(a))
+    report(
+        "ext_out_of_core",
+        f"streamed SAT of a {n}x{n} matrix through {band}-row bands:\n"
+        f"  peak residency: {meter.peak_elements} elements "
+        f"({meter.peak_elements / (n * n) * 100:.1f}% of the matrix)\n"
+        f"  bands served: {meter.bands_served}\n"
+        f"  result matches the oracle: True",
+    )
+    assert meter.peak_elements == band * n
+
+
+def test_cpu_locality_gap_growth(once, report):
+    """2R2W(CPU)/4R1W(CPU) ratio grows with n — Section VIII's locality story."""
+    import time
+
+    def run():
+        rows = []
+        for n in (512, 2048, 4096):
+            a = random_matrix(n, seed=1)
+            t0 = time.perf_counter()
+            cpu_2r2w(a)
+            t_2r2w = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            cpu_4r1w(a)
+            t_4r1w = time.perf_counter() - t0
+            rows.append([n, f"{t_2r2w * 1e3:.1f}", f"{t_4r1w * 1e3:.1f}",
+                         f"{t_2r2w / t_4r1w:.2f}"])
+        return rows
+
+    rows = once(run)
+    report(
+        "ext_cpu_locality",
+        format_table(
+            ["n", "2R2W(CPU) ms", "4R1W(CPU) ms", "ratio"],
+            rows,
+            title="sequential SAT: column-pass locality penalty vs raster pass",
+        ),
+    )
+    ratios = [float(r[3]) for r in rows]
+    assert ratios[-1] > 1.0  # 4R1W(CPU) wins at scale, as the paper reports

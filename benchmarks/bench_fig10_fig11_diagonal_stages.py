@@ -1,0 +1,100 @@
+"""Figures 10 & 11 — diagonal-stage snapshots of 4R1W and 1R1W.
+
+Figure 10 freezes 4R1W after Stage 7 on the 9x9 example: every element on
+anti-diagonals 0..7 holds its final SAT value, the rest still hold input.
+Figure 11 freezes 1R1W (w=3) after Stage 3: block anti-diagonals 0..3 are
+final. Both snapshots are printed and checked cell by cell.
+"""
+
+import numpy as np
+
+from repro.machine.params import MachineParams
+from repro.sat.algo_1r1w import OneReadOneWrite
+from repro.sat.algo_4r1w import FourReadOneWrite
+from repro.sat.reference import sat_reference
+from repro.util.formatting import format_matrix
+from repro.util.matrices import FIGURE3_INPUT
+
+PARAMS = MachineParams(width=3, latency=4)
+
+
+def test_figure10_4r1w_stage7(once, report):
+    def run():
+        algo = FourReadOneWrite(snapshot_after_stage=7)
+        result = algo.compute(FIGURE3_INPUT, PARAMS)
+        return algo.snapshot, result
+
+    snapshot, result = once(run)
+    expected = sat_reference(FIGURE3_INPUT)
+    report(
+        "fig10_4r1w_stage7",
+        "matrix after Stage 7 of 4R1W (diagonals i+j <= 7 are final):\n"
+        + format_matrix(snapshot)
+        + "\n\nfinal SAT:\n"
+        + format_matrix(result.sat),
+    )
+    n = 9
+    for i in range(n):
+        for j in range(n):
+            if i + j <= 7:
+                assert snapshot[i, j] == expected[i, j], (i, j)
+            elif i + j > 8:
+                # beyond the frontier nothing has been touched
+                assert snapshot[i, j] == FIGURE3_INPUT[i, j], (i, j)
+    assert np.array_equal(result.sat, expected)
+    # Figure 10 highlights the frontier values 2 5 10 17 / 3 7 13 / 3 8 / 3.
+    assert [snapshot[4, 0], snapshot[3, 1], snapshot[2, 2], snapshot[1, 3]] == [
+        2, 3, 3, 3,
+    ]
+
+
+def test_figure11_1r1w_stage3(once, report):
+    def run():
+        algo = OneReadOneWrite(snapshot_after_stage=3)
+        result = algo.compute(FIGURE3_INPUT, PARAMS)
+        return algo.snapshot, result
+
+    snapshot, result = once(run)
+    expected = sat_reference(FIGURE3_INPUT)
+    report(
+        "fig11_1r1w_stage3",
+        "matrix after Stage 3 of 1R1W, w=3 (block diagonals 0..3 final):\n"
+        + format_matrix(snapshot)
+        + "\n\nfinal SAT:\n"
+        + format_matrix(result.sat),
+    )
+    m = 3
+    for bi in range(m):
+        for bj in range(m):
+            rgn = np.s_[bi * 3 : (bi + 1) * 3, bj * 3 : (bj + 1) * 3]
+            if bi + bj <= 3:
+                assert np.array_equal(snapshot[rgn], expected[rgn]), (bi, bj)
+            else:
+                assert np.array_equal(snapshot[rgn], FIGURE3_INPUT[rgn]), (bi, bj)
+    # Figure 11 prints block S(2,1)'s final values: 25 38 48 / 27 41 52 /
+    # 28 43 55 (and S(1,2) holds the transpose by the example's symmetry).
+    assert np.array_equal(
+        snapshot[6:9, 3:6], np.array([[25, 38, 48], [27, 41, 52], [28, 43, 55]])
+    )
+    assert np.array_equal(snapshot[3:6, 6:9], snapshot[6:9, 3:6].T)
+    assert np.array_equal(result.sat, expected)
+
+
+def test_stage_counts(once, report):
+    """4R1W needs 2n-1 = 17 stages; 1R1W needs 2(n/w)-1 = 5 (w=3)."""
+
+    def run():
+        r4 = FourReadOneWrite().compute(FIGURE3_INPUT, PARAMS)
+        r1 = OneReadOneWrite().compute(FIGURE3_INPUT, PARAMS)
+        return r4, r1
+
+    r4, r1 = once(run)
+    report(
+        "fig10_11_stage_counts",
+        f"4R1W kernels: {r4.counters.kernels_launched} (2n-1 = 17)\n"
+        f"1R1W kernels: {r1.counters.kernels_launched} (2 n/w - 1 = 5)\n"
+        f"stride ops — 4R1W: {r4.counters.stride_ops}, 1R1W: {r1.counters.stride_ops}",
+    )
+    assert r4.counters.kernels_launched == 17
+    assert r1.counters.kernels_launched == 5
+    assert r4.counters.stride_ops > 0 and r1.counters.stride_ops == 0

@@ -1,0 +1,101 @@
+"""Figure 12 — the kR1W triangle partition and the best-p sweep.
+
+Prints the (A)/(C)/(B) block partition map for several mixing parameters,
+the measured traffic/barrier trade-off across the sweep, and the measured
+best p at a size the macro executor handles quickly — demonstrating the
+mechanism behind Table II's best-p row.
+"""
+
+import numpy as np
+
+from repro.layout.blocking import BlockGrid
+from repro.machine.params import MachineParams
+from repro.sat.algo_kr1w import CombinedKR1W
+from repro.sat.tuning import tune_analytic, tune_measured
+from repro.util.formatting import format_table
+from repro.util.matrices import random_matrix
+
+# Latency chosen so the traffic/latency trade-off has an *interior*
+# optimum at this size (l >~ 2 w (m-1) would push best-p to 1.0).
+PARAMS = MachineParams(width=8, latency=150)
+N = 128  # m = 16 blocks per side
+
+
+def partition_map(n: int, w: int, p: float) -> str:
+    grid = BlockGrid(n, w)
+    top, mid, bot = grid.triangle_partition(p)
+    m = grid.blocks_per_side
+    glyph = {}
+    glyph.update({b: "A" for b in top})
+    glyph.update({b: "." for b in mid})
+    glyph.update({b: "B" for b in bot})
+    return "\n".join(
+        " ".join(glyph[(i, j)] for j in range(m)) for i in range(m)
+    )
+
+
+def test_figure12_partition_maps(once, report):
+    maps = once(
+        lambda: {p: partition_map(N, PARAMS.width, p) for p in (0.25, 0.5, 0.75)}
+    )
+    text = "\n\n".join(
+        f"p = {p}  (A = 2R1W triangle, . = 1R1W band, B = 2R1W triangle):\n{m}"
+        for p, m in maps.items()
+    )
+    report("fig12_partition", text)
+    # A and B glyph counts must match and grow with p.
+    counts = {p: m.count("A") for p, m in maps.items()}
+    assert counts[0.25] < counts[0.5] < counts[0.75]
+    for p, m in maps.items():
+        assert m.count("A") == m.count("B")
+
+
+def test_figure12_traffic_latency_tradeoff(once, report):
+    """Bigger triangles: more traffic, fewer barriers — the core trade-off."""
+    a = random_matrix(N, seed=4)
+
+    def run():
+        rows = []
+        for p in (0.0, 0.25, 0.5, 0.75, 1.0):
+            res = CombinedKR1W(p=p).compute(a, PARAMS)
+            rows.append(
+                (p, res.reads_writes_per_element, res.counters.barriers, res.cost)
+            )
+        return rows
+
+    rows = once(run)
+    report(
+        "fig12_tradeoff",
+        format_table(
+            ["p", "accesses/elt", "barriers", "cost (units)"],
+            [[f"{p:.2f}", f"{acc:.3f}", b, f"{c:.0f}"] for p, acc, b, c in rows],
+            title=f"kR1W trade-off at n={N}, w={PARAMS.width}, l={PARAMS.latency}",
+        ),
+    )
+    accesses = [r[1] for r in rows]
+    barriers = [r[2] for r in rows]
+    assert accesses == sorted(accesses)  # traffic grows with p
+    assert barriers == sorted(barriers, reverse=True)  # barriers shrink
+
+
+def test_figure12_measured_best_p(once, report):
+    """Measured sweep argmin == analytic argmin (the tuner Table II uses)."""
+    a = random_matrix(N, seed=4)
+
+    def run():
+        measured = tune_measured(a, PARAMS)
+        analytic = tune_analytic(N, PARAMS)
+        return measured, analytic
+
+    measured, analytic = once(run)
+    sweep_rows = [
+        [f"{p:.3f}", f"{c:.0f}"] for p, c in measured.sweep
+    ]
+    report(
+        "fig12_best_p",
+        format_table(["p", "measured cost"], sweep_rows)
+        + f"\nbest p (measured) = {measured.best_p:.3f}, "
+        f"best p (analytic) = {analytic.best_p:.3f}, k = {measured.best_k:.3f}",
+    )
+    assert measured.best_p == analytic.best_p
+    assert 0.0 < measured.best_p < 1.0  # interior optimum at this (n, l)

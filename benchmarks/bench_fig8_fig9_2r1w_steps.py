@@ -1,0 +1,89 @@
+"""Figures 8 & 9 — intermediate states of 2R1W on the 9x9 example (w=3).
+
+Figure 8 shows the auxiliary matrices (block column sums C, row sums R,
+block totals M) after Step 1, their prefix sums / SAT after Step 2, and
+the blocks after Step 3-1. Figure 9 zooms into Step 3 for one block. The
+benchmark runs 2R1W with intermediate capture and checks characteristic
+values printed in the figures.
+"""
+
+import numpy as np
+
+from repro.machine.params import MachineParams
+from repro.sat.algo_2r1w import TwoReadOneWrite
+from repro.sat.reference import sat_reference
+from repro.util.formatting import format_matrix
+from repro.util.matrices import FIGURE3_INPUT
+
+PARAMS = MachineParams(width=3, latency=4)
+
+
+def test_figure8_step_states(once, report):
+    def run():
+        algo = TwoReadOneWrite(keep_intermediates=True)
+        result = algo.compute(FIGURE3_INPUT, PARAMS)
+        return algo, result
+
+    algo, result = once(run)
+    step1 = next(v for k, v in algo.intermediates.items() if k.endswith("step1"))
+    step2 = next(v for k, v in algo.intermediates.items() if k.endswith("step2"))
+
+    text = (
+        "after Step 1 — block column sums C (rows = block-rows 0..1):\n"
+        + format_matrix(step1["A.C"])
+        + "\n\nafter Step 1 — block row sums R^T (rows = block-cols 0..1):\n"
+        + format_matrix(step1["A.Rt"])
+        + "\n\nafter Step 1 — block totals M:\n"
+        + format_matrix(step1["A.M"])
+        + "\n\nafter Step 2 — column-scanned C:\n"
+        + format_matrix(step2["A.C"])
+        + "\n\nafter Step 2 — scanned R^T:\n"
+        + format_matrix(step2["A.Rt"])
+        + "\n\nafter Step 2 — SAT of M:\n"
+        + format_matrix(step2["A.M"])
+        + "\n\nfinal SAT (Step 3):\n"
+        + format_matrix(result.sat)
+    )
+    report("fig8_2r1w_steps", text)
+
+    # Figure 8's annotated values.
+    expected = sat_reference(FIGURE3_INPUT)
+    # Step 1: block (1,1) (the center diamond) sums to 19; M[1][1] after
+    # Step 2 (SAT of M) accumulates blocks (0..1, 0..1): 3+10+10+19 = 42 —
+    # the corner value Figure 9 adds to block (2,2).
+    center = FIGURE3_INPUT[3:6, 3:6].sum()
+    assert step1["A.M"][1, 1] == center == 19
+    assert step2["A.M"][0, 0] == 3  # top-left block total
+    assert step2["A.M"][1, 1] == 42 == FIGURE3_INPUT[:6, :6].sum()
+    # Step 2 scanned C row 1 equals column sums of the top 6 rows.
+    assert np.allclose(step2["A.C"][1], FIGURE3_INPUT[:6].sum(axis=0))
+    # Final values equal the oracle (Figure 3's SAT).
+    assert np.array_equal(result.sat, expected)
+
+
+def test_figure9_block_fixup(once, report):
+    """Figure 9: block (2,2) receives C/R/M offsets then its block SAT."""
+    expected = once(lambda: sat_reference(FIGURE3_INPUT))
+    block = FIGURE3_INPUT[6:9, 6:9].copy()
+    # Offsets as Step 3-1 computes them for block (2,2) at w=3:
+    top = expected[5, 6:9] - np.concatenate(([expected[5, 5]], expected[5, 6:8]))
+    left = expected[6:9, 5] - np.concatenate(([expected[5, 5]], expected[6:8, 5]))
+    corner = expected[5, 5]
+    staged = block.copy()
+    staged[0, :] += top
+    staged[:, 0] += left
+    staged[0, 0] += corner
+    fixed = np.cumsum(np.cumsum(staged, axis=0), axis=1)
+    report(
+        "fig9_block_fixup",
+        "block (2,2) before Step 3:\n"
+        + format_matrix(block)
+        + f"\n\noffsets: top={top.tolist()}, left={left.tolist()}, corner={corner:.0f}"
+        + "\n\nafter Step 3-1 (offsets folded in):\n"
+        + format_matrix(staged)
+        + "\n\nafter Step 3-2 (block SAT) — final global SAT values:\n"
+        + format_matrix(fixed),
+    )
+    assert corner == 42.0  # Figure 8/9: sum of the 6x6 top-left region
+    assert np.array_equal(fixed, expected[6:9, 6:9])
+    assert fixed[-1, -1] == 71

@@ -1,0 +1,86 @@
+"""Table I — global/shared memory access counts and cost per algorithm.
+
+Runs every SAT algorithm on the macro HMM at a moderate size, prints the
+measured coalesced/stride/barrier totals next to the paper's dominant-term
+expressions, and checks the measured counts agree with the analytic
+predictors (the same ones Table II's full-scale rows are computed from).
+"""
+
+import pytest
+
+from repro.analysis.formulas import paper_table1_row, predicted_counters
+from repro.machine.params import MachineParams
+from repro.sat import make_algorithm
+from repro.util.formatting import format_table
+from repro.util.matrices import random_matrix
+
+N = 256
+PARAMS = MachineParams(width=32, latency=512)
+ALGOS = ["2R2W", "4R4W", "4R1W", "2R1W", "1R1W", "1.25R1W"]
+
+
+@pytest.mark.parametrize("name", ALGOS)
+def test_table1_row(name, once, report):
+    a = random_matrix(N, seed=1)
+    result = once(lambda: make_algorithm(name).compute(a, PARAMS))
+    c = result.counters
+    pred = predicted_counters(name, N, PARAMS, p=0.5)
+    assert (c.coalesced_elements, c.stride_ops, c.kernels_launched) == (
+        pred.coalesced,
+        pred.stride,
+        pred.kernels,
+    )
+    n2 = N * N
+    paper_c, paper_s, paper_b, paper_cost = paper_table1_row(name, N, PARAMS)
+    rows = [
+        ["measured", c.coalesced_elements, c.stride_ops, c.barriers,
+         f"{result.cost:.0f}", f"{c.shared_reads}/{c.shared_writes}"],
+        ["paper (dominant)", f"{paper_c:.0f}", f"{paper_s:.0f}", f"{paper_b:.0f}",
+         f"{paper_cost:.0f}", "-"],
+        ["per element", f"{c.coalesced_elements / n2:.3f}", f"{c.stride_ops / n2:.3f}",
+         "-", "-", "-"],
+    ]
+    report(
+        f"table1_{name.replace('.', '_')}",
+        format_table(
+            ["", "coalesced", "stride", "barriers", "cost", "shared r/w"],
+            rows,
+            title=f"Table I row: {name}  (n={N}, w={PARAMS.width}, l={PARAMS.latency})",
+        ),
+    )
+
+
+def test_table1_summary(once, report):
+    """All rows side by side — the actual shape of Table I."""
+    a = random_matrix(N, seed=1)
+
+    def run_all():
+        return {name: make_algorithm(name).compute(a, PARAMS) for name in ALGOS}
+
+    results = once(run_all)
+    n2 = N * N
+    rows = []
+    for name in ALGOS:
+        c = results[name].counters
+        rows.append(
+            [
+                name,
+                f"{c.coalesced_elements / n2:.3f}",
+                f"{c.stride_ops / n2:.3f}",
+                c.barriers,
+                f"{results[name].cost:.0f}",
+            ]
+        )
+    # Invariants the paper's Table I implies:
+    by_name = {r[0]: r for r in rows}
+    assert float(by_name["1R1W"][1]) < float(by_name["2R1W"][1])  # fewer accesses
+    assert float(by_name["4R4W"][2]) == 0.0  # no stride
+    assert float(by_name["4R1W"][1]) == 0.0  # no coalesced
+    report(
+        "table1_summary",
+        format_table(
+            ["algorithm", "coalesced/elt", "stride/elt", "barriers", "cost"],
+            rows,
+            title=f"Table I (measured on macro HMM, n={N}, w=32, l=512)",
+        ),
+    )

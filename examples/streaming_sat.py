@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Out-of-core SAT: matrices larger than (simulated) device memory.
+
+The paper's evaluation stops at 18K x 18K because the GTX 780 Ti's 3 GB
+global memory is full. This example lifts that cap by streaming the matrix
+through in bands, carrying one SAT row between bands — with each band
+optionally computed on the simulated asynchronous HMM — and demonstrates
+the 1-D prefix-sum substrate the construction rests on.
+
+Usage::
+
+    python examples/streaming_sat.py [n] [band_rows]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import MachineParams
+from repro.prefix import scan_blocked, scan_doubling, scan_sequential
+from repro.sat.out_of_core import PeakMemoryMeter, sat_streamed
+from repro.sat.reference import rectangle_sum, sat_reference
+from repro.util.matrices import random_matrix
+
+
+def main(n: int = 1024, band_rows: int = 64) -> None:
+    a = random_matrix(n, seed=5)
+    meter = PeakMemoryMeter(a)
+
+    print(f"streaming the SAT of a {n}x{n} matrix through {band_rows}-row bands")
+    out = np.empty_like(a)
+    for row0, sat_band in sat_streamed(meter, a.shape, band_rows):
+        out[row0 : row0 + sat_band.shape[0]] = sat_band
+    assert np.allclose(out, sat_reference(a))
+    print(f"  bands served: {meter.bands_served}")
+    print(f"  peak residency: {meter.peak_elements} elements "
+          f"({meter.peak_elements / (n * n) * 100:.2f}% of the matrix)")
+    print(f"  verified against the oracle: True")
+
+    # The SAT still answers queries after streaming:
+    s = rectangle_sum(out, n // 4, n // 4, n // 2, n // 2)
+    d = a[n // 4 : n // 2 + 1, n // 4 : n // 2 + 1].sum()
+    print(f"  sample region query: {s:.3f} (direct {d:.3f})")
+
+    # The 1-D scan family underneath (paper ref. [13]):
+    print("\n1-D prefix-sum algorithms on the simulated HMM (k = 65536):")
+    params = MachineParams(width=32, latency=512)
+    x = np.random.default_rng(0).random(1 << 16)
+    for fn in (scan_sequential, scan_blocked, scan_doubling):
+        r = fn(x, params)
+        print(f"  {r.algorithm:>10}: accesses/elt={r.accesses_per_element:6.2f}, "
+              f"barriers={r.counters.barriers:>2}, cost={r.cost:,.0f} units")
+    print("  -> the asymptotically optimal doubling scan moves ~15x more data:")
+    print("     the 'large constant factor' that motivates block algorithms.")
+
+
+if __name__ == "__main__":
+    main(
+        int(sys.argv[1]) if len(sys.argv) > 1 else 1024,
+        int(sys.argv[2]) if len(sys.argv) > 2 else 64,
+    )

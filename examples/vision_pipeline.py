@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Computer-vision workload: box filtering, adaptive thresholding, and
+Haar-feature extraction over an integral image built on the simulated HMM.
+
+This is the workload class the paper's introduction motivates ("the summed
+area table has a lot of applications in the area of image processing and
+computer vision"): the SAT is built once — here with the 1.25R1W algorithm
+on the simulated asynchronous HMM — then thousands of rectangle queries run
+in O(1) each.
+
+Usage::
+
+    python examples/vision_pipeline.py [n]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import MachineParams
+from repro.apps import (
+    IntegralImage,
+    adaptive_threshold,
+    box_filter,
+    dense_feature_grid,
+    evaluate_features,
+    find_matches,
+    local_mean_variance,
+)
+from repro.util.matrices import synthetic_image
+
+
+def main(n: int = 128) -> None:
+    img = synthetic_image(n)
+    params = MachineParams(width=32, latency=512)
+
+    # Build the integral image on the simulated HMM (pads internally if
+    # n is not a multiple of the width).
+    ii = IntegralImage(img, algorithm="1.25R1W", params=params)
+    if ii.result is not None:
+        print("SAT construction on the asynchronous HMM:")
+        print(" ", ii.result.summary())
+
+    # 1. Box filtering at several radii — O(n^2) regardless of radius.
+    for radius in (1, 4, 16):
+        blurred = box_filter(img, radius)
+        print(f"box filter r={radius:>2}: output mean={blurred.mean():.4f} "
+              f"(input mean {img.mean():.4f}), dynamic range "
+              f"{blurred.max() - blurred.min():.4f}")
+
+    # 2. Local statistics and adaptive thresholding.
+    mean, var = local_mean_variance(img, 5)
+    mask = adaptive_threshold(img, 8, offset=0.02)
+    print(f"local variance: max={var.max():.5f} at "
+          f"{np.unravel_index(var.argmax(), var.shape)}")
+    print(f"adaptive threshold: {mask.mean() * 100:.1f}% of pixels above local mean")
+
+    # 3. Dense Haar features (Viola-Jones building block).
+    feats = []
+    for kind, h, w in (("edge-h", 12, 12), ("edge-v", 12, 12), ("checker", 8, 8)):
+        feats.extend(dense_feature_grid(img.shape, kind, h, w, stride=4))
+    values = evaluate_features(ii.sat, feats)
+    strongest = int(np.abs(values).argmax())
+    f = feats[strongest]
+    print(f"evaluated {len(feats)} Haar features via 4-lookup rectangle sums")
+    print(f"strongest response: {f.kind} at ({f.row}, {f.col}) "
+          f"size {f.height}x{f.width}, value {values[strongest]:.3f}")
+
+    # 4. Template matching: plant a patch, find it back via SAT-normalized NCC.
+    patch = img[20:30, 20:30].copy()
+    scene = img.copy()
+    scene[n - 34 : n - 24, n - 40 : n - 30] = patch  # second copy
+    matches = find_matches(scene, patch, threshold=0.99)
+    print(f"template matching: {len(matches)} copies of a 10x10 patch found:")
+    for r, c, score in matches:
+        print(f"  at ({r}, {c}) with NCC {score:.4f}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 128)

@@ -1,0 +1,17 @@
+"""Legacy setup shim: lets ``pip install -e .`` work without build isolation
+(this environment is offline; metadata lives in pyproject.toml)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Parallel Algorithms for the Summed Area Table on "
+        "the Asynchronous Hierarchical Memory Machine' (ICPP 2014)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21"],
+)

@@ -1,0 +1,94 @@
+"""repro — reproduction of "Parallel Algorithms for the Summed Area Table
+on the Asynchronous Hierarchical Memory Machine, with GPU implementations"
+(Kasagi, Nakano, Ito — ICPP 2014).
+
+The package implements, from scratch:
+
+* the DMM / UMM / HMM / asynchronous-HMM memory machine models, as both a
+  cycle-exact micro simulator and a transaction-counting macro executor
+  (:mod:`repro.machine`);
+* the layout substrates — diagonal shared-memory arrangement, block
+  decomposition, coalesced transpose (:mod:`repro.layout`);
+* the complete SAT algorithm family — 2R2W, 4R4W, 4R1W, 2R1W, 1R1W, and
+  the combined kR1W — plus CPU baselines (:mod:`repro.sat`);
+* the analytic cost model, Table I/II reproductions, and calibration
+  against the paper's published numbers (:mod:`repro.analysis`);
+* SAT applications: integral-image queries, box filters, Haar features,
+  variance shadow maps (:mod:`repro.apps`).
+
+Quickstart::
+
+    import numpy as np
+    from repro import compute_sat, MachineParams
+
+    a = np.random.default_rng(0).random((256, 256))
+    result = compute_sat(a, algorithm="1R1W", params=MachineParams(width=32))
+    print(result.summary())        # traffic, barriers, model cost
+    assert np.allclose(result.sat, np.cumsum(np.cumsum(a, 0), 1))
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .errors import (
+    AccessError,
+    BarrierViolation,
+    ConfigurationError,
+    NotComputedError,
+    ReproError,
+    ShapeError,
+    SharedMemoryOverflow,
+)
+from .machine import HMMExecutor, MachineParams, gtx_780_ti
+from .sat import (
+    ALGORITHM_NAMES,
+    SATResult,
+    make_algorithm,
+    rectangle_sum,
+    sat_reference,
+)
+
+__version__ = "1.0.0"
+
+
+def compute_sat(
+    matrix: np.ndarray,
+    *,
+    algorithm: str = "1R1W",
+    params: Optional[MachineParams] = None,
+    **algo_kwargs,
+) -> SATResult:
+    """Compute the summed area table of ``matrix`` on the simulated HMM.
+
+    ``algorithm`` is any Table II name (``"2R2W"``, ``"4R4W"``, ``"4R1W"``,
+    ``"2R1W"``, ``"1R1W"``, ``"1.25R1W"``) or ``"kR1W"`` with ``p=<float>``.
+    Returns a :class:`~repro.sat.SATResult` carrying the SAT, the measured
+    global-memory traffic, and the cost-model evaluation.
+    """
+    return make_algorithm(algorithm, **algo_kwargs).compute(
+        matrix, params or MachineParams()
+    )
+
+
+__all__ = [
+    "ALGORITHM_NAMES",
+    "AccessError",
+    "BarrierViolation",
+    "ConfigurationError",
+    "HMMExecutor",
+    "MachineParams",
+    "NotComputedError",
+    "ReproError",
+    "SATResult",
+    "ShapeError",
+    "SharedMemoryOverflow",
+    "__version__",
+    "compute_sat",
+    "gtx_780_ti",
+    "make_algorithm",
+    "rectangle_sum",
+    "sat_reference",
+]

@@ -1,0 +1,77 @@
+"""Analytic cost formulas, runtime modelling, and calibration (Tables I-II).
+
+* :mod:`repro.analysis.formulas` — exact access-count predictors mirroring
+  each implementation (validated counter-for-counter in tests) plus the
+  paper's dominant-term Table I expressions;
+* :mod:`repro.analysis.published` — the paper's Table II numbers;
+* :mod:`repro.analysis.model` — cost-units-to-milliseconds conversion,
+  per-size best-``p`` search, and the 1R1W/2R1W crossover solver;
+* :mod:`repro.analysis.calibration` — fits the model's three hardware
+  constants to the published Table II.
+"""
+
+from .calibration import CalibrationReport, calibrate, default_model
+from .formulas import (
+    PredictedCounts,
+    counts_1r1w,
+    counts_2r1w,
+    counts_2r2w,
+    counts_4r1w,
+    counts_4r4w,
+    counts_kr1w,
+    kr1w_cost,
+    paper_table1_row,
+    predicted_counters,
+)
+from .model import RuntimeModel, best_p_for_size, crossover_size, predict_table2_row
+from .occupancy import (
+    OccupancyCalibration,
+    OccupancyModel,
+    calibrate_occupancy,
+    default_occupancy_model,
+)
+from .profiles import KernelProfile, kernel_profiles
+from .published import (
+    CROSSOVER_1R1W_VS_2R1W_K,
+    KR1W_FASTEST_FROM_K,
+    TABLE2_BEST_P,
+    TABLE2_GPU_ALGORITHMS,
+    TABLE2_MS,
+    TABLE2_SIZES_K,
+    fastest_gpu_algorithm,
+    speedup_over_cpu,
+)
+
+__all__ = [
+    "CROSSOVER_1R1W_VS_2R1W_K",
+    "CalibrationReport",
+    "KR1W_FASTEST_FROM_K",
+    "KernelProfile",
+    "OccupancyCalibration",
+    "OccupancyModel",
+    "PredictedCounts",
+    "RuntimeModel",
+    "calibrate_occupancy",
+    "default_occupancy_model",
+    "kernel_profiles",
+    "TABLE2_BEST_P",
+    "TABLE2_GPU_ALGORITHMS",
+    "TABLE2_MS",
+    "TABLE2_SIZES_K",
+    "best_p_for_size",
+    "calibrate",
+    "counts_1r1w",
+    "counts_2r1w",
+    "counts_2r2w",
+    "counts_4r1w",
+    "counts_4r4w",
+    "counts_kr1w",
+    "crossover_size",
+    "default_model",
+    "fastest_gpu_algorithm",
+    "kr1w_cost",
+    "paper_table1_row",
+    "predict_table2_row",
+    "predicted_counters",
+    "speedup_over_cpu",
+]

@@ -1,0 +1,148 @@
+"""Fit the runtime model's hardware constants to the published Table II.
+
+Free parameters:
+
+* ``unit_ns`` — wall-clock length of one cost unit (one coalesced warp
+  transaction): bounded below by the GTX 780 Ti's 336 GB/s peak
+  (``32 * 8`` bytes / 336 GB/s = 0.76 ns) and in practice 2-4x that.
+* ``latency`` — effective per-barrier overhead in units, dominated by
+  kernel-launch latency (microseconds), not DRAM latency.
+* ``stride_discount`` — see :class:`~repro.analysis.model.RuntimeModel`.
+
+The fit minimizes squared *log-space* error (so 0.3 ms rows and 400 ms
+rows weigh equally) over a coarse-to-fine grid. Coalesced-only parameters
+``(unit_ns, latency)`` are fitted on the block algorithms the paper's
+conclusions rest on (2R1W, 1R1W, 1.25R1W); ``stride_discount`` is then
+fitted on the stride rows (2R2W, 4R1W) with the others frozen.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..machine.params import MachineParams, gtx_780_ti
+from .formulas import predicted_counters
+from .model import RuntimeModel
+from .published import TABLE2_MS, TABLE2_SIZES_K
+
+#: Rows used to fit the coalesced parameters.
+COALESCED_FIT_ROWS: Tuple[str, ...] = ("2R1W", "1R1W", "1.25R1W")
+#: Rows used to fit the stride discount afterwards.
+STRIDE_FIT_ROWS: Tuple[str, ...] = ("2R2W", "4R1W")
+
+
+@dataclasses.dataclass(frozen=True)
+class CalibrationReport:
+    """The fitted model plus goodness-of-fit diagnostics."""
+
+    model: RuntimeModel
+    rms_log_error: float  # over the coalesced fit rows
+    residuals: Dict[str, List[float]]  # predicted/published ratio per row
+
+    def summary(self) -> str:
+        lines = [
+            f"fitted unit_ns={self.model.unit_ns:.3f}, "
+            f"latency={self.model.params.latency} units, "
+            f"stride_discount={self.model.stride_discount:.3f}",
+            f"RMS log10 error on {COALESCED_FIT_ROWS}: {self.rms_log_error:.3f}",
+        ]
+        for name, ratios in self.residuals.items():
+            lines.append(
+                f"  {name:>8}: predicted/published ratio "
+                f"min={min(ratios):.2f} max={max(ratios):.2f}"
+            )
+        return "\n".join(lines)
+
+
+def _counts_matrix(rows: Sequence[str], sizes_k: Sequence[int], params: MachineParams):
+    """(coalesced/w, stride, barriers+1) per (row, size) for fast re-costing."""
+    out = {}
+    for name in rows:
+        per_size = []
+        for k in sizes_k:
+            n = 1024 * k
+            c = predicted_counters(name, n, params, p=0.5)
+            per_size.append((c.coalesced / params.width, c.stride, c.barriers + 1))
+        out[name] = per_size
+    return out
+
+
+def calibrate(
+    sizes_k: Sequence[int] = tuple(TABLE2_SIZES_K),
+    *,
+    width: int = 32,
+) -> CalibrationReport:
+    """Fit ``(unit_ns, latency, stride_discount)`` to Table II."""
+    # Pre-compute counts once with a placeholder latency (counts don't
+    # depend on it).
+    base_params = MachineParams(width=width, latency=1)
+    fit_counts = _counts_matrix(COALESCED_FIT_ROWS, sizes_k, base_params)
+    stride_counts = _counts_matrix(STRIDE_FIT_ROWS, sizes_k, base_params)
+
+    def log_err(unit_ns: float, latency: float) -> float:
+        err = 0.0
+        for name, per_size in fit_counts.items():
+            published = TABLE2_MS[name]
+            for (cw, s, b1), pub in zip(per_size, published):
+                ms = (cw + s + b1 * latency) * unit_ns * 1e-6
+                err += (np.log10(ms) - np.log10(pub)) ** 2
+        return err
+
+    # Coarse-to-fine grid search over (unit_ns, latency).
+    unit_grid = np.geomspace(0.5, 10.0, 40)
+    lat_grid = np.geomspace(200, 50000, 40)
+    best = min(
+        ((u, L) for u in unit_grid for L in lat_grid), key=lambda ul: log_err(*ul)
+    )
+    for _ in range(3):  # refine around the incumbent
+        u0, L0 = best
+        unit_grid = np.geomspace(u0 / 1.5, u0 * 1.5, 25)
+        lat_grid = np.geomspace(L0 / 1.5, L0 * 1.5, 25)
+        best = min(
+            ((u, L) for u in unit_grid for L in lat_grid), key=lambda ul: log_err(*ul)
+        )
+    unit_ns, latency = best
+    latency = max(1, int(round(latency)))
+
+    # Stride discount: closed-form-ish 1-D fit with the others frozen.
+    def stride_err(gamma: float) -> float:
+        err = 0.0
+        for name, per_size in stride_counts.items():
+            published = TABLE2_MS[name]
+            for (cw, s, b1), pub in zip(per_size, published):
+                ms = (cw + gamma * s + b1 * latency) * unit_ns * 1e-6
+                err += (np.log10(ms) - np.log10(pub)) ** 2
+        return err
+
+    gammas = np.geomspace(0.01, 1.0, 200)
+    gamma = float(min(gammas, key=stride_err))
+
+    params = MachineParams(width=width, latency=latency)
+    model = RuntimeModel(params=params, unit_ns=float(unit_ns), stride_discount=gamma)
+
+    n_points = len(COALESCED_FIT_ROWS) * len(sizes_k)
+    rms = float(np.sqrt(log_err(unit_ns, latency) / n_points))
+    residuals: Dict[str, List[float]] = {}
+    for name in (*COALESCED_FIT_ROWS, *STRIDE_FIT_ROWS):
+        ratios = []
+        for k, pub in zip(sizes_k, TABLE2_MS[name]):
+            ratios.append(model.predict_ms(name, 1024 * k) / pub)
+        residuals[name] = ratios
+    return CalibrationReport(model=model, rms_log_error=rms, residuals=residuals)
+
+
+def default_model() -> RuntimeModel:
+    """A pre-fitted model for users who skip calibration.
+
+    Constants produced by :func:`calibrate` on the full Table II; kept as
+    literals so examples run instantly. Tests assert :func:`calibrate`
+    reproduces them to within grid resolution.
+    """
+    return RuntimeModel(
+        params=gtx_780_ti(latency=4505),
+        unit_ns=1.768,
+        stride_discount=0.180,
+    )

@@ -1,0 +1,254 @@
+"""Analytic access-count formulas for every SAT algorithm (Table I).
+
+Two layers:
+
+* ``paper_*`` functions give the paper's dominant-term expressions
+  (Lemmas 2-5, Theorems 6-7) — good for intuition and documentation.
+* :func:`predicted_counters` computes the *exact* counts this package's
+  implementations produce, by mirroring their control flow arithmetically
+  (no data is moved). Tests assert measured == predicted at many
+  ``(algorithm, n, w)`` points, which both validates the implementations
+  against the model and lets Table II evaluate 18K-size costs instantly.
+
+Counts returned are ``(C, S, K)``: coalesced element accesses, stride
+operations, and kernel launches (barriers are ``K - 1``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..layout.blocking import BlockGrid
+from ..machine.cost import cost_formula
+from ..machine.params import MachineParams
+from ..util.validation import require_multiple
+
+
+@dataclass(frozen=True)
+class PredictedCounts:
+    """Exact predicted traffic of one algorithm run."""
+
+    coalesced: int
+    stride: int
+    kernels: int
+
+    @property
+    def barriers(self) -> int:
+        return max(0, self.kernels - 1)
+
+    def cost(self, params: MachineParams) -> float:
+        return cost_formula(self.coalesced, self.stride, self.barriers, params)
+
+    @property
+    def global_accesses(self) -> int:
+        return self.coalesced + self.stride
+
+
+# --------------------------------------------------------------------------
+# exact per-algorithm predictors (mirroring the implementations)
+# --------------------------------------------------------------------------
+
+
+def counts_2r2w(n: int, w: int) -> PredictedCounts:
+    """2R2W: coalesced column scan, stride row scan, one barrier."""
+    scan = n * n + n * (n - 1)  # reads + writes (first line not rewritten)
+    return PredictedCounts(coalesced=scan, stride=scan, kernels=2)
+
+
+def counts_4r4w(n: int, w: int) -> PredictedCounts:
+    """4R4W: two scans (2n^2 - n each) + two transposes (2n^2 each)."""
+    scan = n * n + n * (n - 1)
+    return PredictedCounts(coalesced=2 * scan + 4 * n * n, stride=0, kernels=4)
+
+
+def counts_4r1w(n: int, w: int) -> PredictedCounts:
+    """4R1W: Formula (1) per element, all stride, a kernel per diagonal."""
+    stride = (
+        n * n  # read a[i][j]
+        + 2 * n * (n - 1)  # left and up neighbors
+        + (n - 1) ** 2  # diagonal neighbor
+        + n * n  # write
+    )
+    return PredictedCounts(coalesced=0, stride=stride, kernels=2 * n - 1)
+
+
+def counts_2r1w(n: int, w: int) -> PredictedCounts:
+    """2R1W with its merged-kernel recursion (see ``algo_2r1w``)."""
+    if n <= w:
+        return PredictedCounts(coalesced=2 * n * n, stride=0, kernels=1)
+    m = n // w
+    mm = m - 1
+    # Step 1: every block but the last is read; CS/RS rows written.
+    coalesced = (m * m - 1) * w * w + 2 * mm * m * w
+    stride = mm * mm  # single-word block-sum writes into M
+    kernels = 2  # step1 + step2
+    # Step 2: column scans of C and R^T.
+    coalesced += 2 * (mm * n + (mm - 1) * n)
+    if mm <= w:
+        coalesced += 2 * mm * mm  # single-DMM SAT of M, merged into step2
+    else:
+        mp = -(-mm // w) * w  # M padded to a block multiple
+        sub = counts_2r1w(mp, w)
+        coalesced += sub.coalesced
+        stride += sub.stride
+        kernels += sub.kernels - 1  # first sub-kernel merged into step2
+    # Step 3: re-read blocks + boundary rows, write final blocks.
+    coalesced += 2 * m * m * w * w + 2 * m * mm * w
+    stride += mm * mm  # corner reads from M
+    kernels += 1
+    return PredictedCounts(coalesced=coalesced, stride=stride, kernels=kernels)
+
+
+def _block_stage_traffic(bi: int, bj: int, m: int, w: int) -> int:
+    """Coalesced words moved by one 1R1W block-stage task."""
+    c = 2 * w * w  # block read + write
+    if bi > 0:
+        c += w + (1 if bj > 0 else 0)  # corner-prefixed bottom row above
+    if bj > 0:
+        c += w + (1 if bi > 0 else 0)  # corner-prefixed right column left
+    if bi < m - 1:
+        c += w  # publish bottom row
+    if bj < m - 1:
+        c += w  # publish right column
+    return c
+
+
+def counts_1r1w(n: int, w: int) -> PredictedCounts:
+    """1R1W: closed form over all blocks (see ``_block_stage_traffic``)."""
+    m = n // w
+    coalesced = (
+        2 * m * m * w * w  # block reads + writes
+        + 2 * (m * (m - 1) * w + (m - 1) ** 2)  # neighbor rows + corners
+        + 2 * m * (m - 1) * w  # published boundary rows
+    )
+    return PredictedCounts(coalesced=coalesced, stride=0, kernels=2 * m - 1)
+
+
+def counts_kr1w(n: int, w: int, p: float) -> PredictedCounts:
+    """kR1W: exact mirror of the triangle + band phase structure."""
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError(f"p must be in [0, 1], got {p}")
+    grid = BlockGrid(n, w)
+    m = grid.blocks_per_side
+    t = int(round(p * (m - 1)))
+    top, mid, bottom = grid.triangle_partition(p)
+    coalesced = 0
+    stride = 0
+    kernels = 0
+
+    for blocks, seeded in ((top, False), (bottom, True)):
+        if not blocks:
+            continue
+        kernels += 4
+        n_blocks = len(blocks)
+        # sums phase: block read + CS/RS row writes.
+        coalesced += n_blocks * (w * w + 2 * w)
+        # scans phase: runs by column and by row.
+        from ..sat.triangle2r1w import _runs_by_column, _runs_by_row
+
+        col_runs = _runs_by_column(blocks)
+        row_runs = _runs_by_row(blocks)
+        for bj, run in col_runs.items():
+            length = len(run)
+            coalesced += 2 * length * w  # CS strip read + colAbove write
+            stride += length  # t written down a T-buffer column
+            if seeded:
+                coalesced += w + 1 if bj > 0 else w
+        for bi, run in row_runs.items():
+            length = len(run)
+            coalesced += 2 * length * w  # RS strip read + rowLeft write
+            if seeded:
+                coalesced += w + 1 if bi > 0 else w
+        # corners phase: per row-run, t read + G write (+ seed).
+        for bi, run in row_runs.items():
+            length = len(run)
+            coalesced += 2 * length
+            if seeded and run.start > 0:
+                stride += 1
+        # fix phase: block read/write + top/left rows + corner + aux rows.
+        for bi, bj in blocks:
+            coalesced += 2 * w * w + 2 * w
+            stride += 1
+            if bi < m - 1:
+                coalesced += w
+            if bj < m - 1:
+                coalesced += w
+
+    # middle band: 1R1W stages t .. 2(m-1) - t.
+    for stage in range(t, 2 * (m - 1) - t + 1):
+        kernels += 1
+        for bi, bj in grid.diagonal(stage):
+            coalesced += _block_stage_traffic(bi, bj, m, w)
+
+    return PredictedCounts(coalesced=coalesced, stride=stride, kernels=kernels)
+
+
+_PREDICTORS = {
+    "2R2W": counts_2r2w,
+    "4R4W": counts_4r4w,
+    "4R1W": counts_4r1w,
+    "2R1W": counts_2r1w,
+    "1R1W": counts_1r1w,
+}
+
+
+def predicted_counters(
+    name: str, n: int, params: MachineParams, p: Optional[float] = None
+) -> PredictedCounts:
+    """Exact predicted ``(C, S, kernels)`` for algorithm ``name`` at size ``n``."""
+    w = params.width
+    if name != "4R1W":
+        require_multiple(n, w)
+    if name in ("kR1W", "1.25R1W"):
+        return counts_kr1w(n, w, 0.5 if name == "1.25R1W" else float(p))
+    try:
+        return _PREDICTORS[name](n, w)
+    except KeyError:
+        raise ConfigurationError(f"no predictor for algorithm {name!r}") from None
+
+
+def kr1w_cost(n: int, params: MachineParams, p: float) -> float:
+    """Closed-form kR1W cost used by the analytic tuner."""
+    return counts_kr1w(n, params.width, p).cost(params)
+
+
+# --------------------------------------------------------------------------
+# the paper's dominant-term Table I expressions
+# --------------------------------------------------------------------------
+
+
+def paper_table1_row(name: str, n: int, params: MachineParams, p: float = 0.5):
+    """Dominant-term (C, S, B, cost) as Table I states them.
+
+    Returned counts drop lower-order terms exactly as the paper's table
+    does ("we omit small terms to focus on dominant terms").
+    """
+    w, l = params.width, params.latency
+    n2 = float(n) * n
+    if name == "2R2W":
+        c, s, b = 2 * n2, 2 * n2, 1
+    elif name == "4R4W":
+        c, s, b = 8 * n2, 0.0, 3
+    elif name == "4R1W":
+        c, s, b = 0.0, 5 * n2, 2 * n - 1
+    elif name == "2R1W":
+        c, s, b = 3 * n2 * (1 + 1 / w**2), 0.0, 2 * _practical_depth(n, w) + 2
+    elif name == "1R1W":
+        c, s, b = 2 * n2 * (1 + 2 / w), 0.0, 2 * n / w - 2
+    elif name in ("kR1W", "1.25R1W"):
+        if name == "1.25R1W":
+            p = 0.5
+        c = (2 + p * p) * n2 * (1 + 2 / w)
+        s = 0.0
+        b = 2 * (1 - p) * n / w + 6
+    else:
+        raise ConfigurationError(f"unknown algorithm {name!r}")
+    return c, s, b, cost_formula(c, s, b, params)
+
+
+def _practical_depth(n: int, w: int) -> int:
+    from ..sat.algo_2r1w import recursion_depth
+
+    return recursion_depth(n, w)

@@ -1,0 +1,180 @@
+"""Occupancy-aware runtime model — an ablation the flat cost model motivates.
+
+The Section III cost model charges a kernel only its aggregate traffic plus
+one latency term. On a real GPU a kernel with ``B`` resident blocks can keep
+only ``B``-blocks' worth of memory requests in flight: 1R1W's first diagonal
+stage has a *single* block and therefore runs at a tiny fraction of peak
+bandwidth no matter how little data it moves. This is precisely the
+"latency overhead" the paper blames for 1R1W's small-``n`` losses — and the
+reason its measured best kR1W mixing parameters (0.07-0.17) are far below
+what the flat model (or the paper's own Theorem 7 arithmetic, ``p* = l/n``)
+predicts.
+
+The refinement here is deliberately minimal — one extra parameter:
+
+    time(kernel) = stages * max(1, concurrency / blocks) + overhead
+
+where ``stages = C/w + gamma*S`` is the flat stage count, ``concurrency``
+is the number of blocks needed to saturate the memory system (SMs x blocks
+per SM), and ``overhead`` is the per-kernel launch + drain cost. A kernel
+with ``blocks >= concurrency`` behaves exactly as in the flat model, so
+Table II's totals are preserved; under-filled kernels run at
+``blocks/concurrency`` of peak bandwidth.
+
+Calibration reuses the published Table II; the headline result (see the
+ablation benchmark) is that the occupancy model moves the predicted best
+mixing parameters from the flat model's 1.0/0.2 range into the paper's
+measured 0.1-0.4 band without degrading the time fit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..machine.params import MachineParams
+from .model import RuntimeModel
+from .profiles import KernelProfile, kernel_profiles
+from .published import TABLE2_MS, TABLE2_SIZES_K
+
+#: Profile cache: (name, n, w, p) -> (coalesced, stride, blocks) arrays.
+_PROFILE_CACHE: Dict[Tuple, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+
+
+def profile_arrays(
+    name: str, n: int, params: MachineParams, p: Optional[float] = None
+):
+    """Per-kernel traffic/blocks as numpy arrays (cached — profiles are
+    model-parameter independent, so calibration reuses them freely)."""
+    key = (name, n, params.width, p)
+    if key not in _PROFILE_CACHE:
+        profs = kernel_profiles(name, n, params, p=p)
+        _PROFILE_CACHE[key] = (
+            np.array([q.coalesced for q in profs], dtype=np.float64),
+            np.array([q.stride for q in profs], dtype=np.float64),
+            np.array([max(q.blocks, 1) for q in profs], dtype=np.float64),
+        )
+    return _PROFILE_CACHE[key]
+
+
+@dataclasses.dataclass(frozen=True)
+class OccupancyModel:
+    """Runtime model with bandwidth scaled by per-kernel block occupancy."""
+
+    params: MachineParams
+    unit_ns: float
+    overhead: float  # per-kernel launch + pipeline-drain cost, in units
+    concurrency: int  # blocks needed to saturate the memory system
+    stride_discount: float = 1.0
+
+    def kernel_units(self, coalesced, stride, blocks):
+        """Vectorized per-kernel time in units."""
+        stages = coalesced / self.params.width + self.stride_discount * stride
+        util = np.maximum(1.0, self.concurrency / np.maximum(blocks, 1.0))
+        return stages * util + self.overhead
+
+    def predict_units(self, name: str, n: int, p: Optional[float] = None) -> float:
+        c, s, b = profile_arrays(name, n, self.params, p=p)
+        return float(self.kernel_units(c, s, b).sum())
+
+    def predict_ms(self, name: str, n: int, p: Optional[float] = None) -> float:
+        return self.predict_units(name, n, p=p) * self.unit_ns * 1e-6
+
+    def best_p(self, n: int, ps: Optional[Sequence[float]] = None) -> Tuple[float, float]:
+        """(argmin p, ms) over the kR1W mixing-parameter sweep."""
+        from ..sat.tuning import candidate_ps
+
+        if ps is None:
+            ps = candidate_ps(n, self.params.width, max_candidates=33)
+        best = min(((p, self.predict_ms("kR1W", n, p=p)) for p in ps), key=lambda t: t[1])
+        return best
+
+
+@dataclasses.dataclass(frozen=True)
+class OccupancyCalibration:
+    model: OccupancyModel
+    rms_log_error: float
+
+    def summary(self) -> str:
+        m = self.model
+        return (
+            f"occupancy model: unit_ns={m.unit_ns:.3f}, overhead={m.overhead:.0f} "
+            f"units, concurrency={m.concurrency} blocks, "
+            f"stride_discount={m.stride_discount:.3f}; "
+            f"RMS log10 error={self.rms_log_error:.3f}"
+        )
+
+
+FIT_ROWS = ("2R1W", "1R1W", "1.25R1W")
+
+
+def calibrate_occupancy(
+    sizes_k: Sequence[int] = tuple(TABLE2_SIZES_K), *, width: int = 32
+) -> OccupancyCalibration:
+    """Fit (unit_ns, overhead, concurrency) to the published block-algorithm
+    rows, then the stride discount on the 2R2W/4R1W rows."""
+    params = MachineParams(width=width, latency=1)
+    cached = {
+        name: [profile_arrays(name, 1024 * k, params) for k in sizes_k]
+        for name in FIT_ROWS + ("2R2W", "4R1W")
+    }
+
+    def log_err(unit_ns, overhead, conc, gamma=1.0, rows=FIT_ROWS):
+        err = 0.0
+        for name in rows:
+            for (c, s, b), pub in zip(cached[name], TABLE2_MS[name]):
+                stages = c / width + gamma * s
+                util = np.maximum(1.0, conc / b)
+                ms = (float((stages * util).sum()) + overhead * len(c)) * unit_ns * 1e-6
+                err += (np.log10(ms) - np.log10(pub)) ** 2
+        return err
+
+    units = np.geomspace(0.5, 6.0, 16)
+    overheads = np.geomspace(200, 20000, 16)
+    concs = np.unique(np.geomspace(1, 512, 14).astype(int))
+    best = min(
+        ((u, o, c) for u in units for o in overheads for c in concs),
+        key=lambda t: log_err(*t),
+    )
+    for _ in range(3):
+        u0, o0, c0 = best
+        units = np.geomspace(u0 / 1.4, u0 * 1.4, 11)
+        overheads = np.geomspace(o0 / 1.4, o0 * 1.4, 11)
+        concs = np.unique(
+            np.clip(np.geomspace(max(1, c0 / 1.6), c0 * 1.6, 9).astype(int), 1, 4096)
+        )
+        best = min(
+            ((u, o, c) for u in units for o in overheads for c in concs),
+            key=lambda t: log_err(*t),
+        )
+    unit_ns, overhead, conc = best
+
+    gammas = np.geomspace(0.01, 1.0, 100)
+    gamma = float(
+        min(gammas, key=lambda g: log_err(unit_ns, overhead, conc, g, rows=("2R2W", "4R1W")))
+    )
+
+    n_points = len(FIT_ROWS) * len(sizes_k)
+    rms = float(np.sqrt(log_err(unit_ns, overhead, conc) / n_points))
+    model = OccupancyModel(
+        params=MachineParams(width=width, latency=max(1, int(round(overhead)))),
+        unit_ns=float(unit_ns),
+        overhead=float(overhead),
+        concurrency=int(conc),
+        stride_discount=gamma,
+    )
+    return OccupancyCalibration(model=model, rms_log_error=rms)
+
+
+def default_occupancy_model() -> OccupancyModel:
+    """Pre-fitted constants (see :func:`calibrate_occupancy`); tests assert
+    calibration reproduces them within grid resolution."""
+    return OccupancyModel(
+        params=MachineParams(width=32, latency=2590),
+        unit_ns=1.882,
+        overhead=2590.0,
+        concurrency=58,
+        stride_discount=0.179,
+    )

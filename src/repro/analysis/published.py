@@ -1,0 +1,56 @@
+"""The paper's published experimental numbers (Tables I-II).
+
+Transcribed from Section VIII so benchmarks can print paper-vs-measured
+side by side. Times are milliseconds on a GeForce GTX 780 Ti (GPU rows)
+and an Intel Xeon X7460 @ 2.66 GHz (CPU rows); matrices are 64-bit, sizes
+``n = 1024 * k`` for the listed ``k``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+#: Matrix sizes of Table II, in units of 1024.
+TABLE2_SIZES_K: List[int] = [1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 14, 16, 18]
+
+#: Running time in milliseconds, keyed by algorithm, in TABLE2_SIZES_K order.
+TABLE2_MS: Dict[str, List[float]] = {
+    "2R2W": [1.47, 3.28, 5.71, 9.53, 13.6, 23.9, 27.1, 47.8, 90.8, 163, 160, 234, 401],
+    "4R4W": [1.07, 2.52, 4.48, 6.77, 9.67, 13.7, 17.2, 22.2, 33.9, 50.4, 64.2, 83.1, 117],
+    "4R1W": [11.5, 22.9, 36.4, 50.1, 113, 104, 173, 252, 315, 597, 437, 742, 1600],
+    "2R1W": [0.332, 0.850, 1.83, 3.09, 4.79, 6.78, 9.25, 12.3, 18.9, 27.2, 36.8, 48.7, 61],
+    "1R1W": [0.902, 1.46, 2.43, 3.65, 5.05, 6.81, 8.71, 10.9, 16.2, 22.6, 29.7, 38, 53.8],
+    "1.25R1W": [0.453, 1.05, 1.96, 3.25, 4.71, 6.41, 8.47, 10.8, 16.5, 23, 31.2, 40.7, 57.6],
+    "kR1W": [0.365, 0.958, 1.94, 3.16, 4.58, 6.32, 8.25, 10.5, 15.7, 22.0, 29.1, 37.5, 53.1],
+    "2R2W(CPU)": [25.9, 107, 241, 427, 670, 966, 1310, 1690, 2670, 3850, 5250, 6760, 8670],
+    "4R1W(CPU)": [18.0, 73.2, 165, 293, 459, 660, 904, 1160, 1830, 2660, 3600, 4590, 5950],
+}
+
+#: The mixing parameter that minimized kR1W's running time, per size.
+TABLE2_BEST_P: List[float] = [
+    0.168, 0.174, 0.172, 0.159, 0.136, 0.123, 0.0876, 0.103, 0.0963,
+    0.0710, 0.0835, 0.0694, 0.0725,
+]
+
+#: GPU algorithm rows in Table II's order.
+TABLE2_GPU_ALGORITHMS: List[str] = ["2R2W", "4R4W", "4R1W", "2R1W", "1R1W", "1.25R1W", "kR1W"]
+
+#: Sizes (in K) from which the paper says kR1W is the overall fastest.
+KR1W_FASTEST_FROM_K = 5
+
+#: The size range where the paper observes 1R1W overtaking 2R1W.
+CROSSOVER_1R1W_VS_2R1W_K = (6, 7)
+
+
+def fastest_gpu_algorithm(k: int) -> str:
+    """Which GPU algorithm Table II bolds for size ``k`` (1024-units)."""
+    idx = TABLE2_SIZES_K.index(k)
+    return min(TABLE2_GPU_ALGORITHMS, key=lambda name: TABLE2_MS[name][idx])
+
+
+def speedup_over_cpu(k: int) -> float:
+    """Fastest-GPU over best-CPU speedup at size ``k`` (the >100x claim)."""
+    idx = TABLE2_SIZES_K.index(k)
+    best_gpu = min(TABLE2_MS[name][idx] for name in TABLE2_GPU_ALGORITHMS)
+    best_cpu = min(TABLE2_MS["2R2W(CPU)"][idx], TABLE2_MS["4R1W(CPU)"][idx])
+    return best_cpu / best_gpu

@@ -1,0 +1,37 @@
+"""Applications built on the SAT: the workloads the paper's intro motivates.
+
+* :class:`IntegralImage` — build once, O(1) rectangle queries;
+* :mod:`repro.apps.filters` — box blur, local mean/variance, adaptive
+  thresholding;
+* :mod:`repro.apps.features` — Haar-like rectangle features (Viola-Jones);
+* :mod:`repro.apps.shadows` — summed-area variance shadow maps
+  (the paper's reference [12]).
+"""
+
+from .features import HAAR_KINDS, HaarFeature, dense_feature_grid, evaluate_features
+from .matching import find_matches, match_template
+from .filters import (
+    adaptive_threshold,
+    box_filter,
+    box_sum,
+    local_mean_variance,
+)
+from .integral_image import IntegralImage
+from .shadows import VarianceShadowMap, shade, synthetic_scene
+
+__all__ = [
+    "HAAR_KINDS",
+    "HaarFeature",
+    "IntegralImage",
+    "VarianceShadowMap",
+    "adaptive_threshold",
+    "box_filter",
+    "box_sum",
+    "dense_feature_grid",
+    "evaluate_features",
+    "find_matches",
+    "match_template",
+    "local_mean_variance",
+    "shade",
+    "synthetic_scene",
+]

@@ -1,0 +1,124 @@
+"""Haar-like rectangle features over the integral image (Viola-Jones style).
+
+Each feature is a signed combination of adjacent rectangle sums — two-,
+three-, or four-rectangle patterns — and evaluates in a handful of SAT
+lookups. Feature evaluation is the canonical high-query-volume workload
+that justifies paying for a fast SAT construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..sat.reference import rectangle_sums
+
+#: (kind, how the (h, w) window splits into signed sub-rectangles)
+HAAR_KINDS = ("edge-h", "edge-v", "line-h", "line-v", "checker")
+
+
+@dataclasses.dataclass(frozen=True)
+class HaarFeature:
+    """A Haar-like feature anchored at ``(row, col)`` with a window of
+    ``height x width`` pixels, of one of the five classic kinds."""
+
+    kind: str
+    row: int
+    col: int
+    height: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in HAAR_KINDS:
+            raise ShapeError(f"kind must be one of {HAAR_KINDS}, got {self.kind!r}")
+        if self.height < 2 or self.width < 2:
+            raise ShapeError("feature window must be at least 2 x 2")
+        if self.kind in ("edge-h", "line-h") and self.width % _parts(self.kind) != 0:
+            raise ShapeError(f"{self.kind} needs width divisible by {_parts(self.kind)}")
+        if self.kind in ("edge-v", "line-v") and self.height % _parts(self.kind) != 0:
+            raise ShapeError(f"{self.kind} needs height divisible by {_parts(self.kind)}")
+        if self.kind == "checker" and (self.height % 2 or self.width % 2):
+            raise ShapeError("checker needs even height and width")
+
+    def rectangles(self) -> List[Tuple[int, Tuple[int, int, int, int]]]:
+        """Signed inclusive rectangles ``(sign, (top, left, bottom, right))``."""
+        r, c, h, w = self.row, self.col, self.height, self.width
+        if self.kind == "edge-h":  # left half minus right half
+            half = w // 2
+            return [
+                (+1, (r, c, r + h - 1, c + half - 1)),
+                (-1, (r, c + half, r + h - 1, c + w - 1)),
+            ]
+        if self.kind == "edge-v":  # top half minus bottom half
+            half = h // 2
+            return [
+                (+1, (r, c, r + half - 1, c + w - 1)),
+                (-1, (r + half, c, r + h - 1, c + w - 1)),
+            ]
+        if self.kind == "line-h":  # outer thirds minus middle third
+            third = w // 3
+            return [
+                (+1, (r, c, r + h - 1, c + third - 1)),
+                (-2, (r, c + third, r + h - 1, c + 2 * third - 1)),
+                (+1, (r, c + 2 * third, r + h - 1, c + w - 1)),
+            ]
+        if self.kind == "line-v":
+            third = h // 3
+            return [
+                (+1, (r, c, r + third - 1, c + w - 1)),
+                (-2, (r + third, c, r + 2 * third - 1, c + w - 1)),
+                (+1, (r + 2 * third, c, r + h - 1, c + w - 1)),
+            ]
+        # checker: diagonal quadrants minus anti-diagonal quadrants
+        hh, hw = h // 2, w // 2
+        return [
+            (+1, (r, c, r + hh - 1, c + hw - 1)),
+            (-1, (r, c + hw, r + hh - 1, c + w - 1)),
+            (-1, (r + hh, c, r + h - 1, c + hw - 1)),
+            (+1, (r + hh, c + hw, r + h - 1, c + w - 1)),
+        ]
+
+
+def _parts(kind: str) -> int:
+    return 2 if kind.startswith("edge") else 3
+
+
+def evaluate_features(sat: np.ndarray, features: Sequence[HaarFeature]) -> np.ndarray:
+    """Evaluate many features against a prebuilt SAT, vectorized.
+
+    Gathers every signed rectangle across all features into one
+    :func:`rectangle_sums` call and reduces per feature.
+    """
+    if not features:
+        return np.zeros(0)
+    rects: List[Tuple[int, int, int, int]] = []
+    signs: List[int] = []
+    owner: List[int] = []
+    for idx, f in enumerate(features):
+        for sign, rect in f.rectangles():
+            rects.append(rect)
+            signs.append(sign)
+            owner.append(idx)
+    sums = rectangle_sums(sat, np.asarray(rects))
+    out = np.zeros(len(features))
+    np.add.at(out, np.asarray(owner), np.asarray(signs) * sums)
+    return out
+
+
+def dense_feature_grid(
+    image_shape: Tuple[int, int],
+    kind: str,
+    height: int,
+    width: int,
+    stride: int = 1,
+) -> List[HaarFeature]:
+    """All features of one kind/size placed on a regular grid."""
+    h_img, w_img = image_shape
+    feats = []
+    for r in range(0, h_img - height + 1, stride):
+        for c in range(0, w_img - width + 1, stride):
+            feats.append(HaarFeature(kind, r, c, height, width))
+    return feats

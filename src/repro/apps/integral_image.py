@@ -1,0 +1,85 @@
+"""Integral-image facade: SAT construction plus O(1) region queries.
+
+This is the user-facing entry point the paper's introduction motivates:
+build the SAT once (on the simulated asynchronous HMM or directly on the
+CPU), then answer arbitrarily many rectangle-sum / mean / count queries in
+four lookups each.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..machine.params import MachineParams
+from ..sat.base import SATResult
+from ..sat.reference import rectangle_sum, rectangle_sums, sat_reference
+from ..sat.registry import make_algorithm
+from ..util.matrices import pad_to_multiple
+
+
+class IntegralImage:
+    """A summed area table with rectangle-query methods.
+
+    Parameters
+    ----------
+    image:
+        2-D array (any shape — non-multiples of the machine width are
+        zero-padded internally and cropped on output).
+    algorithm:
+        A Table II algorithm name, or ``"cpu"`` for the direct numpy
+        construction (the default — instant, exact).
+    params:
+        Machine configuration when simulating on the HMM.
+    """
+
+    def __init__(
+        self,
+        image: np.ndarray,
+        *,
+        algorithm: str = "cpu",
+        params: Optional[MachineParams] = None,
+        **algo_kwargs,
+    ) -> None:
+        image = np.asarray(image, dtype=np.float64)
+        if image.ndim != 2:
+            raise ShapeError(f"image must be 2-D, got ndim={image.ndim}")
+        self.shape: Tuple[int, int] = image.shape
+        self.algorithm = algorithm
+        self.result: Optional[SATResult] = None
+        if algorithm == "cpu":
+            self.sat = sat_reference(image)
+        else:
+            params = params or MachineParams()
+            side = max(image.shape)
+            padded = pad_to_multiple(
+                np.pad(
+                    image,
+                    ((0, side - image.shape[0]), (0, side - image.shape[1])),
+                ),
+                params.width,
+            )
+            algo = make_algorithm(algorithm, **algo_kwargs)
+            self.result = algo.compute(padded, params)
+            self.sat = self.result.sat[: image.shape[0], : image.shape[1]]
+
+    # --- queries -------------------------------------------------------------
+
+    def region_sum(self, top: int, left: int, bottom: int, right: int) -> float:
+        """Sum over the inclusive rectangle ``[top..bottom] x [left..right]``."""
+        return float(rectangle_sum(self.sat, top, left, bottom, right))
+
+    def region_sums(self, rects: np.ndarray) -> np.ndarray:
+        """Vectorized sums for ``(k, 4)`` rectangles ``(top, left, bottom, right)``."""
+        return rectangle_sums(self.sat, rects)
+
+    def region_mean(self, top: int, left: int, bottom: int, right: int) -> float:
+        """Mean over the inclusive rectangle."""
+        area = (bottom - top + 1) * (right - left + 1)
+        return self.region_sum(top, left, bottom, right) / area
+
+    def total(self) -> float:
+        """Sum of the whole image (the SAT's bottom-right corner)."""
+        return float(self.sat[-1, -1])

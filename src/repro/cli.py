@@ -1,0 +1,202 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``      compute a SAT on the simulated HMM and print the traffic summary
+``table1``    measured access counts per algorithm (Table I)
+``table2``    calibrated runtime predictions vs the published Table II
+``tune``      sweep the kR1W mixing parameter at one size
+``crossover`` locate the 1R1W/2R1W crossover under both runtime models
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .machine.params import MachineParams
+from .sat import ALGORITHM_NAMES, make_algorithm
+from .util.formatting import format_table
+from .util.matrices import random_matrix
+
+
+def _add_machine_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--width", type=int, default=32, help="machine width w (default 32)")
+    p.add_argument("--latency", type=int, default=512, help="latency l in units")
+
+
+def _params(args) -> MachineParams:
+    return MachineParams(width=args.width, latency=args.latency)
+
+
+def cmd_demo(args) -> int:
+    """Run one SAT on the simulated HMM and verify it against numpy."""
+    a = random_matrix(args.n, seed=args.seed)
+    algo = make_algorithm(args.algorithm, **({"p": args.p} if args.algorithm == "kR1W" else {}))
+    result = algo.compute(a, _params(args))
+    expected = np.cumsum(np.cumsum(a, axis=0), axis=1)
+    ok = np.allclose(result.sat, expected)
+    print(result.summary())
+    print(f"verified against numpy oracle: {'OK' if ok else 'MISMATCH'}")
+    return 0 if ok else 1
+
+
+def cmd_table1(args) -> int:
+    """Print measured per-algorithm access counts (Table I)."""
+    params = _params(args)
+    rows = []
+    n2 = args.n * args.n
+    for name in ALGORITHM_NAMES:
+        res = make_algorithm(name).compute(random_matrix(args.n, seed=0), params)
+        c = res.counters
+        rows.append(
+            [
+                name,
+                f"{c.coalesced_elements / n2:.3f}",
+                f"{c.stride_ops / n2:.3f}",
+                c.barriers,
+                f"{res.cost:.0f}",
+            ]
+        )
+    print(
+        format_table(
+            ["algorithm", "coalesced/elt", "stride/elt", "barriers", "cost"],
+            rows,
+            title=f"Table I measured at n={args.n}, w={params.width}, l={params.latency}",
+        )
+    )
+    return 0
+
+
+def cmd_table2(args) -> int:
+    """Print calibrated runtime predictions against the published Table II."""
+    from .analysis.calibration import calibrate
+    from .analysis.model import predict_table2_row
+    from .analysis.occupancy import calibrate_occupancy
+    from .analysis.published import TABLE2_GPU_ALGORITHMS, TABLE2_MS, TABLE2_SIZES_K
+
+    if args.occupancy:
+        cal = calibrate_occupancy()
+        model = cal.model
+        print(cal.summary())
+
+        def row_for(n):
+            out = {name: model.predict_ms(name, n) for name in TABLE2_GPU_ALGORITHMS if name != "kR1W"}
+            p, ms = model.best_p(n)
+            out["kR1W"], out["best_p"] = ms, p
+            return out
+
+    else:
+        cal = calibrate()
+        model = cal.model
+        print(cal.summary())
+
+        def row_for(n):
+            return predict_table2_row(model, n)
+
+    rows = []
+    for name in TABLE2_GPU_ALGORITHMS + ["best_p"]:
+        cells = [name]
+        for i, k in enumerate(TABLE2_SIZES_K):
+            r = row_for(1024 * k)
+            pub = TABLE2_MS[name][i] if name in TABLE2_MS else None
+            cells.append(
+                f"{r[name]:.2f}" + (f"/{pub:.2f}" if pub is not None else "")
+            )
+        rows.append(cells)
+    print(
+        format_table(
+            ["algorithm"] + [f"{k}K" for k in TABLE2_SIZES_K],
+            rows,
+            title="predicted ms / published ms",
+        )
+    )
+    return 0
+
+
+def cmd_tune(args) -> int:
+    """Sweep the kR1W mixing parameter and report the argmin."""
+    from .sat.tuning import tune_analytic, tune_measured
+
+    params = _params(args)
+    if args.measured:
+        result = tune_measured(random_matrix(args.n, seed=0), params)
+    else:
+        result = tune_analytic(args.n, params)
+    print(format_table(["p", "cost"], [[f"{p:.3f}", f"{c:.0f}"] for p, c in result.sweep]))
+    print(f"best p = {result.best_p:.4f}  (k = {result.best_k:.4f}R1W), "
+          f"cost = {result.best_cost:.0f}")
+    return 0
+
+
+def cmd_crossover(args) -> int:
+    """Locate the 1R1W/2R1W crossover under both runtime models."""
+    from .analysis.calibration import calibrate
+    from .analysis.model import crossover_size
+    from .analysis.occupancy import calibrate_occupancy
+
+    flat = calibrate().model
+    x_flat = crossover_size(flat)
+    occ = calibrate_occupancy().model
+    x_occ = None
+    n = flat.params.width * 8
+    last_2r1w_win = None
+    while n <= (1 << 15):
+        if occ.predict_ms("2R1W", n) <= occ.predict_ms("1R1W", n):
+            last_2r1w_win = n
+        n += flat.params.width * 8
+    if last_2r1w_win is not None and last_2r1w_win < (1 << 15):
+        x_occ = last_2r1w_win + flat.params.width * 8
+    print(f"flat model:      1R1W overtakes 2R1W at n = {x_flat}")
+    print(f"occupancy model: 1R1W overtakes 2R1W at n = {x_occ}")
+    print("paper (GTX 780 Ti): between 6K (6144) and 7K (7168)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SAT algorithms on the asynchronous Hierarchical Memory Machine",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("demo", help="compute one SAT and verify it")
+    p.add_argument("-n", type=int, default=256)
+    p.add_argument("--algorithm", default="1R1W", help="Table II name or kR1W")
+    p.add_argument("--p", type=float, default=0.5, help="kR1W mixing parameter")
+    p.add_argument("--seed", type=int, default=0)
+    _add_machine_args(p)
+    p.set_defaults(fn=cmd_demo)
+
+    p = sub.add_parser("table1", help="measured access counts per algorithm")
+    p.add_argument("-n", type=int, default=256)
+    _add_machine_args(p)
+    p.set_defaults(fn=cmd_table1)
+
+    p = sub.add_parser("table2", help="calibrated runtime predictions vs paper")
+    p.add_argument("--occupancy", action="store_true", help="use the occupancy model")
+    p.set_defaults(fn=cmd_table2)
+
+    p = sub.add_parser("tune", help="sweep the kR1W mixing parameter")
+    p.add_argument("-n", type=int, default=2048)
+    p.add_argument("--measured", action="store_true", help="run the executor per p")
+    _add_machine_args(p)
+    p.set_defaults(fn=cmd_tune)
+
+    p = sub.add_parser("crossover", help="locate the 1R1W/2R1W crossover")
+    p.set_defaults(fn=cmd_crossover)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

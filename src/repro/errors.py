@@ -1,0 +1,45 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch the package's failures with a single ``except`` clause while letting
+programming errors (``TypeError`` etc.) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid machine or algorithm configuration (bad width, latency, ...)."""
+
+
+class ShapeError(ReproError):
+    """An input matrix has a shape the algorithm cannot handle."""
+
+
+class SharedMemoryOverflow(ReproError):
+    """A block task tried to allocate more shared memory than one DMM holds.
+
+    The HMM model (Section II of the paper) bounds each DMM's shared memory
+    at ``4 * w * w`` words; the macro executor enforces this bound.
+    """
+
+
+class BarrierViolation(ReproError):
+    """A block task accessed shared-memory state across a barrier.
+
+    In the asynchronous HMM all DMMs are reset at each barrier
+    synchronization step; data that must survive has to be staged through
+    global memory.
+    """
+
+
+class AccessError(ReproError):
+    """An out-of-bounds or malformed memory access was issued."""
+
+
+class NotComputedError(ReproError):
+    """A result was requested before the producing step had run."""

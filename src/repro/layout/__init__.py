@@ -1,0 +1,20 @@
+"""Data-layout substrates: diagonal arrangement, blocking, transpose.
+
+These implement the layout machinery the paper's algorithms rely on:
+Lemma 1's diagonal shared-memory arrangement (Figure 6), the ``w x w``
+block decomposition every block algorithm uses, and the coalesced HMM
+transpose of reference [16] (Figure 7) that 4R4W builds on.
+"""
+
+from .blocking import BlockGrid
+from .diagonal import Arrangement, DiagonalArrangement, RowMajorArrangement
+from .transpose import hmm_transpose, micro_block_transpose
+
+__all__ = [
+    "Arrangement",
+    "BlockGrid",
+    "DiagonalArrangement",
+    "RowMajorArrangement",
+    "hmm_transpose",
+    "micro_block_transpose",
+]

@@ -1,0 +1,139 @@
+"""Diagonal arrangement of a ``w x w`` matrix in banked shared memory.
+
+Section III / Figure 6: storing element ``a[i][j]`` at shared-memory
+location ``(i, (i + j) mod w)`` — i.e. linear address
+``i * w + (i + j) mod w`` — makes *both* row-wise and column-wise warp
+access conflict-free (Lemma 1):
+
+* Row ``i`` occupies addresses ``{i*w + k : k}`` — one per bank.
+* Column ``j`` element ``a[i][j]`` sits in bank ``(i + j) mod w``, which is
+  distinct for each ``i`` at fixed ``j`` — again one per bank.
+
+The naive row-major arrangement stores column ``j`` entirely in bank
+``j mod w`` and thus serializes column access ``w``-fold; this module also
+provides that arrangement so the ablation benchmark can contrast the two.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError, ShapeError
+
+
+class Arrangement:
+    """Mapping between matrix coordinates and shared-memory addresses.
+
+    Subclasses implement :meth:`address`, the linear shared-memory address
+    of element ``(i, j)`` of a ``rows x w`` matrix stored with bank width
+    ``w``. ``rows`` defaults to ``w`` (the square case in the paper), but
+    tall layouts are supported for block staging.
+    """
+
+    name = "abstract"
+
+    def __init__(self, width: int, rows: int = None) -> None:
+        if width < 1:
+            raise ConfigurationError(f"width must be positive, got {width}")
+        self.width = width
+        self.rows = width if rows is None else rows
+        if self.rows < 1:
+            raise ConfigurationError(f"rows must be positive, got {rows}")
+
+    @property
+    def size(self) -> int:
+        """Words of shared memory the arrangement occupies."""
+        return self.rows * self.width
+
+    def address(self, i: int, j: int) -> int:
+        raise NotImplementedError
+
+    def _check(self, i: int, j: int) -> None:
+        if not (0 <= i < self.rows and 0 <= j < self.width):
+            raise ShapeError(
+                f"element ({i}, {j}) outside {self.rows} x {self.width} matrix"
+            )
+
+    # --- bulk helpers -----------------------------------------------------
+
+    def row_addresses(self, i: int) -> List[int]:
+        """Addresses of row ``i`` in column order (one warp's row access)."""
+        return [self.address(i, j) for j in range(self.width)]
+
+    def column_addresses(self, j: int) -> List[int]:
+        """Addresses of column ``j`` in row order (one warp's column access)."""
+        return [self.address(i, j) for i in range(self.rows)]
+
+    def conflict_degree(self, addresses: Sequence[int]) -> int:
+        """Maximum number of the given addresses that share one bank."""
+        if not addresses:
+            return 0
+        banks = np.asarray(addresses, dtype=np.int64) % self.width
+        return int(np.bincount(banks, minlength=self.width).max())
+
+    def max_row_conflict(self) -> int:
+        """Worst bank-conflict degree over all row accesses."""
+        return max(self.conflict_degree(self.row_addresses(i)) for i in range(self.rows))
+
+    def max_column_conflict(self) -> int:
+        """Worst bank-conflict degree over all column accesses."""
+        return max(
+            self.conflict_degree(self.column_addresses(j)) for j in range(self.width)
+        )
+
+    def pack(self, matrix: np.ndarray) -> np.ndarray:
+        """Scatter a ``rows x width`` matrix into a linear shared-memory image."""
+        matrix = np.asarray(matrix)
+        if matrix.shape != (self.rows, self.width):
+            raise ShapeError(
+                f"expected {self.rows} x {self.width} matrix, got {matrix.shape}"
+            )
+        flat = np.empty(self.size, dtype=matrix.dtype)
+        for i in range(self.rows):
+            for j in range(self.width):
+                flat[self.address(i, j)] = matrix[i, j]
+        return flat
+
+    def unpack(self, flat: np.ndarray) -> np.ndarray:
+        """Gather a linear shared-memory image back into matrix form."""
+        flat = np.asarray(flat)
+        if flat.shape != (self.size,):
+            raise ShapeError(f"expected flat image of {self.size} words, got {flat.shape}")
+        out = np.empty((self.rows, self.width), dtype=flat.dtype)
+        for i in range(self.rows):
+            for j in range(self.width):
+                out[i, j] = flat[self.address(i, j)]
+        return out
+
+
+class RowMajorArrangement(Arrangement):
+    """Naive arrangement: ``a[i][j]`` at address ``i*w + j``.
+
+    Row access is conflict-free; column access has the maximal conflict
+    degree ``rows`` (all of column ``j`` lands in bank ``j mod w``).
+    """
+
+    name = "row-major"
+
+    def address(self, i: int, j: int) -> int:
+        self._check(i, j)
+        return i * self.width + j
+
+
+class DiagonalArrangement(Arrangement):
+    """The paper's diagonal arrangement: ``a[i][j]`` at ``i*w + (i+j) mod w``."""
+
+    name = "diagonal"
+
+    def address(self, i: int, j: int) -> int:
+        self._check(i, j)
+        return i * self.width + (i + j) % self.width
+
+    def coordinates(self, address: int) -> Tuple[int, int]:
+        """Inverse mapping: the ``(i, j)`` stored at ``address``."""
+        if not 0 <= address < self.size:
+            raise ShapeError(f"address {address} outside image of {self.size} words")
+        i, slot = divmod(address, self.width)
+        return i, (slot - i) % self.width

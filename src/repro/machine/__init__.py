@@ -1,0 +1,39 @@
+"""Memory machine models: DMM, UMM, HMM, and the asynchronous HMM.
+
+Two complementary implementations of the paper's models live here:
+
+* :mod:`repro.machine.micro` — cycle-exact request-level simulators of the
+  DMM and UMM (Section II semantics, Figure 4 timing), for worked examples
+  and validation;
+* :mod:`repro.machine.macro` — a transaction-counting executor for the
+  asynchronous HMM on which the SAT algorithms actually run at scale;
+* :mod:`repro.machine.cost` — the global-memory access cost model of
+  Section III that converts measured counters into predicted time units.
+"""
+
+from .cost import (
+    CostBreakdown,
+    access_cost,
+    breakdown,
+    cost_formula,
+    timing_chart,
+    transaction_cost,
+)
+from .macro import AccessCounters, BlockContext, GlobalMemory, HMMExecutor
+from .params import MachineParams, gtx_780_ti, tiny
+
+__all__ = [
+    "AccessCounters",
+    "BlockContext",
+    "CostBreakdown",
+    "GlobalMemory",
+    "HMMExecutor",
+    "MachineParams",
+    "access_cost",
+    "breakdown",
+    "cost_formula",
+    "gtx_780_ti",
+    "timing_chart",
+    "tiny",
+    "transaction_cost",
+]

@@ -1,0 +1,106 @@
+"""The global-memory access cost model (Section III, Figure 5).
+
+An algorithm that performs ``C`` coalesced element accesses, ``S`` stride
+accesses, and ``B`` barrier synchronization steps on an HMM of width ``w``
+and latency ``l`` runs in
+
+    cost = C / w + S + (B + 1) * l        [time units]
+
+because each barrier splits the access stream into pipeline-drained
+segments: a segment with ``n_i`` coalesced accesses occupies ``n_i / w``
+stages and finishes ``l`` units after its last stage enters the pipeline.
+
+Two cost flavours are provided:
+
+* :func:`access_cost` uses the paper's *element-count* form ``C/w``
+  (dominant-term arithmetic, what Lemmas 2-7 state);
+* :func:`transaction_cost` uses the measured transaction count (exact
+  address-group occupancy including misalignment), which the macro
+  executor records alongside the element count.
+
+Both agree on aligned traffic; tests assert the bound
+``transactions >= ceil(elements / w)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .macro.counters import AccessCounters
+from .params import MachineParams
+
+
+def access_cost(counters: AccessCounters, params: MachineParams) -> float:
+    """The paper's cost: ``C/w + S + (B+1) * l`` from measured counters."""
+    return (
+        counters.coalesced_elements / params.width
+        + counters.stride_ops
+        + (counters.barriers + 1) * params.latency
+    )
+
+
+def transaction_cost(counters: AccessCounters, params: MachineParams) -> float:
+    """Exact-stage variant: ``transactions + S + (B+1) * l``."""
+    return (
+        counters.coalesced_transactions
+        + counters.stride_ops
+        + (counters.barriers + 1) * params.latency
+    )
+
+
+def cost_formula(
+    coalesced: float, stride: float, barriers: float, params: MachineParams
+) -> float:
+    """Evaluate the cost model on analytic (symbolic-in-n) counts."""
+    return coalesced / params.width + stride + (barriers + 1) * params.latency
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Cost split into bandwidth and latency components.
+
+    ``bandwidth`` is the stage-occupancy part (``C/w + S``); ``latency`` is
+    the synchronization part (``(B+1) * l``). The paper's small-vs-large
+    matrix discussion (why 1R1W loses below 6K and wins above) is exactly
+    the competition between these two terms.
+    """
+
+    bandwidth: float
+    latency: float
+
+    @property
+    def total(self) -> float:
+        return self.bandwidth + self.latency
+
+
+def breakdown(counters: AccessCounters, params: MachineParams) -> CostBreakdown:
+    return CostBreakdown(
+        bandwidth=counters.coalesced_elements / params.width + counters.stride_ops,
+        latency=(counters.barriers + 1) * params.latency,
+    )
+
+
+def timing_chart(stage_counts: Sequence[int], params: MachineParams) -> List[str]:
+    """Render a Figure 5-style ASCII timing chart.
+
+    Each barrier-delimited segment is drawn as a bar of occupied stages
+    followed by the ``l``-unit pipeline drain. Bars are scaled to at most
+    60 characters.
+    """
+    if not stage_counts:
+        return ["(no kernels executed)"]
+    longest = max(max(stage_counts), params.latency, 1)
+    scale = max(1.0, longest / 60.0)
+    lines = []
+    t = 0.0
+    for i, stages in enumerate(stage_counts):
+        bar = "#" * max(1, int(round(stages / scale)))
+        drain = "." * max(1, int(round(params.latency / scale)))
+        lines.append(
+            f"phase {i:>2}  t={t:>10.0f}  |{bar}{drain}|  "
+            f"stages={stages}  +latency={params.latency}"
+        )
+        t += stages + params.latency
+    lines.append(f"total time = {t:.0f} units")
+    return lines

@@ -1,0 +1,26 @@
+"""Transaction-counting macro executor for the asynchronous HMM.
+
+Runs SAT algorithms as real programs (kernels of block tasks over
+numpy-backed global memory) while tallying coalesced transactions, stride
+operations, and barrier steps — the inputs of the Section III cost model.
+Scales to the paper's largest matrices because threads are not simulated
+individually; warp-level transactions are derived from access shapes, with
+exact address-group accounting.
+"""
+
+from .counters import AccessCounters
+from .executor import BlockContext, BlockTask, HMMExecutor, KernelTrace
+from .global_memory import GlobalMemory, transactions_for_run
+from .shared import SharedAllocator, SharedArray
+
+__all__ = [
+    "AccessCounters",
+    "BlockContext",
+    "BlockTask",
+    "GlobalMemory",
+    "HMMExecutor",
+    "KernelTrace",
+    "SharedAllocator",
+    "SharedArray",
+    "transactions_for_run",
+]

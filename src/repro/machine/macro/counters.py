@@ -1,0 +1,69 @@
+"""Access accounting for the macro HMM executor.
+
+The cost model of Section III needs three totals per algorithm run:
+
+* ``coalesced_elements`` — element accesses issued through the coalesced
+  API (horizontal runs). ``coalesced_transactions`` is the exact number of
+  address groups those runs touched (``ceil`` effects included), which is
+  what actually occupies pipeline stages.
+* ``stride_ops`` — element accesses issued through the stride API
+  (vertical runs / scattered singles); each occupies its own stage.
+* ``barriers`` — barrier synchronization steps (kernel boundaries).
+
+Shared-memory traffic (``shared_reads`` / ``shared_writes``) is tallied for
+Table I's shared-access column but does not enter the global-memory cost:
+the paper argues per-block shared computation is hidden by global latency.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+
+@dataclasses.dataclass
+class AccessCounters:
+    """Mutable tally of memory traffic and synchronization steps."""
+
+    coalesced_elements: int = 0
+    coalesced_transactions: int = 0
+    stride_ops: int = 0
+    barriers: int = 0
+    shared_reads: int = 0
+    shared_writes: int = 0
+    kernels_launched: int = 0
+    blocks_executed: int = 0
+
+    @property
+    def global_reads_writes(self) -> int:
+        """Total global-memory element accesses (coalesced + stride)."""
+        return self.coalesced_elements + self.stride_ops
+
+    def add(self, other: "AccessCounters") -> None:
+        """Accumulate another tally into this one (in place)."""
+        for f in dataclasses.fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def copy(self) -> "AccessCounters":
+        return dataclasses.replace(self)
+
+    def diff(self, earlier: "AccessCounters") -> "AccessCounters":
+        """The traffic that occurred after ``earlier`` was snapshotted."""
+        return AccessCounters(
+            **{
+                f.name: getattr(self, f.name) - getattr(earlier, f.name)
+                for f in dataclasses.fields(self)
+            }
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+    def __str__(self) -> str:
+        return (
+            f"AccessCounters(coalesced={self.coalesced_elements} "
+            f"[{self.coalesced_transactions} txn], stride={self.stride_ops}, "
+            f"barriers={self.barriers}, shared r/w={self.shared_reads}/"
+            f"{self.shared_writes}, kernels={self.kernels_launched}, "
+            f"blocks={self.blocks_executed})"
+        )

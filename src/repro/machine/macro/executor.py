@@ -1,0 +1,151 @@
+"""The asynchronous-HMM macro executor: kernels, blocks, and barriers.
+
+A program for the asynchronous HMM is a sequence of *kernels* separated by
+*barrier synchronization steps* (on a GPU: separate CUDA kernel launches).
+Each kernel is a collection of independent *block tasks*; each task runs on
+some DMM with freshly allocated shared memory, reads and writes global
+memory through the counted :class:`~repro.machine.macro.global_memory.GlobalMemory`
+API, and must leave everything it wants to survive in global memory,
+because the asynchronous HMM resets every DMM at each barrier.
+
+The executor enforces exactly those semantics:
+
+* block tasks within a kernel are run in a *randomized order* (seeded), so
+  any inter-block ordering assumption an algorithm smuggles in breaks in
+  tests — this is the "asynchronous" in asynchronous HMM;
+* shared memory is zeroed and invalidated after every task;
+* the barrier count in the shared :class:`AccessCounters` equals the number
+  of kernel boundaries (launches minus one), matching the paper's counting
+  where an algorithm with ``k`` phases performs ``k - 1`` barrier steps;
+* a per-kernel trace records the traffic of each phase so Figure 5-style
+  timing charts and per-step cost breakdowns can be reconstructed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..params import MachineParams
+from .counters import AccessCounters
+from .global_memory import GlobalMemory
+from .shared import SharedAllocator
+
+
+@dataclass
+class KernelTrace:
+    """Traffic attributable to one kernel (one barrier-delimited phase)."""
+
+    label: str
+    blocks: int
+    counters: AccessCounters
+
+    @property
+    def stages(self) -> int:
+        """Pipeline stages this phase occupies (transactions + stride ops)."""
+        return self.counters.coalesced_transactions + self.counters.stride_ops
+
+
+class BlockContext:
+    """Execution context handed to each block task.
+
+    Exposes the counted global memory, a per-block shared allocator, the
+    machine parameters, and the block's index within its kernel.
+    """
+
+    def __init__(
+        self,
+        gm: GlobalMemory,
+        shared: SharedAllocator,
+        params: MachineParams,
+        block_index: int,
+        num_blocks: int,
+    ):
+        self.gm = gm
+        self.shared = shared
+        self.params = params
+        self.block_index = block_index
+        self.num_blocks = num_blocks
+
+
+BlockTask = Callable[[BlockContext], None]
+
+
+class HMMExecutor:
+    """Runs asynchronous-HMM programs and accounts their memory traffic."""
+
+    def __init__(
+        self,
+        params: MachineParams,
+        gm: Optional[GlobalMemory] = None,
+        *,
+        seed: Optional[int] = 0,
+        shuffle_blocks: bool = True,
+    ):
+        self.params = params
+        self.counters = AccessCounters()
+        self.gm = gm if gm is not None else GlobalMemory(params, self.counters)
+        if gm is not None:
+            # Share one counter object between memory and executor.
+            self.gm.counters = self.counters
+        self.traces: List[KernelTrace] = []
+        self._rng = random.Random(seed)
+        self._shuffle = shuffle_blocks
+
+    def run_kernel(self, tasks: Iterable[BlockTask], label: str = "") -> KernelTrace:
+        """Launch one kernel: run all block tasks (in randomized order).
+
+        Charges one barrier step for the boundary between this kernel and
+        the previous one (the first kernel has no preceding barrier).
+        """
+        tasks = list(tasks)
+        if self.counters.kernels_launched > 0:
+            self.counters.barriers += 1
+        self.counters.kernels_launched += 1
+        order = list(range(len(tasks)))
+        if self._shuffle:
+            self._rng.shuffle(order)
+        before = self.counters.copy()
+        for i in order:
+            shared = SharedAllocator(self.params, self.counters)
+            ctx = BlockContext(self.gm, shared, self.params, i, len(tasks))
+            try:
+                tasks[i](ctx)
+            finally:
+                shared.reset_all()  # asynchronous-HMM DMM reset
+            self.counters.blocks_executed += 1
+        trace = KernelTrace(
+            label=label or f"kernel{self.counters.kernels_launched - 1}",
+            blocks=len(tasks),
+            counters=self.counters.diff(before),
+        )
+        self.traces.append(trace)
+        return trace
+
+    def map_blocks(
+        self,
+        fn: Callable[[BlockContext, int], None],
+        count: int,
+        label: str = "",
+    ) -> KernelTrace:
+        """Convenience: launch ``count`` blocks running ``fn(ctx, block_id)``."""
+
+        def make(i: int) -> BlockTask:
+            return lambda ctx: fn(ctx, i)
+
+        return self.run_kernel([make(i) for i in range(count)], label=label)
+
+    # --- results -----------------------------------------------------------
+
+    def cost(self) -> float:
+        """Global-memory access cost of everything run so far (Section III)."""
+        from ..cost import access_cost
+
+        return access_cost(self.counters, self.params)
+
+    def phase_stages(self) -> List[int]:
+        """Occupied pipeline stages per kernel, for timing charts."""
+        return [t.stages for t in self.traces]

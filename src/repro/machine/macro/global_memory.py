@@ -1,0 +1,330 @@
+"""Counted, numpy-backed global memory for the macro HMM executor.
+
+Global memory holds named 2-D (or 1-D) buffers laid out row-major, exactly
+as a CUDA program would place matrices in device memory. Every access goes
+through an API that both *moves the data* (so algorithm correctness is
+checked for real) and *classifies the traffic*:
+
+* horizontal runs (``read_hrun`` / ``write_hrun``) are coalesced — a warp
+  of ``w`` threads reading ``w`` consecutive words in one transaction. The
+  exact transaction count is derived from the linear addresses, so
+  misaligned runs are charged the extra address group they straddle.
+* vertical runs (``read_vrun`` / ``write_vrun``) and scattered element
+  access (``read_at`` / ``write_at``) are stride — each element occupies
+  its own pipeline stage, the pattern the paper shows dominating 2R2W's
+  and 4R1W's running time.
+
+Block helpers (``read_block`` / ``write_block``) decompose into one
+horizontal run per block row.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ...errors import AccessError, ShapeError
+from ..params import MachineParams
+from .counters import AccessCounters
+
+
+def transactions_for_run(start_address: int, length: int, width: int) -> int:
+    """Address groups touched by a contiguous run of ``length`` words.
+
+    A run beginning at ``start_address`` spans groups
+    ``start // w .. (start + length - 1) // w``; each group is one
+    coalesced transaction (one pipeline stage).
+    """
+    if length <= 0:
+        return 0
+    return (start_address + length - 1) // width - start_address // width + 1
+
+
+class GlobalMemory:
+    """Named row-major buffers with coalesced/stride access accounting."""
+
+    def __init__(self, params: MachineParams, counters: Optional[AccessCounters] = None):
+        self.params = params
+        self.counters = counters if counters is not None else AccessCounters()
+        self._buffers: Dict[str, np.ndarray] = {}
+        self._base_addresses: Dict[str, int] = {}
+        self._next_base = 0
+
+    # --- allocation --------------------------------------------------------
+
+    def alloc(self, name: str, shape: Tuple[int, ...], dtype=np.float64) -> np.ndarray:
+        """Allocate a zeroed buffer; returns the backing array for test use."""
+        return self.install(name, np.zeros(shape, dtype=dtype))
+
+    def install(self, name: str, array: np.ndarray) -> np.ndarray:
+        """Place an existing array into global memory under ``name``.
+
+        The array is copied so the caller's data cannot alias device state.
+        """
+        if name in self._buffers:
+            raise AccessError(f"buffer {name!r} already allocated")
+        arr = np.array(array)  # defensive copy, keeps dtype
+        if arr.ndim not in (1, 2):
+            raise ShapeError(f"buffers must be 1-D or 2-D, got ndim={arr.ndim}")
+        self._buffers[name] = arr
+        # Buffers are padded to a group boundary so each row-major buffer
+        # starts aligned, as cudaMalloc guarantees.
+        self._base_addresses[name] = self._next_base
+        w = self.params.width
+        self._next_base += ((arr.size + w - 1) // w) * w
+        return arr
+
+    def free(self, name: str) -> None:
+        self._require(name)
+        del self._buffers[name]
+        del self._base_addresses[name]
+
+    def has(self, name: str) -> bool:
+        return name in self._buffers
+
+    def _require(self, name: str) -> np.ndarray:
+        try:
+            return self._buffers[name]
+        except KeyError:
+            raise AccessError(f"no buffer named {name!r}") from None
+
+    def shape(self, name: str) -> Tuple[int, ...]:
+        return self._require(name).shape
+
+    def array(self, name: str) -> np.ndarray:
+        """Uncounted view of a buffer — host-side inspection only.
+
+        Algorithms must not use this; tests and result extraction do.
+        """
+        return self._require(name)
+
+    # --- address math -------------------------------------------------------
+
+    def linear_address(self, name: str, row: int, col: int = 0) -> int:
+        arr = self._require(name)
+        if arr.ndim == 1:
+            # 1-D buffers accept the offset in either coordinate (hrun
+            # passes it as `col` with row 0).
+            index = row + col
+        else:
+            index = row * arr.shape[1] + col
+        if not 0 <= index < arr.size:
+            raise AccessError(f"({row}, {col}) outside buffer {name!r} of shape {arr.shape}")
+        return self._base_addresses[name] + index
+
+    # --- coalesced (horizontal-run) access -----------------------------------
+
+    def _hrun_slice(self, name: str, row: int, col: int, length: int):
+        arr = self._require(name)
+        if arr.ndim == 1:
+            if row != 0:
+                raise AccessError("1-D buffer hrun must use row=0")
+            if col < 0 or col + length > arr.shape[0]:
+                raise AccessError(f"hrun [{col}:{col + length}) outside 1-D buffer {name!r}")
+            return arr, (slice(col, col + length),)
+        if not (0 <= row < arr.shape[0]) or col < 0 or col + length > arr.shape[1]:
+            raise AccessError(
+                f"hrun row={row} cols[{col}:{col + length}) outside buffer "
+                f"{name!r} of shape {arr.shape}"
+            )
+        return arr, (row, slice(col, col + length))
+
+    def _charge_coalesced(self, name: str, row: int, col: int, length: int) -> None:
+        start = self.linear_address(name, row, col) if length else 0
+        self.counters.coalesced_elements += length
+        self.counters.coalesced_transactions += transactions_for_run(
+            start, length, self.params.width
+        )
+
+    def read_hrun(self, name: str, row: int, col: int, length: int) -> np.ndarray:
+        """Coalesced read of ``length`` consecutive words of one row."""
+        arr, idx = self._hrun_slice(name, row, col, length)
+        self._charge_coalesced(name, row, col, length)
+        return arr[idx].copy()
+
+    def write_hrun(self, name: str, row: int, col: int, values: np.ndarray) -> None:
+        """Coalesced write of consecutive words into one row."""
+        values = np.asarray(values)
+        if values.ndim != 1:
+            raise ShapeError("write_hrun takes a 1-D value array")
+        arr, idx = self._hrun_slice(name, row, col, values.shape[0])
+        self._charge_coalesced(name, row, col, values.shape[0])
+        arr[idx] = values
+
+    def read_block(self, name: str, row: int, col: int, height: int, width: int) -> np.ndarray:
+        """Coalesced read of a ``height x width`` block (one hrun per row)."""
+        rows = [self.read_hrun(name, row + r, col, width) for r in range(height)]
+        return np.stack(rows) if rows else np.empty((0, width))
+
+    def write_block(self, name: str, row: int, col: int, values: np.ndarray) -> None:
+        """Coalesced write of a 2-D block (one hrun per row)."""
+        values = np.asarray(values)
+        if values.ndim != 2:
+            raise ShapeError("write_block takes a 2-D value array")
+        for r in range(values.shape[0]):
+            self.write_hrun(name, row + r, col, values[r])
+
+    # --- vectorized 2-D strips (coalesced) ------------------------------------
+
+    def _strip_slice(self, name: str, row: int, col: int, height: int, width: int):
+        arr = self._require(name)
+        if arr.ndim != 2:
+            raise AccessError("strip access requires a 2-D buffer")
+        if (
+            row < 0
+            or col < 0
+            or row + height > arr.shape[0]
+            or col + width > arr.shape[1]
+        ):
+            raise AccessError(
+                f"strip rows[{row}:{row + height}) cols[{col}:{col + width}) "
+                f"outside buffer {name!r} of shape {arr.shape}"
+            )
+        return arr
+
+    def _charge_strip_coalesced(
+        self, name: str, row: int, col: int, height: int, width: int
+    ) -> None:
+        if height <= 0 or width <= 0:
+            return
+        arr = self._require(name)
+        base = self._base_addresses[name] + col
+        ncols = arr.shape[1]
+        w = self.params.width
+        self.counters.coalesced_elements += height * width
+        if ncols % w == 0:
+            # Every row of the strip has identical alignment.
+            start = base + row * ncols
+            self.counters.coalesced_transactions += height * transactions_for_run(
+                start, width, w
+            )
+        else:
+            txn = 0
+            for r in range(row, row + height):
+                txn += transactions_for_run(base + r * ncols, width, w)
+            self.counters.coalesced_transactions += txn
+
+    def read_strip(self, name: str, row: int, col: int, height: int, width: int) -> np.ndarray:
+        """Coalesced read of a 2-D strip (one horizontal run per row).
+
+        Equivalent to ``height`` calls of :meth:`read_hrun` but vectorized;
+        the accounting is identical. Intended for streaming scans where the
+        data is register-resident per thread rather than staged in shared
+        memory (so no shared-capacity charge applies).
+        """
+        arr = self._strip_slice(name, row, col, height, width)
+        self._charge_strip_coalesced(name, row, col, height, width)
+        return arr[row : row + height, col : col + width].copy()
+
+    def write_strip(self, name: str, row: int, col: int, values: np.ndarray) -> None:
+        """Coalesced write of a 2-D strip (one horizontal run per row)."""
+        values = np.asarray(values)
+        if values.ndim != 2:
+            raise ShapeError("write_strip takes a 2-D value array")
+        h, wdt = values.shape
+        arr = self._strip_slice(name, row, col, h, wdt)
+        self._charge_strip_coalesced(name, row, col, h, wdt)
+        arr[row : row + h, col : col + wdt] = values
+
+    def read_strip_stride(
+        self, name: str, row: int, col: int, height: int, width: int
+    ) -> np.ndarray:
+        """Stride read of a 2-D strip: warps sweep *columns* of the strip.
+
+        Models ``width`` threads each walking a row while the warp advances
+        down column after column (the 2R2W row-scan pattern): every element
+        access lands in its own address group, so each is one stride op.
+        """
+        arr = self._strip_slice(name, row, col, height, width)
+        self.counters.stride_ops += height * width
+        return arr[row : row + height, col : col + width].copy()
+
+    def write_strip_stride(self, name: str, row: int, col: int, values: np.ndarray) -> None:
+        """Stride write of a 2-D strip (see :meth:`read_strip_stride`)."""
+        values = np.asarray(values)
+        if values.ndim != 2:
+            raise ShapeError("write_strip_stride takes a 2-D value array")
+        h, wdt = values.shape
+        arr = self._strip_slice(name, row, col, h, wdt)
+        self.counters.stride_ops += h * wdt
+        arr[row : row + h, col : col + wdt] = values
+
+    # --- scattered (fancy-indexed) access: always stride ----------------------
+
+    def _scatter_check(self, name: str, rows: np.ndarray, cols: np.ndarray):
+        arr = self._require(name)
+        if arr.ndim != 2:
+            raise AccessError("scatter access requires a 2-D buffer")
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if rows.shape != cols.shape or rows.ndim != 1:
+            raise ShapeError("rows and cols must be equal-length 1-D arrays")
+        if rows.size and (
+            rows.min() < 0
+            or cols.min() < 0
+            or rows.max() >= arr.shape[0]
+            or cols.max() >= arr.shape[1]
+        ):
+            raise AccessError(f"scatter indices outside buffer {name!r} of shape {arr.shape}")
+        return arr, rows, cols
+
+    def read_scatter(self, name: str, rows, cols) -> np.ndarray:
+        """Stride read of arbitrary (row, col) pairs (one op per element)."""
+        arr, rows, cols = self._scatter_check(name, rows, cols)
+        self.counters.stride_ops += int(rows.size)
+        return arr[rows, cols].copy()
+
+    def write_scatter(self, name: str, rows, cols, values) -> None:
+        """Stride write of arbitrary (row, col) pairs (one op per element)."""
+        arr, rows, cols = self._scatter_check(name, rows, cols)
+        values = np.asarray(values)
+        if values.shape != rows.shape:
+            raise ShapeError("values must match the index arrays' shape")
+        self.counters.stride_ops += int(rows.size)
+        arr[rows, cols] = values
+
+    # --- stride (vertical-run / scattered) access -----------------------------
+
+    def _vrun_check(self, name: str, col: int, row: int, length: int) -> np.ndarray:
+        arr = self._require(name)
+        if arr.ndim != 2:
+            raise AccessError("vrun requires a 2-D buffer")
+        if not (0 <= col < arr.shape[1]) or row < 0 or row + length > arr.shape[0]:
+            raise AccessError(
+                f"vrun col={col} rows[{row}:{row + length}) outside buffer "
+                f"{name!r} of shape {arr.shape}"
+            )
+        return arr
+
+    def read_vrun(self, name: str, col: int, row: int, length: int) -> np.ndarray:
+        """Stride read of ``length`` words down one column."""
+        arr = self._vrun_check(name, col, row, length)
+        self.counters.stride_ops += length
+        return arr[row : row + length, col].copy()
+
+    def write_vrun(self, name: str, col: int, row: int, values: np.ndarray) -> None:
+        """Stride write of words down one column."""
+        values = np.asarray(values)
+        if values.ndim != 1:
+            raise ShapeError("write_vrun takes a 1-D value array")
+        arr = self._vrun_check(name, col, row, values.shape[0])
+        self.counters.stride_ops += values.shape[0]
+        arr[row : row + values.shape[0], col] = values
+
+    def read_at(self, name: str, row: int, col: int = 0):
+        """Stride read of a single word."""
+        self.linear_address(name, row, col)  # bounds check
+        self.counters.stride_ops += 1
+        arr = self._require(name)
+        return arr[row] if arr.ndim == 1 else arr[row, col]
+
+    def write_at(self, name: str, row: int, col: int, value) -> None:
+        """Stride write of a single word."""
+        self.linear_address(name, row, col)
+        self.counters.stride_ops += 1
+        arr = self._require(name)
+        if arr.ndim == 1:
+            arr[row] = value
+        else:
+            arr[row, col] = value

@@ -1,0 +1,39 @@
+"""Cycle-exact micro simulators of the DMM and UMM memory machines.
+
+This subpackage implements the timing semantics of Section II of the paper
+at the granularity of individual memory requests: warp partitioning,
+round-robin dispatch, bank-conflict serialization (DMM), address-group
+coalescing (UMM), and ``l``-deep pipelined completion. It is exact but
+slow — use it for worked examples (Figure 4), model validation, and tests;
+the :mod:`repro.machine.macro` executor scales the same semantics to large
+matrices by counting warp transactions instead of simulating threads.
+"""
+
+from .machines import MicroDMM, MicroUMM, RoundResult
+from .memory import BankedMemory
+from .pipeline import batch_stages, dmm_stages, pipeline_time, umm_stages
+from .programs import MicroSATResult, micro_sat_2r2w
+from .shared_memory import SharedMatrix
+from .validate import micro_transactions_for_run, validate_run
+from .warp import MemoryRequest, Warp, partition_into_warps, reads, writes
+
+__all__ = [
+    "BankedMemory",
+    "MemoryRequest",
+    "MicroDMM",
+    "MicroSATResult",
+    "MicroUMM",
+    "RoundResult",
+    "SharedMatrix",
+    "Warp",
+    "micro_sat_2r2w",
+    "micro_transactions_for_run",
+    "validate_run",
+    "batch_stages",
+    "dmm_stages",
+    "partition_into_warps",
+    "pipeline_time",
+    "reads",
+    "umm_stages",
+    "writes",
+]

@@ -1,0 +1,139 @@
+"""Cycle-exact micro simulators of the DMM and the UMM (Section II).
+
+These simulators execute *rounds* of memory requests. In one round every
+thread issues at most one request; the requests are partitioned into warps,
+warps are dispatched round-robin, each warp occupies the number of pipeline
+stages its access pattern demands (bank conflicts on the DMM, address
+groups on the UMM), and the round completes ``stages + l - 1`` time units
+after it starts. The simulators perform the actual loads/stores against a
+:class:`~repro.machine.micro.memory.BankedMemory`, keep a cumulative clock,
+and record a per-round trace, so both *functional* results and *timing*
+claims (e.g. Figure 4, Lemma 1) can be asserted in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..params import MachineParams
+from .memory import BankedMemory
+from .pipeline import dmm_stages, pipeline_time, umm_stages
+from .warp import MemoryRequest, Warp, partition_into_warps
+
+
+@dataclass(frozen=True)
+class RoundResult:
+    """Outcome of one access round.
+
+    ``reads`` maps thread id to the value loaded. ``stages_per_warp`` lists
+    the occupied pipeline stages in dispatch order; ``time`` is the round's
+    completion time (``sum(stages) + l - 1``, or 0 for an empty round).
+    """
+
+    reads: Dict[int, float]
+    stages_per_warp: List[int]
+    time: int
+
+    @property
+    def total_stages(self) -> int:
+        return sum(self.stages_per_warp)
+
+
+class _MicroMachine:
+    """Common machinery of the micro DMM and UMM."""
+
+    kind: str = ""
+
+    def __init__(self, params: MachineParams, memory_size: int, dtype=np.float64):
+        self.params = params
+        self.memory = BankedMemory(memory_size, params.width, dtype=dtype)
+        self.clock = 0
+        self.rounds: List[RoundResult] = []
+
+    def _warp_stages(self, warp: Warp) -> int:
+        raise NotImplementedError
+
+    def access(self, requests: Sequence[MemoryRequest]) -> RoundResult:
+        """Execute one round of requests; advance the clock; return results.
+
+        Writes and reads within a single round are processed warp-by-warp
+        in dispatch order (a deterministic refinement of the model, which
+        leaves simultaneous same-address access undefined).
+        """
+        warps = partition_into_warps(requests, self.params.width)
+        stages = []
+        reads: Dict[int, float] = {}
+        for warp in warps:
+            stages.append(self._warp_stages(warp))
+            for req in warp.requests:
+                if req.op == "read":
+                    reads[req.thread] = self.memory.load(req.address)
+                else:
+                    self.memory.store(req.address, req.value)
+        time = pipeline_time(sum(stages), self.params.latency)
+        result = RoundResult(reads=reads, stages_per_warp=stages, time=time)
+        self.clock += time
+        self.rounds.append(result)
+        return result
+
+    def access_batch(self, rounds: Sequence[Sequence[MemoryRequest]]) -> RoundResult:
+        """Execute several rounds as one fully pipelined segment.
+
+        The Figure 5 cost model assumes requests of consecutive rounds
+        within a barrier-delimited phase stream through the pipeline
+        back-to-back: a phase occupying ``k`` stages in total completes in
+        ``k + l - 1`` time units regardless of how many logical rounds it
+        comprises. Functionally the rounds still execute in order (so
+        read-after-write within the phase behaves as issued).
+        """
+        stages: List[int] = []
+        reads: Dict[int, float] = {}
+        for round_requests in rounds:
+            warps = partition_into_warps(round_requests, self.params.width)
+            for warp in warps:
+                stages.append(self._warp_stages(warp))
+                for req in warp.requests:
+                    if req.op == "read":
+                        reads[req.thread] = self.memory.load(req.address)
+                    else:
+                        self.memory.store(req.address, req.value)
+        time = pipeline_time(sum(stages), self.params.latency)
+        result = RoundResult(reads=reads, stages_per_warp=stages, time=time)
+        self.clock += time
+        self.rounds.append(result)
+        return result
+
+    def reset_clock(self) -> None:
+        self.clock = 0
+        self.rounds.clear()
+
+
+class MicroDMM(_MicroMachine):
+    """Micro simulator of the Discrete Memory Machine.
+
+    Models the shared memory of one streaming multiprocessor: different
+    banks are independently addressable, so a warp's cost is its
+    bank-conflict degree.
+    """
+
+    kind = "dmm"
+
+    def _warp_stages(self, warp: Warp) -> int:
+        return dmm_stages(warp.addresses(), self.params.width)
+
+
+class MicroUMM(_MicroMachine):
+    """Micro simulator of the Unified Memory Machine.
+
+    Models the global memory: a single address line broadcasts one address
+    group per stage, so a warp's cost is the number of distinct address
+    groups it touches (coalescing).
+    """
+
+    kind = "umm"
+
+    def _warp_stages(self, warp: Warp) -> int:
+        return umm_stages(warp.addresses(), self.params.width)

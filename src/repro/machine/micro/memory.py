@@ -1,0 +1,86 @@
+"""Banked word-addressable memory shared by the micro DMM and UMM.
+
+The memory is a single address space of ``size`` words mapped to ``w``
+banks in an interleaved fashion: address ``i`` lives in bank ``i mod w``
+(Section II). The banking itself only affects *timing*, which the
+simulators account for separately; functionally this is a flat array.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ...errors import AccessError
+
+
+class BankedMemory:
+    """Word-addressable memory with interleaved bank mapping.
+
+    Parameters
+    ----------
+    size:
+        Number of words.
+    width:
+        Number of banks ``w``.
+    dtype:
+        numpy dtype of a word; defaults to float64 (the paper evaluates
+        64-bit matrices).
+    """
+
+    def __init__(self, size: int, width: int, dtype=np.float64) -> None:
+        if size < 0:
+            raise AccessError(f"size must be >= 0, got {size}")
+        self._words = np.zeros(size, dtype=dtype)
+        self._width = width
+
+    @property
+    def size(self) -> int:
+        return int(self._words.size)
+
+    @property
+    def width(self) -> int:
+        return self._width
+
+    @property
+    def words(self) -> np.ndarray:
+        """The backing array (a view; mutate with care in tests only)."""
+        return self._words
+
+    def bank_of(self, address: int) -> int:
+        return address % self._width
+
+    def _check(self, address: int) -> None:
+        if not 0 <= address < self._words.size:
+            raise AccessError(
+                f"address {address} out of range [0, {self._words.size})"
+            )
+
+    def load(self, address: int):
+        self._check(address)
+        return self._words[address]
+
+    def store(self, address: int, value) -> None:
+        self._check(address)
+        self._words[address] = value
+
+    def load_many(self, addresses: Sequence[int]) -> List:
+        return [self.load(a) for a in addresses]
+
+    def store_many(self, addresses: Sequence[int], values: Sequence) -> None:
+        if len(addresses) != len(values):
+            raise AccessError("addresses and values must have equal length")
+        for a, v in zip(addresses, values):
+            self.store(a, v)
+
+    def fill_from(self, values: Sequence, offset: int = 0) -> None:
+        """Bulk-initialize memory contents (test/benchmark convenience)."""
+        values = np.asarray(values, dtype=self._words.dtype).ravel()
+        if offset < 0 or offset + values.size > self._words.size:
+            raise AccessError("fill_from range exceeds memory size")
+        self._words[offset : offset + values.size] = values
+
+    def snapshot(self) -> np.ndarray:
+        """An independent copy of the memory contents."""
+        return self._words.copy()

@@ -1,0 +1,85 @@
+"""Pipeline-stage accounting for the DMM and UMM (Section II, Figure 4).
+
+Memory requests flow through an ``l``-stage pipeline. A warp's requests are
+packed into the minimum number of pipeline stages its access pattern
+permits:
+
+* **DMM** — requests destined for *distinct banks* share a stage; two
+  requests to the same bank serialize. A warp accessing addresses whose
+  bank multiset has maximum multiplicity ``m`` occupies ``m`` stages
+  (the *bank-conflict degree*).
+* **UMM** — requests in the *same address group* (``floor(addr / w)``)
+  share a stage; a warp touching ``g`` distinct address groups occupies
+  ``g`` stages.
+
+If a batch of warps occupies ``k`` stages in total, the batch completes
+``k + l - 1`` time units after it starts (classic pipeline fill: the first
+stage's requests finish at time ``l``, and each further stage adds one).
+Figure 4's example — two warps of width 4, latency ``l`` — gives 3 stages
+on the DMM (time ``l + 2``) and 5 stages on the UMM (time ``l + 4``),
+which the functions below reproduce exactly.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, List, Sequence
+
+from ...errors import ConfigurationError
+
+
+def dmm_stages(addresses: Sequence[int], width: int) -> int:
+    """Number of pipeline stages one warp occupies on a DMM.
+
+    Equal to the maximum number of requests destined for a single bank
+    (the bank-conflict degree); 0 for an empty request list.
+    """
+    if width < 1:
+        raise ConfigurationError(f"width must be positive, got {width}")
+    if not addresses:
+        return 0
+    bank_counts = Counter(addr % width for addr in addresses)
+    return max(bank_counts.values())
+
+
+def umm_stages(addresses: Sequence[int], width: int) -> int:
+    """Number of pipeline stages one warp occupies on a UMM.
+
+    Equal to the number of distinct address groups touched; 0 for an empty
+    request list.
+    """
+    if width < 1:
+        raise ConfigurationError(f"width must be positive, got {width}")
+    if not addresses:
+        return 0
+    return len({addr // width for addr in addresses})
+
+
+def pipeline_time(total_stages: int, latency: int) -> int:
+    """Completion time of ``total_stages`` occupied stages on an ``l``-deep pipeline.
+
+    Zero stages take zero time (nothing was dispatched).
+    """
+    if total_stages < 0:
+        raise ConfigurationError(f"total_stages must be >= 0, got {total_stages}")
+    if latency < 1:
+        raise ConfigurationError(f"latency must be positive, got {latency}")
+    if total_stages == 0:
+        return 0
+    return total_stages + latency - 1
+
+
+def batch_stages(
+    per_warp_addresses: Iterable[Sequence[int]], width: int, *, kind: str
+) -> List[int]:
+    """Stage counts for a batch of warps, in dispatch order.
+
+    ``kind`` selects the machine: ``"dmm"`` or ``"umm"``.
+    """
+    if kind == "dmm":
+        stage_fn = dmm_stages
+    elif kind == "umm":
+        stage_fn = umm_stages
+    else:
+        raise ConfigurationError(f"kind must be 'dmm' or 'umm', got {kind!r}")
+    return [stage_fn(addrs, width) for addrs in per_warp_addresses]

@@ -1,0 +1,119 @@
+"""Cycle-exact warp-level SAT programs on the micro machines.
+
+These are the paper's algorithms written the way a CUDA kernel really
+executes — explicit per-thread memory requests, warp by warp — against the
+request-level :class:`~repro.machine.micro.machines.MicroUMM`. They exist
+to *validate the macro executor*: for the same algorithm, the micro
+program's measured pipeline stages must equal the macro executor's
+transaction count, and its total time must match the Section III cost
+formula up to the documented fill/drain off-by-one per phase
+(``k + l - 1`` cycle-exact vs ``k + l`` in the cost model).
+
+Only 2R2W is implemented at full warp fidelity — it exercises both access
+patterns (coalesced column pass, stride row pass) and every machine
+feature the other algorithms use; the per-run cross-check in the macro
+layer (:mod:`repro.machine.micro.validate`) covers the rest shape by shape.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+import numpy as np
+
+from ...errors import ShapeError
+from ..params import MachineParams
+from .machines import MicroUMM, RoundResult
+from .warp import MemoryRequest
+
+
+@dataclasses.dataclass
+class MicroSATResult:
+    """Result of a warp-level SAT execution."""
+
+    sat: np.ndarray
+    phase_stages: List[int]  # occupied pipeline stages per phase
+    phase_times: List[int]  # cycle-exact time per phase (stages + l - 1)
+    params: MachineParams
+
+    @property
+    def total_time(self) -> int:
+        return sum(self.phase_times)
+
+    @property
+    def total_stages(self) -> int:
+        return sum(self.phase_stages)
+
+    def cost_model_time(self) -> float:
+        """What the Section III formula predicts for the same traffic."""
+        return self.total_stages + len(self.phase_stages) * self.params.latency
+
+
+def micro_sat_2r2w(matrix: np.ndarray, params: MachineParams) -> MicroSATResult:
+    """2R2W executed request-by-request on a micro UMM.
+
+    Phase 1 (column scan): thread ``i`` owns column ``i``; at each step the
+    ``n`` threads read one full matrix row — consecutive addresses, fully
+    coalesced — add it to their running registers, and write it back.
+    Phase 2 (row scan): thread ``i`` owns row ``i``; each step reads one
+    matrix *column* — ``n`` distinct address groups, pure stride.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ShapeError(f"micro 2R2W takes a square matrix, got {matrix.shape}")
+    n = matrix.shape[0]
+    if n % params.width != 0:
+        raise ShapeError(f"n={n} must be a multiple of w={params.width}")
+    umm = MicroUMM(params, n * n)
+    umm.memory.fill_from(matrix.ravel())
+
+    def addr(r: int, c: int) -> int:
+        return r * n + c
+
+    # --- phase 1: column-wise prefix sums ---------------------------------
+    rounds: List[List[MemoryRequest]] = []
+    registers = np.zeros(n)
+    # Round sequence is logical: reads of row j, then writes of row j (j>0).
+    # Data movement happens when the batch executes, so register math below
+    # uses the matrix image we already hold (identical values).
+    for j in range(n):
+        rounds.append(
+            [MemoryRequest(i, "read", addr(j, i)) for i in range(n)]
+        )
+        registers = registers + matrix[j]
+        if j > 0:
+            rounds.append(
+                [
+                    MemoryRequest(i, "write", addr(j, i), value=registers[i])
+                    for i in range(n)
+                ]
+            )
+    phase1 = umm.access_batch(rounds)
+
+    # --- barrier (DMM reset; nothing survives but global memory) ----------
+    after_phase1 = umm.memory.snapshot().reshape(n, n)
+
+    # --- phase 2: row-wise prefix sums (stride) ----------------------------
+    rounds = []
+    registers = np.zeros(n)
+    for j in range(n):
+        rounds.append(
+            [MemoryRequest(i, "read", addr(i, j)) for i in range(n)]
+        )
+        registers = registers + after_phase1[:, j]
+        if j > 0:
+            rounds.append(
+                [
+                    MemoryRequest(i, "write", addr(i, j), value=registers[i])
+                    for i in range(n)
+                ]
+            )
+    phase2 = umm.access_batch(rounds)
+
+    return MicroSATResult(
+        sat=umm.memory.snapshot().reshape(n, n).copy(),
+        phase_stages=[phase1.total_stages, phase2.total_stages],
+        phase_times=[phase1.time, phase2.time],
+        params=params,
+    )

@@ -1,0 +1,90 @@
+"""A DMM-resident matrix with bank-conflict-aware timing.
+
+Combines a :class:`~repro.machine.micro.machines.MicroDMM` with an
+:class:`~repro.layout.diagonal.Arrangement` so row and column accesses to a
+``w x w`` (or ``rows x w``) matrix can be *executed* (data moves) while
+their bank-conflict cost is *measured*. This is the vehicle for verifying
+Lemma 1 and for the Figure 6/7 reproductions: the same code path, with the
+arrangement swapped, shows conflict-free vs. ``w``-fold-serialized access.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ...layout.diagonal import Arrangement, DiagonalArrangement
+from ..params import MachineParams
+from .machines import MicroDMM, RoundResult
+from .warp import MemoryRequest
+
+
+class SharedMatrix:
+    """A matrix held in micro-DMM shared memory under a given arrangement.
+
+    One warp of ``w`` threads performs each row/column access; timing
+    (including bank conflicts) is accounted by the underlying
+    :class:`MicroDMM` and accumulates on its clock.
+    """
+
+    def __init__(
+        self,
+        params: MachineParams,
+        arrangement: Arrangement = None,
+        dtype=np.float64,
+    ) -> None:
+        self.params = params
+        self.arrangement = arrangement or DiagonalArrangement(params.width)
+        self.dmm = MicroDMM(params, self.arrangement.size, dtype=dtype)
+
+    @property
+    def clock(self) -> int:
+        """Accumulated time units spent on shared-memory access."""
+        return self.dmm.clock
+
+    def load_matrix(self, matrix: np.ndarray) -> None:
+        """Install matrix contents directly (no timing charged).
+
+        Models data that has already been staged; use :meth:`write_row`
+        etc. to charge timed accesses.
+        """
+        self.dmm.memory.fill_from(self.arrangement.pack(matrix))
+
+    def to_matrix(self) -> np.ndarray:
+        """Read the full matrix back out (no timing charged)."""
+        return self.arrangement.unpack(self.dmm.memory.snapshot())
+
+    # --- timed warp accesses ---------------------------------------------
+
+    def _read(self, addresses: Sequence[int]) -> List:
+        reqs = [
+            MemoryRequest(thread=t, op="read", address=a)
+            for t, a in enumerate(addresses)
+        ]
+        result = self.dmm.access(reqs)
+        return [result.reads[t] for t in range(len(addresses))]
+
+    def _write(self, addresses: Sequence[int], values: Sequence) -> RoundResult:
+        reqs = [
+            MemoryRequest(thread=t, op="write", address=a, value=v)
+            for t, (a, v) in enumerate(zip(addresses, values))
+        ]
+        return self.dmm.access(reqs)
+
+    def read_row(self, i: int) -> np.ndarray:
+        """One warp reads row ``i``; returns its values in column order."""
+        return np.array(self._read(self.arrangement.row_addresses(i)))
+
+    def read_column(self, j: int) -> np.ndarray:
+        """One warp reads column ``j``; returns its values in row order."""
+        return np.array(self._read(self.arrangement.column_addresses(j)))
+
+    def write_row(self, i: int, values: Sequence) -> RoundResult:
+        return self._write(self.arrangement.row_addresses(i), list(values))
+
+    def write_column(self, j: int, values: Sequence) -> RoundResult:
+        return self._write(self.arrangement.column_addresses(j), list(values))
+
+    def last_round(self) -> RoundResult:
+        return self.dmm.rounds[-1]

@@ -1,0 +1,61 @@
+"""Micro/macro cross-validation of the coalesced-transaction arithmetic.
+
+The macro executor charges a contiguous run via
+:func:`repro.machine.macro.global_memory.transactions_for_run` — pure
+arithmetic over address groups. This module recomputes the same quantity by
+*simulating* the access: the run is split into warps aligned to address-
+group boundaries (the natural CUDA thread assignment, where each warp of a
+block covers one aligned group) and each warp's stage count comes from the
+cycle-exact :func:`~repro.machine.micro.pipeline.umm_stages`.
+
+Property tests assert the two agree for every (start, length, width) —
+tying the macro model's accounting to the micro model's semantics.
+
+Note on warp assignment: a run *could* be covered by warps misaligned with
+group boundaries, in which case each straddling warp costs an extra stage;
+``transactions_for_run`` models the aligned assignment, which is both what
+real kernels do (thread index maps to consecutive addresses from an aligned
+base) and the cheapest possible covering.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..params import MachineParams
+from .pipeline import umm_stages
+
+
+def group_aligned_warps(start: int, length: int, width: int) -> List[List[int]]:
+    """Split addresses ``[start, start+length)`` at group boundaries.
+
+    Each returned chunk lies inside one address group and is served by one
+    warp (chunks have at most ``width`` addresses by construction).
+    """
+    if length <= 0:
+        return []
+    warps = []
+    addr = start
+    end = start + length
+    while addr < end:
+        group_end = (addr // width + 1) * width
+        chunk_end = min(end, group_end)
+        warps.append(list(range(addr, chunk_end)))
+        addr = chunk_end
+    return warps
+
+
+def micro_transactions_for_run(start: int, length: int, width: int) -> int:
+    """Transaction count measured through the micro UMM stage model."""
+    return sum(
+        umm_stages(warp, width) for warp in group_aligned_warps(start, length, width)
+    )
+
+
+def validate_run(start: int, length: int, params: MachineParams) -> bool:
+    """True iff arithmetic and simulated transaction counts agree."""
+    from ..macro.global_memory import transactions_for_run
+
+    return transactions_for_run(start, length, params.width) == (
+        micro_transactions_for_run(start, length, params.width)
+    )

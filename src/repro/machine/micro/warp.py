@@ -1,0 +1,97 @@
+"""Warp partitioning and round-robin dispatch (Section II).
+
+Threads ``T(0) .. T(p-1)`` are statically partitioned into warps of ``w``
+threads: warp ``W(j) = { T(j*w), ..., T((j+1)*w - 1) }``. Warps are
+dispatched for memory access in round-robin order, and a warp in which no
+thread requests memory is skipped (it does not occupy pipeline stages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ...errors import AccessError
+
+
+@dataclass(frozen=True)
+class MemoryRequest:
+    """One thread's memory request within a single access round.
+
+    ``op`` is ``"read"`` or ``"write"``. For writes, ``value`` carries the
+    word to store; reads leave it ``None``.
+    """
+
+    thread: int
+    op: str
+    address: int
+    value: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in ("read", "write"):
+            raise AccessError(f"op must be 'read' or 'write', got {self.op!r}")
+        if self.thread < 0:
+            raise AccessError(f"thread id must be non-negative, got {self.thread}")
+        if self.address < 0:
+            raise AccessError(f"address must be non-negative, got {self.address}")
+        if self.op == "write" and self.value is None:
+            raise AccessError("write request requires a value")
+
+
+@dataclass
+class Warp:
+    """A warp: an ordered group of up to ``w`` thread slots."""
+
+    index: int
+    requests: List[MemoryRequest] = field(default_factory=list)
+
+    @property
+    def active(self) -> bool:
+        """True when at least one thread in the warp requests memory."""
+        return bool(self.requests)
+
+    def addresses(self) -> List[int]:
+        return [r.address for r in self.requests]
+
+
+def partition_into_warps(
+    requests: Iterable[MemoryRequest], width: int
+) -> List[Warp]:
+    """Group one round of per-thread requests into warps of ``width``.
+
+    At most one request per thread is allowed per round (a thread must wait
+    for its previous request to complete before issuing another). Warps are
+    returned in dispatch (round-robin) order; inactive warps between active
+    ones are elided, mirroring the model's "warps with no memory request are
+    not dispatched" rule.
+    """
+    by_warp: Dict[int, List[MemoryRequest]] = {}
+    seen_threads = set()
+    for req in requests:
+        if req.thread in seen_threads:
+            raise AccessError(
+                f"thread {req.thread} issued two requests in one round; "
+                "a thread can have at most one outstanding request"
+            )
+        seen_threads.add(req.thread)
+        by_warp.setdefault(req.thread // width, []).append(req)
+    warps = []
+    for w_index in sorted(by_warp):
+        reqs = sorted(by_warp[w_index], key=lambda r: r.thread)
+        warps.append(Warp(index=w_index, requests=reqs))
+    return warps
+
+
+def reads(threads_to_addresses: Sequence[Tuple[int, int]]) -> List[MemoryRequest]:
+    """Convenience constructor: build read requests from (thread, addr) pairs."""
+    return [MemoryRequest(thread=t, op="read", address=a) for t, a in threads_to_addresses]
+
+
+def writes(
+    threads_addresses_values: Sequence[Tuple[int, int, float]]
+) -> List[MemoryRequest]:
+    """Convenience constructor: build write requests from (thread, addr, value)."""
+    return [
+        MemoryRequest(thread=t, op="write", address=a, value=v)
+        for t, a, v in threads_addresses_values
+    ]

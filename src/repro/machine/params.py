@@ -1,0 +1,124 @@
+"""Machine parameters for the DMM, UMM, HMM, and asynchronous HMM models.
+
+The paper's models are parameterized by
+
+* ``width`` (``w``) — the number of memory banks, which equals the number of
+  threads per warp and the number of words moved by one coalesced
+  transaction;
+* ``latency`` (``l``) — the depth of the memory pipeline: an isolated access
+  completes after ``l`` time units, and ``k`` occupied pipeline stages
+  complete after ``k + l - 1`` time units;
+* ``num_dmms`` (``d``) — how many DMMs (streaming multiprocessors) the HMM
+  has; and
+* the per-DMM shared-memory capacity, which Section II fixes at
+  ``4 * w * w`` words (48 KB of 64-bit words at ``w = 32`` holds six
+  ``w x w`` matrices; the paper rounds this to four).
+
+:class:`MachineParams` is an immutable value object shared by the micro
+simulator, the macro executor, and the analytic cost model, so a single
+configuration drives all three.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ..errors import ConfigurationError
+
+#: Shared-memory capacity in units of ``w * w`` words (Section II).
+SHARED_MATRICES_PER_DMM = 4
+
+
+@dataclasses.dataclass(frozen=True)
+class MachineParams:
+    """Immutable configuration of a (hierarchical) memory machine.
+
+    Parameters
+    ----------
+    width:
+        ``w`` — number of banks, warp size, and coalesced transaction width.
+        Must be a positive integer; powers of two are typical but not
+        required by the model.
+    latency:
+        ``l`` — global-memory pipeline depth in time units. Shared memory
+        has latency 1 by definition of the model.
+    num_dmms:
+        ``d`` — number of DMMs in the HMM. Irrelevant for a bare DMM/UMM.
+    shared_capacity_words:
+        Optional override of the per-DMM shared-memory capacity. Defaults
+        to ``SHARED_MATRICES_PER_DMM * width ** 2``.
+    """
+
+    width: int = 32
+    latency: int = 512
+    num_dmms: int = 15
+    shared_capacity_words: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.width, int) or self.width < 1:
+            raise ConfigurationError(f"width must be a positive int, got {self.width!r}")
+        if not isinstance(self.latency, int) or self.latency < 1:
+            raise ConfigurationError(f"latency must be a positive int, got {self.latency!r}")
+        if not isinstance(self.num_dmms, int) or self.num_dmms < 1:
+            raise ConfigurationError(f"num_dmms must be a positive int, got {self.num_dmms!r}")
+        if self.shared_capacity_words is None:
+            object.__setattr__(
+                self, "shared_capacity_words", SHARED_MATRICES_PER_DMM * self.width**2
+            )
+        elif self.shared_capacity_words < self.width**2:
+            # A single w x w block must fit or no block algorithm can run.
+            raise ConfigurationError(
+                "shared_capacity_words must hold at least one w*w block "
+                f"({self.width ** 2} words), got {self.shared_capacity_words}"
+            )
+
+    @property
+    def w(self) -> int:
+        """Alias matching the paper's notation."""
+        return self.width
+
+    @property
+    def l(self) -> int:  # noqa: E743 - matches the paper's symbol
+        """Alias matching the paper's notation."""
+        return self.latency
+
+    @property
+    def d(self) -> int:
+        """Alias matching the paper's notation."""
+        return self.num_dmms
+
+    def bank_of(self, address: int) -> int:
+        """Return the bank holding ``address`` (interleaved mapping)."""
+        return address % self.width
+
+    def address_group_of(self, address: int) -> int:
+        """Return the UMM address group of ``address``.
+
+        Address group ``j`` is ``{j*w, ..., (j+1)*w - 1}``; all addresses in
+        one group can be moved by a single coalesced transaction.
+        """
+        return address // self.width
+
+    def with_(self, **changes) -> "MachineParams":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+
+def gtx_780_ti(latency: int = 512) -> MachineParams:
+    """Parameters mirroring the paper's GeForce GTX 780 Ti testbed.
+
+    The card has 32-wide warps and 32 shared-memory banks and 15 streaming
+    multiprocessors. ``latency`` is the model's pipeline depth; the paper
+    only says global latency is "several hundred clock cycles", so it is
+    left tunable (the calibration module fits an effective value).
+    """
+    return MachineParams(width=32, latency=latency, num_dmms=15)
+
+
+def tiny(width: int = 4, latency: int = 3, num_dmms: int = 2) -> MachineParams:
+    """A small configuration convenient for tests and worked examples.
+
+    ``width=4, latency=3`` matches the Figure 4 worked example scale.
+    """
+    return MachineParams(width=width, latency=latency, num_dmms=num_dmms)

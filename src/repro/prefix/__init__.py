@@ -1,0 +1,27 @@
+"""1-D prefix-sum algorithms on the memory machine models (paper ref. [13]).
+
+The SAT is column-wise plus row-wise prefix sums, and the paper's earlier
+work (Nakano 2013, reference [13]) studies the 1-D primitive on the same
+machine models — including the asymptotically optimal repeated-doubling
+algorithm the paper explicitly sets aside for its "large constant factor".
+This subpackage implements that family so the constant-factor argument can
+be measured rather than asserted:
+
+* :func:`scan_sequential` — one thread walks the array (all stride);
+* :func:`scan_blocked` — the practical three-kernel block scan that 2R1W
+  generalizes to 2-D (all coalesced, ~3 accesses/element);
+* :func:`scan_doubling` — Kogge-Stone repeated pairwise addition
+  (all coalesced, ``2 k log k`` traffic, ``log k`` barriers).
+"""
+
+from .hmm import ScanResult, scan_blocked, scan_doubling, scan_sequential
+from .reference import exclusive_scan, inclusive_scan
+
+__all__ = [
+    "ScanResult",
+    "exclusive_scan",
+    "inclusive_scan",
+    "scan_blocked",
+    "scan_doubling",
+    "scan_sequential",
+]

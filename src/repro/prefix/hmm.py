@@ -1,0 +1,202 @@
+"""1-D prefix-sum algorithms on the macro asynchronous HMM.
+
+Each algorithm takes a vector, stages it into a global-memory buffer,
+issues kernels, and returns a :class:`ScanResult` with the scanned values
+and the measured traffic — the 1-D analogue of the SAT pipeline, used to
+quantify the paper's remark that the asymptotically optimal
+repeated-doubling scan "has a large constant factor in the computing time
+and is not practically efficient".
+
+Vectors are modelled as a row-major ``rows x w`` buffer (one coalesced
+transaction per ``w``-chunk), padded with zeros to a multiple of ``w``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..machine.cost import access_cost
+from ..machine.macro.counters import AccessCounters
+from ..machine.macro.executor import BlockContext, HMMExecutor
+from ..machine.params import MachineParams
+from .reference import inclusive_scan
+
+#: Global-memory buffer holding the (padded) vector, shaped (rows, w).
+VECTOR_BUFFER = "X"
+
+
+@dataclasses.dataclass
+class ScanResult:
+    """Scanned vector plus measured machine traffic."""
+
+    values: np.ndarray
+    algorithm: str
+    length: int
+    params: MachineParams
+    counters: AccessCounters
+
+    @property
+    def cost(self) -> float:
+        return access_cost(self.counters, self.params)
+
+    @property
+    def accesses_per_element(self) -> float:
+        return self.counters.global_reads_writes / float(self.length)
+
+
+def _setup(a, params: Optional[MachineParams]):
+    arr = np.asarray(a, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ShapeError("scan takes a non-empty 1-D array")
+    params = params or MachineParams()
+    w = params.width
+    rows = -(-arr.size // w)
+    padded = np.zeros(rows * w)
+    padded[: arr.size] = arr
+    ex = HMMExecutor(params)
+    ex.gm.install(VECTOR_BUFFER, padded.reshape(rows, w))
+    return arr, params, ex, rows
+
+
+def _finish(name, arr, params, ex) -> ScanResult:
+    flat = ex.gm.array(VECTOR_BUFFER).ravel()[: arr.size].copy()
+    return ScanResult(
+        values=flat,
+        algorithm=name,
+        length=arr.size,
+        params=params,
+        counters=ex.counters.copy(),
+    )
+
+
+def scan_sequential(a, params: Optional[MachineParams] = None) -> ScanResult:
+    """One thread walks the vector: ``2k`` stride ops, zero parallelism.
+
+    The 1-D analogue of a single-CPU scan; the baseline everything else is
+    compared against.
+    """
+    arr, params, ex, rows = _setup(a, params)
+    w = params.width
+
+    def task(ctx: BlockContext) -> None:
+        running = 0.0
+        for r in range(rows):
+            chunk = ctx.gm.read_strip_stride(VECTOR_BUFFER, r, 0, 1, w)[0]
+            out = running + np.cumsum(chunk)
+            running = out[-1]
+            ctx.gm.write_strip_stride(VECTOR_BUFFER, r, 0, out[None, :])
+
+    ex.run_kernel([task], label="sequential")
+    return _finish("sequential", arr, params, ex)
+
+
+def scan_blocked(
+    a, params: Optional[MachineParams] = None, chunk_rows: Optional[int] = None
+) -> ScanResult:
+    """Three-kernel block scan — the 1-D skeleton of 2R1W.
+
+    Kernel 1: each block of ``chunk_rows * w`` elements writes its sum.
+    Kernel 2: one task scans the (small) sums vector.
+    Kernel 3: each block rescans itself with its exclusive offset.
+    ~``3k`` coalesced accesses, 2 barriers — independent of ``k``.
+    """
+    arr, params, ex, rows = _setup(a, params)
+    w = params.width
+    if chunk_rows is None:
+        chunk_rows = max(1, min(rows, 4 * w))  # a shared-memory-sized chunk
+    n_chunks = -(-rows // chunk_rows)
+    ex.gm.alloc("sums", (1, n_chunks))
+
+    def sum_task(ctx: BlockContext, c: int) -> None:
+        r0 = c * chunk_rows
+        h = min(chunk_rows, rows - r0)
+        data = ctx.gm.read_strip(VECTOR_BUFFER, r0, 0, h, w)
+        ctx.gm.write_at("sums", 0, c, data.sum())
+
+    def scan_sums_task(ctx: BlockContext) -> None:
+        sums = ctx.gm.read_hrun("sums", 0, 0, n_chunks)
+        ctx.gm.write_hrun("sums", 0, 0, np.cumsum(sums))
+
+    def fix_task(ctx: BlockContext, c: int) -> None:
+        offset = ctx.gm.read_at("sums", 0, c - 1) if c > 0 else 0.0
+        r0 = c * chunk_rows
+        h = min(chunk_rows, rows - r0)
+        data = ctx.gm.read_strip(VECTOR_BUFFER, r0, 0, h, w)
+        scanned = (offset + np.cumsum(data.ravel())).reshape(h, w)
+        ctx.gm.write_strip(VECTOR_BUFFER, r0, 0, scanned)
+
+    ex.run_kernel(
+        [(lambda c: lambda ctx: sum_task(ctx, c))(c) for c in range(n_chunks)],
+        label="block-sums",
+    )
+    ex.run_kernel([scan_sums_task], label="scan-sums")
+    ex.run_kernel(
+        [(lambda c: lambda ctx: fix_task(ctx, c))(c) for c in range(n_chunks)],
+        label="fix",
+    )
+    ex.gm.free("sums")
+    return _finish("blocked", arr, params, ex)
+
+
+def scan_doubling(a, params: Optional[MachineParams] = None) -> ScanResult:
+    """Kogge-Stone repeated pairwise addition (ref. [13]'s optimal scheme).
+
+    ``ceil(log2 k)`` kernels; round ``d`` computes
+    ``y[i] = x[i] + x[i - 2^d]`` into a second buffer (double-buffered —
+    in-place would race under the asynchronous block order), then the
+    buffers swap. All traffic is coalesced, but every round touches nearly
+    the whole vector twice: ``~3 k log2 k`` accesses and ``log2 k``
+    barriers — the measured "large constant factor" that makes the paper
+    prefer block-structured scans.
+    """
+    arr, params, ex, rows = _setup(a, params)
+    w = params.width
+    k = rows * w
+    ex.gm.alloc("Y", (rows, w))
+    buffers = [VECTOR_BUFFER, "Y"]
+
+    def round_task(ctx: BlockContext, src: str, dst: str, shift: int, r0: int, h: int):
+        vals = ctx.gm.read_strip(src, r0, 0, h, w).ravel()
+        lo = r0 * w
+        # The shifted sources x[lo-shift : lo+h*w-shift), clipped at 0.
+        src_lo = max(0, lo - shift)
+        src_hi = max(0, lo + h * w - shift)
+        add = np.zeros(h * w)
+        if src_hi > src_lo:
+            row_lo, row_hi = src_lo // w, -(-src_hi // w)
+            block = ctx.gm.read_strip(src, row_lo, 0, row_hi - row_lo, w).ravel()
+            idx = np.arange(lo, lo + h * w) - shift
+            valid = idx >= 0
+            add[valid] = block[idx[valid] - row_lo * w]
+        ctx.gm.write_strip(dst, r0, 0, (vals + add).reshape(h, w))
+
+    shift = 1
+    rnd = 0
+    chunk = max(1, 4 * w)  # rows per block task
+    while shift < k:
+        src, dst = buffers[rnd % 2], buffers[(rnd + 1) % 2]
+        tasks = []
+        for r0 in range(0, rows, chunk):
+            h = min(chunk, rows - r0)
+            tasks.append(
+                (lambda s, r, hh, sb, db: lambda ctx: round_task(ctx, sb, db, s, r, hh))(
+                    shift, r0, h, src, dst
+                )
+            )
+        ex.run_kernel(tasks, label=f"round{rnd}")
+        shift *= 2
+        rnd += 1
+    final = buffers[rnd % 2]
+    flat = ex.gm.array(final).ravel()[: arr.size].copy()
+    result = ScanResult(
+        values=flat,
+        algorithm="doubling",
+        length=arr.size,
+        params=params,
+        counters=ex.counters.copy(),
+    )
+    return result

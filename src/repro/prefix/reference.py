@@ -1,0 +1,27 @@
+"""Oracle scans for the 1-D prefix-sum algorithms."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+def _as_vector(a) -> np.ndarray:
+    arr = np.asarray(a, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ShapeError(f"prefix sums take a 1-D array, got ndim={arr.ndim}")
+    return arr
+
+
+def inclusive_scan(a) -> np.ndarray:
+    """``out[i] = a[0] + ... + a[i]``."""
+    return np.cumsum(_as_vector(a))
+
+
+def exclusive_scan(a) -> np.ndarray:
+    """``out[i] = a[0] + ... + a[i-1]`` (``out[0] = 0``)."""
+    arr = _as_vector(a)
+    out = np.zeros_like(arr)
+    np.cumsum(arr[:-1], out=out[1:])
+    return out

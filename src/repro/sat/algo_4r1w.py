@@ -1,0 +1,83 @@
+"""4R1W SAT algorithm (Section VI): the element-wise diagonal recurrence.
+
+Formula (1): ``s[i][j] = a[i][j] + s[i][j-1] + s[i-1][j] - s[i-1][j-1]``.
+Evaluating it along anti-diagonals makes every stage's elements
+independent: Stage ``k`` (``0 <= k <= 2n - 2``) computes all ``s[i][j]``
+with ``i + j == k``, reading already-final neighbors (Figure 10). The
+computation is in place — ``a[i][j]`` is only overwritten at its own
+stage.
+
+Every access is scattered (anti-diagonal elements are ``n - 1`` words
+apart), so all traffic is stride: up to 4 reads and 1 write per element,
+``5 n^2`` stride ops total, with a barrier after every one of the
+``2n - 1`` stages (Lemma 5: cost ``~5 n^2 + 2 n l``). Both the stride
+traffic and the kernel-launch latency are maximal — the paper measures
+this as by far the slowest GPU algorithm, and this reproduction's model
+agrees.
+
+The class exposes ``snapshot_after_stage`` so the Figure 10 benchmark can
+show the half-computed matrix exactly as the paper draws it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..machine.macro.executor import BlockContext, HMMExecutor
+from .base import MATRIX_BUFFER, SATAlgorithm
+
+
+class FourReadOneWrite(SATAlgorithm):
+    """The 4R1W SAT algorithm (anti-diagonal evaluation of Formula (1))."""
+
+    name = "4R1W"
+    requires_block_multiple = False
+    supports_rectangular = True
+
+    def __init__(self, snapshot_after_stage: Optional[int] = None) -> None:
+        self.snapshot_after_stage = snapshot_after_stage
+        self.snapshot: Optional[np.ndarray] = None
+
+    def _stage_task(self, rows: int, cols: int, k: int, chunk: int):
+        """One block task evaluating Formula (1) on a ``w``-element chunk of
+        anti-diagonal ``k`` (one thread per element, ``w`` threads per block,
+        matching the paper's thread layout)."""
+
+        def task(ctx: BlockContext) -> None:
+            w = ctx.params.width
+            i_lo = max(0, k - (cols - 1))
+            i_hi = min(k, rows - 1)
+            start = i_lo + chunk * w
+            i = np.arange(start, min(start + w, i_hi + 1))
+            j = k - i
+            s = ctx.gm.read_scatter(MATRIX_BUFFER, i, j)  # original a values
+            has_left = j > 0
+            has_up = i > 0
+            if has_left.any():
+                s[has_left] += ctx.gm.read_scatter(
+                    MATRIX_BUFFER, i[has_left], j[has_left] - 1
+                )
+            if has_up.any():
+                s[has_up] += ctx.gm.read_scatter(
+                    MATRIX_BUFFER, i[has_up] - 1, j[has_up]
+                )
+            both = has_left & has_up
+            if both.any():
+                s[both] -= ctx.gm.read_scatter(MATRIX_BUFFER, i[both] - 1, j[both] - 1)
+            ctx.gm.write_scatter(MATRIX_BUFFER, i, j, s)
+
+        return task
+
+    def _run(self, executor: HMMExecutor, rows: int, cols: int) -> None:
+        w = executor.params.width
+        for k in range(rows + cols - 1):
+            length = min(k, rows - 1) - max(0, k - (cols - 1)) + 1
+            tasks = [
+                self._stage_task(rows, cols, k, chunk)
+                for chunk in range(-(-length // w))
+            ]
+            executor.run_kernel(tasks, label=f"stage{k}")
+            if self.snapshot_after_stage is not None and k == self.snapshot_after_stage:
+                self.snapshot = executor.gm.array(MATRIX_BUFFER).copy()

@@ -1,0 +1,149 @@
+"""Common driver for SAT algorithms on the asynchronous HMM.
+
+Every HMM SAT algorithm in this package is a subclass of
+:class:`SATAlgorithm` implementing :meth:`SATAlgorithm._run`, which issues
+kernels against an :class:`~repro.machine.macro.HMMExecutor` holding the
+input in global-memory buffer ``"A"`` and must leave the SAT there in
+place. The base class handles validation, buffer setup, result extraction,
+and packaging the measured counters into a :class:`SATResult`.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..machine.cost import CostBreakdown, access_cost, breakdown, transaction_cost
+from ..machine.macro.counters import AccessCounters
+from ..machine.macro.executor import HMMExecutor, KernelTrace
+from ..machine.params import MachineParams
+from ..util.validation import as_square_matrix, require_multiple
+
+#: Name of the global-memory buffer holding the input and, on completion,
+#: the summed area table.
+MATRIX_BUFFER = "A"
+
+
+@dataclasses.dataclass
+class SATResult:
+    """The SAT plus everything measured while computing it.
+
+    ``n`` is the row count; for the (extension) rectangular inputs the full
+    shape is ``sat.shape``.
+    """
+
+    sat: np.ndarray
+    algorithm: str
+    n: int
+    params: MachineParams
+    counters: AccessCounters
+    traces: List[KernelTrace]
+
+    @property
+    def cost(self) -> float:
+        """Global-memory access cost ``C/w + S + (B+1) l`` (Section III)."""
+        return access_cost(self.counters, self.params)
+
+    @property
+    def cost_exact(self) -> float:
+        """Cost using exact transaction counts instead of ``C/w``."""
+        return transaction_cost(self.counters, self.params)
+
+    @property
+    def breakdown(self) -> CostBreakdown:
+        """Bandwidth vs latency split of the cost."""
+        return breakdown(self.counters, self.params)
+
+    @property
+    def reads_writes_per_element(self) -> float:
+        """Global element accesses per matrix element — the paper's xRyW figure."""
+        return self.counters.global_reads_writes / float(self.sat.size)
+
+    def summary(self) -> str:
+        c = self.counters
+        return (
+            f"{self.algorithm}: n={self.n}, cost={self.cost:.0f} "
+            f"(bandwidth={self.breakdown.bandwidth:.0f}, "
+            f"latency={self.breakdown.latency:.0f}), "
+            f"coalesced={c.coalesced_elements}, stride={c.stride_ops}, "
+            f"barriers={c.barriers}, accesses/elt={self.reads_writes_per_element:.3f}"
+        )
+
+
+class SATAlgorithm(abc.ABC):
+    """Base class: validates input, runs kernels, extracts the SAT."""
+
+    #: Short name used by the registry and in benchmark tables.
+    name: str = "abstract"
+
+    #: Whether the input side length must be a multiple of the width.
+    requires_block_multiple: bool = True
+
+    #: Whether non-square inputs are accepted (an extension beyond the
+    #: paper, implemented for 2R2W, 4R1W, and 1R1W).
+    supports_rectangular: bool = False
+
+    @abc.abstractmethod
+    def _run(self, executor: HMMExecutor, rows: int, cols: int) -> None:
+        """Issue the algorithm's kernels; the SAT must end up in ``A``."""
+
+    def compute(
+        self,
+        matrix: np.ndarray,
+        params: Optional[MachineParams] = None,
+        *,
+        executor: Optional[HMMExecutor] = None,
+        seed: Optional[int] = 0,
+    ) -> SATResult:
+        """Compute the SAT of ``matrix`` on the asynchronous HMM.
+
+        Parameters
+        ----------
+        matrix:
+            Square input matrix. Block-based algorithms require the side
+            to be a multiple of ``params.width`` (use
+            :func:`repro.util.pad_to_multiple` otherwise).
+        params:
+            Machine configuration; defaults to :class:`MachineParams()`.
+        executor:
+            Optionally supply a pre-built executor (for custom global
+            memory or deterministic block ordering); it must not already
+            contain a buffer named ``"A"``.
+        seed:
+            Seed for the executor's randomized block ordering.
+        """
+        if self.supports_rectangular:
+            matrix = np.asarray(matrix)
+            if matrix.ndim != 2 or 0 in matrix.shape:
+                raise ShapeError(f"matrix must be non-empty 2-D, got {matrix.shape}")
+        else:
+            matrix = as_square_matrix(matrix)
+        rows, cols = matrix.shape
+        if params is None:
+            params = MachineParams()
+        if self.requires_block_multiple:
+            require_multiple(rows, params.width, what="row count")
+            require_multiple(cols, params.width, what="column count")
+        if executor is None:
+            executor = HMMExecutor(params, seed=seed)
+        elif executor.params is not params:
+            raise ShapeError("executor was built with different MachineParams")
+        if executor.gm.has(MATRIX_BUFFER):
+            raise ShapeError(f"executor already holds a {MATRIX_BUFFER!r} buffer")
+        executor.gm.install(MATRIX_BUFFER, matrix.astype(np.float64, copy=True))
+        self._run(executor, rows, cols)
+        return SATResult(
+            sat=executor.gm.array(MATRIX_BUFFER).copy(),
+            algorithm=self.name,
+            n=rows,
+            params=params,
+            counters=executor.counters.copy(),
+            traces=list(executor.traces),
+        )
+
+    def __repr__(self) -> str:
+        return f"<SATAlgorithm {self.name}>"

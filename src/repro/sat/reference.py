@@ -1,0 +1,112 @@
+"""Ground-truth SAT computation and rectangle-sum queries.
+
+The summed area table of a matrix ``a`` is ``s[i][j] = sum of a[y][x] for
+y <= i, x <= j`` (Crow 1984). It is obtained by column-wise prefix sums
+followed by row-wise prefix sums (Figure 3), which is one ``np.cumsum``
+per axis here — the oracle every HMM algorithm is verified against.
+
+Once the SAT exists, the sum of any axis-aligned rectangle costs four
+lookups (inclusion-exclusion), the property all the paper's computer-vision
+motivation rests on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..util.validation import as_square_matrix
+
+
+def sat_reference(a: np.ndarray) -> np.ndarray:
+    """The SAT by two cumulative sums — the correctness oracle.
+
+    Works for any 2-D matrix (square not required).
+    """
+    a = np.asarray(a)
+    if a.ndim != 2:
+        raise ShapeError(f"SAT input must be 2-D, got ndim={a.ndim}")
+    return np.cumsum(np.cumsum(a, axis=0), axis=1)
+
+
+def rectangle_sum(sat: np.ndarray, top: int, left: int, bottom: int, right: int):
+    """Sum of ``a[top..bottom][left..right]`` (inclusive) from the SAT.
+
+    Evaluates the paper's identity
+    ``s[bottom][right] - s[top-1][right] - s[bottom][left-1] + s[top-1][left-1]``
+    with out-of-range terms treated as zero.
+    """
+    sat = np.asarray(sat)
+    if sat.ndim != 2:
+        raise ShapeError("rectangle_sum requires a 2-D SAT")
+    if not (0 <= top <= bottom < sat.shape[0] and 0 <= left <= right < sat.shape[1]):
+        raise ShapeError(
+            f"rectangle ({top},{left})-({bottom},{right}) outside SAT of shape {sat.shape}"
+        )
+    total = sat[bottom, right]
+    if top > 0:
+        total = total - sat[top - 1, right]
+    if left > 0:
+        total = total - sat[bottom, left - 1]
+    if top > 0 and left > 0:
+        total = total + sat[top - 1, left - 1]
+    return total
+
+
+def rectangle_sums(sat: np.ndarray, rects: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`rectangle_sum` for an ``(k, 4)`` array of rectangles.
+
+    Each row is ``(top, left, bottom, right)`` inclusive.
+    """
+    sat = np.asarray(sat)
+    rects = np.asarray(rects, dtype=np.int64)
+    if rects.ndim != 2 or rects.shape[1] != 4:
+        raise ShapeError("rects must have shape (k, 4)")
+    top, left, bottom, right = rects.T
+    if (
+        (top < 0).any()
+        or (left < 0).any()
+        or (top > bottom).any()
+        or (left > right).any()
+        or (bottom >= sat.shape[0]).any()
+        or (right >= sat.shape[1]).any()
+    ):
+        raise ShapeError("some rectangles fall outside the SAT")
+    # Pad the SAT with a zero row/column so the -1 indices are valid.
+    padded = np.zeros((sat.shape[0] + 1, sat.shape[1] + 1), dtype=sat.dtype)
+    padded[1:, 1:] = sat
+    return (
+        padded[bottom + 1, right + 1]
+        - padded[top, right + 1]
+        - padded[bottom + 1, left]
+        + padded[top, left]
+    )
+
+
+def undo_sat(sat: np.ndarray) -> np.ndarray:
+    """Recover the original matrix from its SAT (the inverse transform).
+
+    ``a[i][j] = s[i][j] - s[i-1][j] - s[i][j-1] + s[i-1][j-1]`` — also the
+    body of Formula (1) rearranged, used by property tests as a round-trip
+    invariant.
+    """
+    sat = np.asarray(sat)
+    if sat.ndim != 2:
+        raise ShapeError("undo_sat requires a 2-D SAT")
+    a = sat.copy()
+    a[1:, :] -= sat[:-1, :]
+    a[:, 1:] -= sat[:, :-1]
+    a[1:, 1:] += sat[:-1, :-1]
+    return a
+
+
+def assert_sat_equal(candidate: np.ndarray, original: np.ndarray, *, rtol=1e-9, atol=1e-6):
+    """Raise ``AssertionError`` unless ``candidate`` is the SAT of ``original``."""
+    expected = sat_reference(original)
+    if not np.allclose(candidate, expected, rtol=rtol, atol=atol):
+        bad = np.argwhere(~np.isclose(candidate, expected, rtol=rtol, atol=atol))
+        i, j = bad[0]
+        raise AssertionError(
+            f"SAT mismatch at ({i}, {j}): got {candidate[i, j]!r}, "
+            f"expected {expected[i, j]!r} ({len(bad)} cells differ)"
+        )

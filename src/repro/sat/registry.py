@@ -1,0 +1,44 @@
+"""Name-based lookup of the SAT algorithms, mirroring Table II's rows."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..errors import ConfigurationError
+from .algo_1r1w import OneReadOneWrite
+from .algo_2r1w import TwoReadOneWrite
+from .algo_2r2w import TwoReadTwoWrite
+from .algo_4r1w import FourReadOneWrite
+from .algo_4r4w import FourReadFourWrite
+from .algo_kr1w import CombinedKR1W, OnePointTwoFiveR1W
+from .base import SATAlgorithm
+
+#: Factories, not instances — algorithms carry per-run state (snapshots).
+_FACTORIES: Dict[str, Callable[[], SATAlgorithm]] = {
+    "2R2W": TwoReadTwoWrite,
+    "4R4W": FourReadFourWrite,
+    "4R1W": FourReadOneWrite,
+    "2R1W": TwoReadOneWrite,
+    "1R1W": OneReadOneWrite,
+    "1.25R1W": OnePointTwoFiveR1W,
+}
+
+#: Table II's GPU algorithm order.
+ALGORITHM_NAMES: List[str] = list(_FACTORIES)
+
+
+def make_algorithm(name: str, **kwargs) -> SATAlgorithm:
+    """Instantiate an algorithm by its Table II name.
+
+    ``kR1W`` additionally accepts ``p=<float>`` (e.g. ``kR1W`` with
+    ``p=0.25``); it is reachable as ``make_algorithm("kR1W", p=0.25)``.
+    """
+    if name == "kR1W":
+        return CombinedKR1W(**kwargs)
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown SAT algorithm {name!r}; choose from {ALGORITHM_NAMES + ['kR1W']}"
+        ) from None
+    return factory(**kwargs)

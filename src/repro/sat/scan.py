@@ -1,0 +1,134 @@
+"""Prefix-sum (scan) kernels used by the 2R2W/4R4W/2R1W families.
+
+A *column scan* replaces each column of a buffer region with its prefix
+sums. One thread owns one column and walks downward; a warp of ``w``
+adjacent threads therefore reads/writes ``w`` consecutive words of each
+row — fully coalesced. The kernel is a set of strip tasks, one per
+``w``-wide column strip.
+
+A *row scan* (one thread per row, walking right) makes every warp touch
+``w`` different rows at the same column — ``w`` distinct address groups,
+i.e. stride access. This is the access pattern that makes plain 2R2W slow
+and motivates 4R4W's transposes; it is provided for exactly that
+comparison.
+
+Both scans skip rewriting the first row/column (its prefix sum is itself),
+matching the paper's pseudo-code which performs ``n - 1`` additions per
+line.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..machine.macro.executor import BlockContext, BlockTask
+
+
+def column_scan_tasks(
+    buf: str,
+    n_rows: int,
+    n_cols: int,
+    width: int,
+    *,
+    row0: int = 0,
+    col0: int = 0,
+) -> List[BlockTask]:
+    """Tasks that column-scan the region ``[row0:row0+n_rows, col0:col0+n_cols]``.
+
+    ``n_cols`` must be a multiple of ``width``; each task owns one strip.
+    Reads ``n_rows * n_cols`` and writes ``(n_rows - 1) * n_cols`` words,
+    all coalesced.
+    """
+    if n_cols % width != 0:
+        raise ValueError(f"n_cols={n_cols} must be a multiple of width={width}")
+
+    def make(strip: int) -> BlockTask:
+        c = col0 + strip * width
+
+        def task(ctx: BlockContext) -> None:
+            data = ctx.gm.read_strip(buf, row0, c, n_rows, width)
+            np.cumsum(data, axis=0, out=data)
+            if n_rows > 1:
+                ctx.gm.write_strip(buf, row0 + 1, c, data[1:])
+
+        return task
+
+    return [make(k) for k in range(n_cols // width)]
+
+
+def row_scan_tasks_stride(
+    buf: str,
+    n_rows: int,
+    n_cols: int,
+    width: int,
+) -> List[BlockTask]:
+    """Tasks that row-scan via stride access (the naive 2R2W second phase).
+
+    One thread per row; a warp's simultaneous accesses hit ``width``
+    different rows, so every element access is a stride op. Reads
+    ``n_rows * n_cols`` and writes ``n_rows * (n_cols - 1)`` words.
+    """
+    if n_rows % width != 0:
+        raise ValueError(f"n_rows={n_rows} must be a multiple of width={width}")
+
+    def make(strip: int) -> BlockTask:
+        r = strip * width
+
+        def task(ctx: BlockContext) -> None:
+            data = ctx.gm.read_strip_stride(buf, r, 0, width, n_cols)
+            np.cumsum(data, axis=1, out=data)
+            if n_cols > 1:
+                ctx.gm.write_strip_stride(buf, r, 1, data[:, 1:])
+
+        return task
+
+    return [make(k) for k in range(n_rows // width)]
+
+
+def seeded_column_scan_tasks(
+    buf: str,
+    n_rows: int,
+    n_cols: int,
+    width: int,
+    seed_for_strip: Callable[[int, BlockContext], Optional[np.ndarray]],
+    *,
+    col0: int = 0,
+    row_range_for_strip: Optional[Callable[[int], range]] = None,
+) -> List[BlockTask]:
+    """Column-scan tasks whose running sums start from per-strip seed rows.
+
+    kR1W's triangle phases scan block-sum matrices starting from border
+    values produced by already-final regions. ``seed_for_strip(strip, ctx)``
+    returns a length-``width`` seed vector (reading it through ``ctx.gm``
+    so it is counted) or ``None`` for a zero seed.
+    ``row_range_for_strip`` restricts which rows of the strip are scanned
+    (triangular regions scan different extents per strip); it must be a
+    contiguous range.
+    """
+    if n_cols % width != 0:
+        raise ValueError(f"n_cols={n_cols} must be a multiple of width={width}")
+
+    def make(strip: int) -> BlockTask:
+        c = col0 + strip * width
+
+        def task(ctx: BlockContext) -> None:
+            rows = (
+                range(n_rows)
+                if row_range_for_strip is None
+                else row_range_for_strip(strip)
+            )
+            if len(rows) == 0:
+                return
+            r_lo, r_hi = rows.start, rows.stop
+            seed = seed_for_strip(strip, ctx)
+            data = ctx.gm.read_strip(buf, r_lo, c, r_hi - r_lo, width)
+            np.cumsum(data, axis=0, out=data)
+            if seed is not None:
+                data += seed
+            ctx.gm.write_strip(buf, r_lo, c, data)
+
+        return task
+
+    return [make(k) for k in range(n_cols // width)]

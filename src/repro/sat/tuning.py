@@ -1,0 +1,92 @@
+"""Selection of kR1W's mixing parameter (Table II's best-``p`` row).
+
+The paper evaluates every feasible ``p`` on hardware and reports the
+fastest; here the search minimizes the cost model instead. Two searches
+are provided: a measured one (runs the algorithm on the macro executor per
+candidate — exact but slow) and an analytic one (evaluates the closed-form
+cost of :mod:`repro.analysis.formulas` — instant, used for Table II's
+18K-scale rows). Both exhibit the paper's qualitative finding: the optimal
+``p`` shrinks as ``n`` grows, because the saved latency is ``O(p n/w * l)``
+while the extra bandwidth is ``O(p^2 n^2 / w)``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..machine.params import MachineParams
+from .algo_kr1w import CombinedKR1W
+
+
+@dataclasses.dataclass(frozen=True)
+class TuningResult:
+    """Best mixing parameter and the full sweep that found it."""
+
+    best_p: float
+    best_cost: float
+    sweep: Tuple[Tuple[float, float], ...]  # (p, cost) pairs
+
+    @property
+    def best_k(self) -> float:
+        return 1.0 + self.best_p**2
+
+
+def candidate_ps(n: int, width: int, max_candidates: int = 33) -> List[float]:
+    """The feasible mixing parameters: one per whole diagonal count.
+
+    ``p`` only matters through ``t = round(p (m-1))``, so there are exactly
+    ``m`` distinct behaviours; for large ``m`` the grid is thinned evenly.
+    """
+    m = n // width
+    if m <= 1:
+        return [0.0]
+    ts = np.arange(m)
+    ps = ts / (m - 1)
+    if len(ps) > max_candidates:
+        idx = np.unique(np.linspace(0, len(ps) - 1, max_candidates).astype(int))
+        ps = ps[idx]
+    return [float(p) for p in ps]
+
+
+def tune_measured(
+    matrix: np.ndarray,
+    params: MachineParams,
+    ps: Optional[Sequence[float]] = None,
+) -> TuningResult:
+    """Run kR1W for each candidate ``p`` and pick the lowest measured cost."""
+    n = matrix.shape[0]
+    if ps is None:
+        ps = candidate_ps(n, params.width)
+    sweep = []
+    for p in ps:
+        result = CombinedKR1W(p=p).compute(matrix, params)
+        sweep.append((p, result.cost))
+    best_p, best_cost = min(sweep, key=lambda pc: pc[1])
+    return TuningResult(best_p=best_p, best_cost=best_cost, sweep=tuple(sweep))
+
+
+def tune_analytic(
+    n: int,
+    params: MachineParams,
+    cost_of: Optional[Callable[[float], float]] = None,
+    ps: Optional[Sequence[float]] = None,
+) -> TuningResult:
+    """Pick ``p`` by minimizing an analytic cost function.
+
+    ``cost_of(p)`` defaults to the kR1W closed form from
+    :mod:`repro.analysis.formulas`.
+    """
+    if cost_of is None:
+        from ..analysis.formulas import kr1w_cost
+
+        def cost_of(p: float) -> float:
+            return kr1w_cost(n, params, p)
+
+    if ps is None:
+        ps = candidate_ps(n, params.width, max_candidates=257)
+    sweep = [(p, float(cost_of(p))) for p in ps]
+    best_p, best_cost = min(sweep, key=lambda pc: pc[1])
+    return TuningResult(best_p=best_p, best_cost=best_cost, sweep=tuple(sweep))

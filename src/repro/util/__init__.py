@@ -1,0 +1,30 @@
+"""Shared utilities: validation, matrix generators, table formatting."""
+
+from .formatting import format_matrix, format_table, write_result
+from .matrices import (
+    FIGURE3_INPUT,
+    FIGURE3_TOTAL,
+    gradient_matrix,
+    ones_matrix,
+    pad_to_multiple,
+    random_int_matrix,
+    random_matrix,
+    synthetic_image,
+)
+from .validation import as_square_matrix, require_multiple
+
+__all__ = [
+    "FIGURE3_INPUT",
+    "FIGURE3_TOTAL",
+    "as_square_matrix",
+    "format_matrix",
+    "format_table",
+    "gradient_matrix",
+    "ones_matrix",
+    "pad_to_multiple",
+    "random_int_matrix",
+    "random_matrix",
+    "require_multiple",
+    "synthetic_image",
+    "write_result",
+]

@@ -1,0 +1,66 @@
+"""Plain-text table rendering for benchmark reproductions.
+
+The benchmark harness prints the same rows the paper reports; this module
+renders them as aligned monospace tables and writes them under
+``results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: Optional[str] = None,
+    float_fmt: str = "{:.3g}",
+) -> str:
+    """Render rows as an aligned monospace table."""
+
+    def cell(v: object) -> str:
+        if isinstance(v, float):
+            return float_fmt.format(v)
+        return str(v)
+
+    str_rows: List[List[str]] = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def write_result(name: str, text: str, results_dir: Optional[str] = None) -> str:
+    """Persist a reproduction table under ``results/`` and return its path."""
+    if results_dir is None:
+        results_dir = os.environ.get("REPRO_RESULTS_DIR", "results")
+    os.makedirs(results_dir, exist_ok=True)
+    path = os.path.join(results_dir, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text)
+        if not text.endswith("\n"):
+            fh.write("\n")
+    return path
+
+
+def format_matrix(a, *, int_like: bool = True) -> str:
+    """Small-matrix pretty printer for figure reproductions."""
+    import numpy as np
+
+    arr = np.asarray(a)
+    if int_like and np.allclose(arr, np.round(arr)):
+        cells = [[f"{int(round(v)):>4d}" for v in row] for row in arr]
+    else:
+        cells = [[f"{v:>8.3f}" for v in row] for row in arr]
+    return "\n".join(" ".join(row) for row in cells)

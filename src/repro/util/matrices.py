@@ -1,0 +1,88 @@
+"""Test and benchmark matrix generators, including the paper's Figure 3 example."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+#: The 9 x 9 input matrix of Figure 3 (a diamond of small integers). Its
+#: SAT appears in Figures 3, 8, 9, 10, and 11, so several benchmarks
+#: reproduce intermediate values against this exact matrix.
+FIGURE3_INPUT = np.array(
+    [
+        [0, 0, 0, 1, 1, 1, 0, 0, 0],
+        [0, 0, 1, 1, 1, 1, 1, 0, 0],
+        [0, 1, 1, 1, 2, 1, 1, 1, 0],
+        [1, 1, 1, 2, 2, 2, 1, 1, 1],
+        [1, 1, 2, 2, 3, 2, 2, 1, 1],
+        [1, 1, 1, 2, 2, 2, 1, 1, 1],
+        [0, 1, 1, 1, 2, 1, 1, 1, 0],
+        [0, 0, 1, 1, 1, 1, 1, 0, 0],
+        [0, 0, 0, 1, 1, 1, 0, 0, 0],
+    ],
+    dtype=np.float64,
+)
+
+#: The bottom-right corner of Figure 3's SAT is the grand total, 71.
+FIGURE3_TOTAL = 71.0
+
+
+def random_matrix(n: int, *, seed: int = 0, dtype=np.float64, m: int = None) -> np.ndarray:
+    """Uniform random matrix in [0, 1) (or small ints for integer dtypes)."""
+    rng = np.random.default_rng(seed)
+    shape = (n, n if m is None else m)
+    if np.issubdtype(np.dtype(dtype), np.integer):
+        return rng.integers(0, 10, size=shape).astype(dtype)
+    return rng.random(shape).astype(dtype)
+
+
+def random_int_matrix(n: int, *, seed: int = 0, high: int = 10) -> np.ndarray:
+    """Random small-integer matrix as float64 — exact under summation."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, high, size=(n, n)).astype(np.float64)
+
+
+def gradient_matrix(n: int, dtype=np.float64) -> np.ndarray:
+    """Deterministic ``a[i][j] = i + j`` ramp; handy for eyeballing scans."""
+    idx = np.arange(n)
+    return (idx[:, None] + idx[None, :]).astype(dtype)
+
+
+def ones_matrix(n: int, dtype=np.float64) -> np.ndarray:
+    """All-ones matrix: its SAT is ``(i+1)(j+1)``, a closed form tests use."""
+    return np.ones((n, n), dtype=dtype)
+
+
+def synthetic_image(n: int, *, seed: int = 7) -> np.ndarray:
+    """A synthetic grayscale 'photograph' for the vision examples.
+
+    Sum of smooth low-frequency gradients, a few bright rectangles, and
+    pixel noise — enough structure for box filters and Haar features to
+    produce interpretable responses.
+    """
+    rng = np.random.default_rng(seed)
+    y, x = np.mgrid[0:n, 0:n]
+    img = 0.4 * np.sin(2 * np.pi * x / n) * np.cos(2 * np.pi * y / n) + 0.5
+    for _ in range(4):
+        r0, c0 = rng.integers(0, max(1, n - n // 4), size=2)
+        h, w = rng.integers(n // 8 + 1, n // 4 + 1, size=2)
+        img[r0 : r0 + h, c0 : c0 + w] += 0.3
+    img += rng.normal(0, 0.02, size=(n, n))
+    return np.clip(img, 0.0, 1.0)
+
+
+def pad_to_multiple(a: np.ndarray, w: int) -> np.ndarray:
+    """Zero-pad a matrix on the bottom/right so both dimensions divide by ``w``.
+
+    Zero padding preserves every SAT entry of the original region, so the
+    result's top-left corner equals the unpadded SAT.
+    """
+    a = np.asarray(a)
+    if a.ndim != 2:
+        raise ShapeError(f"pad_to_multiple expects a 2-D array, got ndim={a.ndim}")
+    rows = (-a.shape[0]) % w
+    cols = (-a.shape[1]) % w
+    if rows == 0 and cols == 0:
+        return a
+    return np.pad(a, ((0, rows), (0, cols)), mode="constant")

@@ -1,0 +1,27 @@
+"""Input validation helpers shared across the package."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+def as_square_matrix(a, *, name: str = "matrix") -> np.ndarray:
+    """Coerce to a 2-D square numpy array (copying only if needed)."""
+    arr = np.asarray(a)
+    if arr.ndim != 2:
+        raise ShapeError(f"{name} must be 2-D, got ndim={arr.ndim}")
+    if arr.shape[0] != arr.shape[1]:
+        raise ShapeError(f"{name} must be square, got shape {arr.shape}")
+    if arr.shape[0] == 0:
+        raise ShapeError(f"{name} must be non-empty")
+    return arr
+
+
+def require_multiple(n: int, w: int, *, what: str = "matrix size") -> None:
+    """Raise unless ``n`` is a positive multiple of ``w``."""
+    if n <= 0 or n % w != 0:
+        raise ShapeError(
+            f"{what} must be a positive multiple of the machine width w={w}, got {n}"
+        )

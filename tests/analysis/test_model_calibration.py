@@ -1,0 +1,115 @@
+"""Tests for the runtime model, calibration, and published-data helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.calibration import calibrate, default_model
+from repro.analysis.formulas import predicted_counters
+from repro.analysis.model import (
+    RuntimeModel,
+    best_p_for_size,
+    crossover_size,
+    predict_table2_row,
+)
+from repro.analysis.published import (
+    TABLE2_BEST_P,
+    TABLE2_GPU_ALGORITHMS,
+    TABLE2_MS,
+    TABLE2_SIZES_K,
+    fastest_gpu_algorithm,
+    speedup_over_cpu,
+)
+from repro.machine.params import MachineParams
+
+
+class TestPublishedData:
+    def test_all_rows_have_13_entries(self):
+        for name, row in TABLE2_MS.items():
+            assert len(row) == len(TABLE2_SIZES_K) == 13, name
+        assert len(TABLE2_BEST_P) == 13
+
+    def test_kr1w_fastest_from_5k(self):
+        """The paper's headline: kR1W wins for every n >= 5K."""
+        for k in TABLE2_SIZES_K:
+            if k >= 5:
+                assert fastest_gpu_algorithm(k) == "kR1W"
+
+    def test_2r1w_fastest_small(self):
+        for k in (1, 2):
+            assert fastest_gpu_algorithm(k) == "2R1W"
+
+    def test_speedup_exceeds_100x_from_5k(self):
+        """The >100x CPU speedup claim holds at every reported n >= 5K."""
+        for k in TABLE2_SIZES_K:
+            if k >= 5:
+                assert speedup_over_cpu(k) > 100
+
+    def test_published_crossover_1r1w_2r1w(self):
+        """1R1W beats 2R1W from 7K in the published data."""
+        i6, i7 = TABLE2_SIZES_K.index(6), TABLE2_SIZES_K.index(7)
+        assert TABLE2_MS["1R1W"][i6] >= TABLE2_MS["2R1W"][i6]
+        assert TABLE2_MS["1R1W"][i7] < TABLE2_MS["2R1W"][i7]
+
+    def test_best_p_trend_downward(self):
+        assert TABLE2_BEST_P[-1] < TABLE2_BEST_P[0] / 2
+
+
+class TestRuntimeModel:
+    def test_milliseconds_scale_linearly_in_unit(self):
+        p = MachineParams(width=32, latency=100)
+        counts = predicted_counters("1R1W", 1024, p)
+        m1 = RuntimeModel(p, unit_ns=1.0)
+        m2 = RuntimeModel(p, unit_ns=2.0)
+        assert m2.milliseconds(counts) == pytest.approx(2 * m1.milliseconds(counts))
+
+    def test_stride_discount_only_affects_stride_rows(self):
+        p = MachineParams(width=32, latency=100)
+        full = RuntimeModel(p, unit_ns=1.0, stride_discount=1.0)
+        disc = RuntimeModel(p, unit_ns=1.0, stride_discount=0.1)
+        assert full.predict_ms("1R1W", 1024) == disc.predict_ms("1R1W", 1024)
+        assert full.predict_ms("2R2W", 1024) > disc.predict_ms("2R2W", 1024)
+
+
+class TestCalibratedModel:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return calibrate()
+
+    def test_fit_quality(self, report):
+        """Block-algorithm predictions within ~40% of the paper everywhere,
+        and much closer in aggregate."""
+        assert report.rms_log_error < 0.15
+        for name in ("2R1W", "1R1W", "1.25R1W"):
+            for ratio in report.residuals[name]:
+                assert 0.55 < ratio < 1.6
+
+    def test_default_model_matches_calibration(self, report):
+        d = default_model()
+        assert d.unit_ns == pytest.approx(report.model.unit_ns, rel=0.15)
+        assert d.params.latency == pytest.approx(report.model.params.latency, rel=0.2)
+
+    def test_predicted_winner_large_sizes(self, report):
+        """The calibrated model reproduces the paper's ranking at 16K-18K:
+        kR1W <= 1R1W < 2R1W < 4R4W < 2R2W < 4R1W."""
+        row = predict_table2_row(report.model, 16 * 1024)
+        assert row["kR1W"] <= row["1R1W"] < row["2R1W"]
+        assert row["2R1W"] < row["4R4W"] < row["2R2W"] < row["4R1W"]
+
+    def test_predicted_winner_small_sizes(self, report):
+        """At 1K-2K the model agrees 2R1W beats 1R1W (latency-bound)."""
+        row = predict_table2_row(report.model, 1024)
+        assert row["2R1W"] < row["1R1W"]
+
+    def test_crossover_in_plausible_band(self, report):
+        """Model crossover within 2x of the paper's observed 6K-7K."""
+        x = crossover_size(report.model)
+        assert x is not None
+        assert 3 * 1024 <= x <= 14 * 1024
+
+    def test_best_p_decreases(self, report):
+        p_small, _ = best_p_for_size(report.model, 2 * 1024)
+        p_large, _ = best_p_for_size(report.model, 18 * 1024)
+        assert p_large < p_small
+
+    def test_summary_mentions_fit(self, report):
+        assert "unit_ns" in report.summary()

@@ -1,0 +1,147 @@
+"""Tests for per-kernel profiles and the occupancy-aware runtime model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.analysis.formulas import predicted_counters
+from repro.analysis.occupancy import (
+    OccupancyModel,
+    calibrate_occupancy,
+    default_occupancy_model,
+    profile_arrays,
+)
+from repro.analysis.profiles import kernel_profiles
+from repro.analysis.published import TABLE2_BEST_P, TABLE2_MS, TABLE2_SIZES_K
+from repro.machine.macro.executor import HMMExecutor
+from repro.machine.params import MachineParams
+from repro.sat import CombinedKR1W, make_algorithm
+from repro.util.matrices import random_matrix
+
+NAMED = ["2R2W", "4R4W", "4R1W", "2R1W", "1R1W", "1.25R1W"]
+
+
+class TestProfilesMatchTraces:
+    """Per-kernel profiles must equal the executor's per-kernel traces."""
+
+    @pytest.mark.parametrize("name", NAMED)
+    @pytest.mark.parametrize("blocks", [1, 2, 5])
+    def test_named_algorithms(self, name, blocks):
+        params = MachineParams(width=4, latency=7)
+        n = blocks * 4
+        ex = HMMExecutor(params)
+        make_algorithm(name).compute(random_matrix(n, seed=blocks), params, executor=ex)
+        prof = kernel_profiles(name, n, params)
+        assert len(prof) == len(ex.traces)
+        for pr, tr in zip(prof, ex.traces):
+            assert (pr.coalesced, pr.stride, pr.blocks) == (
+                tr.counters.coalesced_elements,
+                tr.counters.stride_ops,
+                tr.blocks,
+            ), pr.label
+
+    @pytest.mark.parametrize("p", [0.0, 0.3, 0.6, 1.0])
+    def test_kr1w_over_p(self, p):
+        params = MachineParams(width=4, latency=7)
+        n = 32
+        ex = HMMExecutor(params)
+        CombinedKR1W(p=p).compute(random_matrix(n, seed=2), params, executor=ex)
+        prof = kernel_profiles("kR1W", n, params, p=p)
+        assert len(prof) == len(ex.traces)
+        for pr, tr in zip(prof, ex.traces):
+            assert (pr.coalesced, pr.stride, pr.blocks) == (
+                tr.counters.coalesced_elements,
+                tr.counters.stride_ops,
+                tr.blocks,
+            ), pr.label
+
+    @pytest.mark.parametrize("name", NAMED)
+    def test_profiles_sum_to_totals(self, name):
+        """Σ kernel profiles == the total predictors of formulas.py."""
+        params = MachineParams(width=8, latency=3)
+        n = 48
+        prof = kernel_profiles(name, n, params)
+        total = predicted_counters(name, n, params)
+        assert sum(q.coalesced for q in prof) == total.coalesced
+        assert sum(q.stride for q in prof) == total.stride
+        assert len(prof) == total.kernels
+
+    def test_kr1w_profile_requires_p(self):
+        with pytest.raises(ConfigurationError):
+            kernel_profiles("kR1W", 32, MachineParams(width=8))
+
+    def test_profile_arrays_cached(self):
+        params = MachineParams(width=8, latency=3)
+        a = profile_arrays("1R1W", 32, params)
+        b = profile_arrays("1R1W", 32, params)
+        assert a[0] is b[0]
+
+
+class TestOccupancyModel:
+    def test_reduces_to_flat_when_saturated(self):
+        """concurrency=1 => every kernel 'saturated' => flat cost + overhead."""
+        params = MachineParams(width=8, latency=3)
+        m = OccupancyModel(params, unit_ns=1.0, overhead=50.0, concurrency=1)
+        prof = kernel_profiles("1R1W", 48, params)
+        flat = sum(q.coalesced / 8 + q.stride for q in prof) + 50.0 * len(prof)
+        assert m.predict_units("1R1W", 48) == pytest.approx(flat)
+
+    def test_underfilled_kernels_cost_more(self):
+        params = MachineParams(width=8, latency=3)
+        low = OccupancyModel(params, 1.0, overhead=0.0, concurrency=1)
+        high = OccupancyModel(params, 1.0, overhead=0.0, concurrency=64)
+        assert high.predict_units("1R1W", 48) > low.predict_units("1R1W", 48)
+
+    def test_saturated_kernels_unaffected(self):
+        """2R2W's kernels have n/w blocks each; with concurrency below that
+        the occupancy model equals the flat one."""
+        params = MachineParams(width=8, latency=3)
+        n = 64  # 8 blocks per kernel
+        flat = OccupancyModel(params, 1.0, 10.0, concurrency=1)
+        occ = OccupancyModel(params, 1.0, 10.0, concurrency=8)
+        assert occ.predict_units("2R2W", n) == pytest.approx(
+            flat.predict_units("2R2W", n)
+        )
+
+
+class TestCalibratedOccupancy:
+    @pytest.fixture(scope="class")
+    def cal(self):
+        return calibrate_occupancy()
+
+    def test_fit_at_least_as_good_as_flat(self, cal):
+        from repro.analysis.calibration import calibrate
+
+        flat = calibrate()
+        assert cal.rms_log_error <= flat.rms_log_error + 0.01
+
+    def test_default_matches_calibration(self, cal):
+        d = default_occupancy_model()
+        assert d.unit_ns == pytest.approx(cal.model.unit_ns, rel=0.15)
+        assert d.concurrency == pytest.approx(cal.model.concurrency, rel=0.3)
+
+    def test_crossover_at_6k(self, cal):
+        """The occupancy model reproduces the paper's exact crossover band:
+        2R1W still wins at 5K, 1R1W wins at 7K."""
+        m = cal.model
+        assert m.predict_ms("2R1W", 5 * 1024) < m.predict_ms("1R1W", 5 * 1024)
+        assert m.predict_ms("1R1W", 7 * 1024) < m.predict_ms("2R1W", 7 * 1024)
+
+    def test_best_p_enters_published_band_at_large_n(self, cal):
+        """At 14K-18K the occupancy model's best p lands within ~2x of the
+        published values (the flat model is ~3-4x high there)."""
+        m = cal.model
+        for k in (14, 16, 18):
+            p, _ = m.best_p(1024 * k)
+            published = TABLE2_BEST_P[TABLE2_SIZES_K.index(k)]
+            assert p <= 2.5 * published
+
+    def test_times_track_published(self, cal):
+        m = cal.model
+        for name in ("2R1W", "1R1W", "1.25R1W"):
+            for k in TABLE2_SIZES_K:
+                ratio = m.predict_ms(name, 1024 * k) / TABLE2_MS[name][TABLE2_SIZES_K.index(k)]
+                assert 0.6 < ratio < 1.5, (name, k, ratio)
+
+    def test_summary(self, cal):
+        assert "concurrency" in cal.summary()

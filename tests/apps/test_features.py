@@ -1,0 +1,93 @@
+"""Tests for Haar-like features."""
+
+import numpy as np
+import pytest
+
+from repro.apps.features import (
+    HAAR_KINDS,
+    HaarFeature,
+    dense_feature_grid,
+    evaluate_features,
+)
+from repro.errors import ShapeError
+from repro.sat.reference import sat_reference
+
+
+@pytest.fixture
+def image(rng):
+    return rng.random((24, 24))
+
+
+def brute(img, feature):
+    total = 0.0
+    for sign, (t, l, b, r) in feature.rectangles():
+        total += sign * img[t : b + 1, l : r + 1].sum()
+    return total
+
+
+class TestFeatureMath:
+    @pytest.mark.parametrize("kind", HAAR_KINDS)
+    def test_matches_brute_force(self, kind, image):
+        f = HaarFeature(kind, 3, 5, 6, 6)
+        sat = sat_reference(image)
+        got = evaluate_features(sat, [f])[0]
+        assert got == pytest.approx(brute(image, f))
+
+    def test_edge_h_on_step_image(self):
+        """A vertical brightness step maximizes the horizontal edge feature."""
+        img = np.zeros((8, 8))
+        img[:, :4] = 1.0
+        sat = sat_reference(img)
+        f = HaarFeature("edge-h", 0, 0, 8, 8)
+        assert evaluate_features(sat, [f])[0] == pytest.approx(32.0)
+
+    def test_uniform_image_gives_zero_for_balanced_kinds(self, rng):
+        img = np.full((12, 12), 0.7)
+        sat = sat_reference(img)
+        for kind in ("edge-h", "edge-v", "checker"):
+            f = HaarFeature(kind, 0, 0, 12, 12)
+            assert evaluate_features(sat, [f])[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_batch_matches_individual(self, image):
+        sat = sat_reference(image)
+        feats = [
+            HaarFeature("edge-h", 0, 0, 4, 4),
+            HaarFeature("line-v", 2, 2, 6, 4),
+            HaarFeature("checker", 5, 5, 4, 4),
+        ]
+        batch = evaluate_features(sat, feats)
+        singles = [evaluate_features(sat, [f])[0] for f in feats]
+        assert np.allclose(batch, singles)
+
+    def test_empty_feature_list(self, image):
+        assert evaluate_features(sat_reference(image), []).size == 0
+
+
+class TestValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ShapeError):
+            HaarFeature("blob", 0, 0, 4, 4)
+
+    def test_line_needs_divisible_by_three(self):
+        with pytest.raises(ShapeError):
+            HaarFeature("line-h", 0, 0, 4, 4)
+        HaarFeature("line-h", 0, 0, 4, 6)  # ok
+
+    def test_checker_needs_even(self):
+        with pytest.raises(ShapeError):
+            HaarFeature("checker", 0, 0, 3, 4)
+
+    def test_minimum_size(self):
+        with pytest.raises(ShapeError):
+            HaarFeature("edge-h", 0, 0, 1, 2)
+
+
+class TestGrid:
+    def test_grid_covers_image(self):
+        feats = dense_feature_grid((16, 16), "edge-h", 8, 8, stride=4)
+        assert len(feats) == 9
+        assert all(f.row + f.height <= 16 and f.col + f.width <= 16 for f in feats)
+
+    def test_grid_respects_stride(self):
+        feats = dense_feature_grid((16, 16), "edge-v", 8, 8, stride=8)
+        assert {(f.row, f.col) for f in feats} == {(0, 0), (0, 8), (8, 0), (8, 8)}

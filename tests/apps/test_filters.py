@@ -1,0 +1,87 @@
+"""Tests for SAT-based filters."""
+
+import numpy as np
+import pytest
+
+from repro.apps.filters import (
+    adaptive_threshold,
+    box_filter,
+    box_sum,
+    local_mean_variance,
+)
+from repro.errors import ShapeError
+
+
+def brute_box_mean(img, radius, r, c):
+    h, w = img.shape
+    win = img[
+        max(0, r - radius) : min(h, r + radius + 1),
+        max(0, c - radius) : min(w, c + radius + 1),
+    ]
+    return win.mean()
+
+
+class TestBoxFilter:
+    def test_matches_brute_force(self, rng):
+        img = rng.random((12, 15))
+        out = box_filter(img, 2)
+        for r in (0, 3, 11):
+            for c in (0, 7, 14):
+                assert out[r, c] == pytest.approx(brute_box_mean(img, 2, r, c))
+
+    def test_radius_zero_is_identity(self, rng):
+        img = rng.random((6, 6))
+        assert np.allclose(box_filter(img, 0), img)
+
+    def test_huge_radius_gives_global_mean(self, rng):
+        img = rng.random((8, 8))
+        assert np.allclose(box_filter(img, 100), img.mean())
+
+    def test_constant_image_unchanged(self):
+        img = np.full((10, 10), 3.5)
+        assert np.allclose(box_filter(img, 3), 3.5)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ShapeError):
+            box_filter(np.zeros((4, 4)), -1)
+
+    def test_box_sum_equals_mean_times_area(self, rng):
+        img = rng.random((9, 9))
+        s = box_sum(img, 1)
+        # interior pixel: area 9
+        assert s[4, 4] == pytest.approx(img[3:6, 3:6].sum())
+
+
+class TestLocalStatistics:
+    def test_variance_nonnegative(self, rng):
+        _, var = local_mean_variance(rng.random((16, 16)), 3)
+        assert (var >= 0).all()
+
+    def test_constant_image_zero_variance(self):
+        _, var = local_mean_variance(np.full((8, 8), 2.0), 2)
+        assert np.allclose(var, 0.0)
+
+    def test_variance_matches_brute_force_interior(self, rng):
+        img = rng.random((11, 11))
+        _, var = local_mean_variance(img, 1)
+        win = img[4:7, 4:7]
+        assert var[5, 5] == pytest.approx(win.var(), abs=1e-10)
+
+    def test_checkerboard_has_max_variance(self):
+        img = np.indices((8, 8)).sum(axis=0) % 2.0
+        _, var = local_mean_variance(img, 1)
+        # interior 3x3 windows contain 4 or 5 ones out of 9
+        assert var[4, 4] == pytest.approx(img[3:6, 3:6].var())
+
+
+class TestAdaptiveThreshold:
+    def test_bright_square_detected(self):
+        img = np.zeros((20, 20))
+        img[8:12, 8:12] = 1.0
+        mask = adaptive_threshold(img, 4, offset=0.01)
+        assert mask[9, 9]
+        assert not mask[0, 0]
+
+    def test_shape_preserved(self, rng):
+        img = rng.random((7, 13))
+        assert adaptive_threshold(img, 2).shape == img.shape

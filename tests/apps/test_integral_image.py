@@ -1,0 +1,59 @@
+"""Tests for the IntegralImage facade."""
+
+import numpy as np
+import pytest
+
+from repro.apps.integral_image import IntegralImage
+from repro.errors import ShapeError
+from repro.machine.params import MachineParams
+from repro.util.matrices import synthetic_image
+
+
+@pytest.fixture
+def image(rng):
+    return rng.random((17, 23))  # deliberately awkward shape
+
+
+class TestCPUBackend:
+    def test_region_sum(self, image):
+        ii = IntegralImage(image)
+        assert ii.region_sum(2, 3, 10, 20) == pytest.approx(image[2:11, 3:21].sum())
+
+    def test_region_mean(self, image):
+        ii = IntegralImage(image)
+        assert ii.region_mean(0, 0, 4, 4) == pytest.approx(image[:5, :5].mean())
+
+    def test_total(self, image):
+        assert IntegralImage(image).total() == pytest.approx(image.sum())
+
+    def test_region_sums_vectorized(self, image):
+        ii = IntegralImage(image)
+        rects = np.array([[0, 0, 16, 22], [5, 5, 9, 9]])
+        sums = ii.region_sums(rects)
+        assert sums[0] == pytest.approx(image.sum())
+        assert sums[1] == pytest.approx(image[5:10, 5:10].sum())
+
+    def test_1d_rejected(self):
+        with pytest.raises(ShapeError):
+            IntegralImage(np.zeros(5))
+
+
+class TestHMMBackends:
+    @pytest.mark.parametrize("algorithm", ["2R1W", "1R1W", "1.25R1W"])
+    def test_padded_hmm_matches_cpu(self, image, algorithm):
+        params = MachineParams(width=8, latency=3)
+        cpu = IntegralImage(image)
+        hmm = IntegralImage(image, algorithm=algorithm, params=params)
+        assert np.allclose(hmm.sat, cpu.sat)
+        assert hmm.sat.shape == image.shape  # cropped back
+        assert hmm.result is not None
+        assert hmm.result.counters.coalesced_elements > 0
+
+    def test_result_none_for_cpu(self, image):
+        assert IntegralImage(image).result is None
+
+    def test_square_multiple_needs_no_padding(self):
+        params = MachineParams(width=8, latency=3)
+        img = synthetic_image(16)
+        ii = IntegralImage(img, algorithm="1R1W", params=params)
+        assert ii.result.n == 16

@@ -1,0 +1,88 @@
+"""Tests for SAT-backed template matching."""
+
+import numpy as np
+import pytest
+
+from repro.apps.matching import find_matches, match_template
+from repro.errors import ShapeError
+
+
+@pytest.fixture
+def scene(rng):
+    img = rng.random((40, 40)) * 0.2
+    template = rng.random((6, 6))
+    img[10:16, 20:26] = template  # plant an exact copy
+    return img, template
+
+
+class TestNCC:
+    def test_exact_copy_scores_one(self, scene):
+        img, template = scene
+        ncc = match_template(img, template)
+        assert ncc[10, 20] == pytest.approx(1.0, abs=1e-9)
+
+    def test_peak_at_planted_location(self, scene):
+        img, template = scene
+        ncc = match_template(img, template)
+        assert np.unravel_index(ncc.argmax(), ncc.shape) == (10, 20)
+
+    def test_scores_bounded(self, scene):
+        img, template = scene
+        ncc = match_template(img, template)
+        assert ncc.min() >= -1.0 and ncc.max() <= 1.0
+
+    def test_invariant_to_affine_intensity(self, scene):
+        """NCC must be unchanged when the image is scaled and shifted."""
+        img, template = scene
+        a = match_template(img, template)
+        b = match_template(3.0 * img + 7.0, template)
+        assert np.allclose(a, b, atol=1e-9)
+
+    def test_flat_windows_score_zero(self):
+        img = np.full((12, 12), 5.0)
+        template = np.random.default_rng(0).random((3, 3))
+        assert np.allclose(match_template(img, template), 0.0)
+
+    def test_output_shape(self, rng):
+        ncc = match_template(rng.random((10, 14)), rng.random((3, 5)))
+        assert ncc.shape == (8, 10)
+
+    def test_template_larger_than_image(self, rng):
+        with pytest.raises(ShapeError):
+            match_template(rng.random((4, 4)), rng.random((5, 5)))
+
+    def test_1d_rejected(self):
+        with pytest.raises(ShapeError):
+            match_template(np.zeros(5), np.zeros((2, 2)))
+
+
+class TestFindMatches:
+    def test_two_planted_copies_found(self, rng):
+        img = rng.random((48, 48)) * 0.1
+        template = rng.random((5, 5))
+        img[5:10, 5:10] = template
+        img[30:35, 20:25] = template
+        matches = find_matches(img, template, threshold=0.95)
+        locations = {(r, c) for r, c, _ in matches}
+        assert (5, 5) in locations
+        assert (30, 20) in locations
+
+    def test_overlapping_peaks_suppressed(self, rng):
+        img = rng.random((20, 20)) * 0.1
+        template = rng.random((4, 4))
+        img[8:12, 8:12] = template
+        matches = find_matches(img, template, threshold=0.5, max_matches=10)
+        for i, (r1, c1, _) in enumerate(matches):
+            for r2, c2, _ in matches[i + 1 :]:
+                assert abs(r1 - r2) >= 4 or abs(c1 - c2) >= 4
+
+    def test_threshold_filters(self, rng):
+        img = rng.random((16, 16))
+        template = rng.random((4, 4))  # not present
+        assert find_matches(img, template, threshold=0.999) == []
+
+    def test_max_matches_respected(self, rng):
+        img = np.tile(np.random.default_rng(1).random((4, 4)), (4, 4))
+        template = img[:4, :4]
+        matches = find_matches(img, template, threshold=0.9, max_matches=3)
+        assert len(matches) == 3

@@ -1,0 +1,73 @@
+"""Tests for summed-area variance shadow maps."""
+
+import numpy as np
+import pytest
+
+from repro.apps.shadows import VarianceShadowMap, shade, synthetic_scene
+from repro.errors import ShapeError
+
+
+class TestMoments:
+    def test_uniform_depth(self):
+        vsm = VarianceShadowMap.from_depth(np.full((8, 8), 0.5))
+        mean, var = vsm.moments(np.array([[0, 0, 7, 7]]))
+        assert mean[0] == pytest.approx(0.5)
+        assert var[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_mixed_depth_moments(self, rng):
+        depth = rng.random((10, 10))
+        vsm = VarianceShadowMap.from_depth(depth)
+        mean, var = vsm.moments(np.array([[2, 3, 6, 8]]))
+        win = depth[2:7, 3:9]
+        assert mean[0] == pytest.approx(win.mean())
+        assert var[0] == pytest.approx(win.var(), abs=1e-10)
+
+
+class TestVisibility:
+    def test_unoccluded_receiver_fully_lit(self):
+        vsm = VarianceShadowMap.from_depth(np.full((8, 8), 1.0))
+        vis = vsm.visibility(np.array([[0, 0, 7, 7]]), np.array([0.5]))
+        assert vis[0] == 1.0
+
+    def test_fully_occluded_receiver_dark(self):
+        vsm = VarianceShadowMap.from_depth(np.full((8, 8), 0.2))
+        vis = vsm.visibility(np.array([[0, 0, 7, 7]]), np.array([1.0]))
+        assert vis[0] < 0.01
+
+    def test_chebyshev_bound_in_unit_interval(self, rng):
+        depth = rng.random((12, 12))
+        vsm = VarianceShadowMap.from_depth(depth)
+        rects = np.array([[0, 0, 5, 5], [3, 3, 11, 11]])
+        vis = vsm.visibility(rects, np.array([0.9, 0.1]))
+        assert ((0 <= vis) & (vis <= 1)).all()
+
+
+class TestScene:
+    def test_synthetic_scene_shapes(self):
+        depth, recv = synthetic_scene(32)
+        assert depth.shape == recv.shape == (32, 32)
+        assert depth.min() >= 0.2 - 1e-9
+        assert depth.max() <= 1.0
+
+    def test_occluders_cast_shadow(self):
+        depth, recv = synthetic_scene(48, n_occluders=4, seed=1)
+        vsm = VarianceShadowMap.from_depth(depth)
+        img = shade(vsm, recv, 2)
+        occluded = depth < 1.0
+        if occluded.any() and (~occluded).any():
+            assert img[occluded].mean() < img[~occluded].mean()
+
+    def test_no_occluders_fully_lit(self):
+        depth = np.full((16, 16), 1.0)
+        vsm = VarianceShadowMap.from_depth(depth)
+        img = shade(vsm, np.full((16, 16), 1.0), 3)
+        assert np.allclose(img, 1.0)
+
+    def test_shape_mismatch_rejected(self):
+        vsm = VarianceShadowMap.from_depth(np.ones((8, 8)))
+        with pytest.raises(ShapeError):
+            shade(vsm, np.ones((4, 4)), 1)
+
+    def test_1d_depth_rejected(self):
+        with pytest.raises(ShapeError):
+            VarianceShadowMap.from_depth(np.ones(8))

@@ -1,0 +1,23 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.machine.params import MachineParams
+
+
+@pytest.fixture
+def tiny_params():
+    """Figure 4 scale: width 4, latency 3."""
+    return MachineParams(width=4, latency=3, num_dmms=2)
+
+
+@pytest.fixture
+def small_params():
+    """Width 8 — fast but exercises real blocking."""
+    return MachineParams(width=8, latency=16, num_dmms=4)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.n == 256
+        assert args.algorithm == "1R1W"
+
+    def test_machine_args(self):
+        args = build_parser().parse_args(["demo", "--width", "8", "--latency", "5"])
+        assert args.width == 8 and args.latency == 5
+
+
+class TestCommands:
+    def test_demo_verifies(self, capsys):
+        rc = main(["demo", "-n", "32", "--width", "8", "--latency", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "verified against numpy oracle: OK" in out
+
+    def test_demo_kr1w(self, capsys):
+        rc = main(
+            ["demo", "-n", "32", "--width", "8", "--latency", "4",
+             "--algorithm", "kR1W", "--p", "0.4"]
+        )
+        assert rc == 0
+
+    def test_table1(self, capsys):
+        rc = main(["table1", "-n", "32", "--width", "8", "--latency", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for name in ("2R2W", "4R4W", "4R1W", "2R1W", "1R1W"):
+            assert name in out
+
+    def test_tune_analytic(self, capsys):
+        rc = main(["tune", "-n", "64", "--width", "8", "--latency", "50"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "best p" in out
+
+    def test_tune_measured(self, capsys):
+        rc = main(["tune", "-n", "64", "--width", "8", "--latency", "50", "--measured"])
+        assert rc == 0
+
+    @pytest.mark.slow
+    def test_crossover(self, capsys):
+        rc = main(["crossover"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "overtakes" in out

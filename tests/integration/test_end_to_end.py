@@ -1,0 +1,105 @@
+"""Integration tests across the full stack."""
+
+import numpy as np
+import pytest
+
+from repro import ALGORITHM_NAMES, MachineParams, compute_sat
+from repro.apps import IntegralImage, box_filter, evaluate_features, dense_feature_grid
+from repro.machine.macro.executor import HMMExecutor
+from repro.sat import make_algorithm, sat_reference
+from repro.sat.cpu import CPU_ALGORITHMS
+from repro.util.matrices import synthetic_image
+
+
+class TestTopLevelAPI:
+    def test_compute_sat_default(self, rng):
+        a = rng.random((64, 64))
+        res = compute_sat(a, params=MachineParams(width=8, latency=3))
+        assert np.allclose(res.sat, sat_reference(a))
+        assert res.algorithm == "1R1W"
+
+    def test_compute_sat_kr1w_with_p(self, rng):
+        a = rng.random((32, 32))
+        res = compute_sat(
+            a, algorithm="kR1W", p=0.3, params=MachineParams(width=8, latency=3)
+        )
+        assert np.allclose(res.sat, sat_reference(a))
+
+    def test_all_named_algorithms_through_api(self, rng):
+        a = rng.random((16, 16))
+        params = MachineParams(width=4, latency=3)
+        sats = [
+            compute_sat(a, algorithm=name, params=params).sat
+            for name in ALGORITHM_NAMES
+        ]
+        for s in sats[1:]:
+            assert np.allclose(s, sats[0])
+
+
+class TestGpuVsCpuAgreement:
+    def test_every_gpu_algorithm_agrees_with_every_cpu_baseline(self, rng):
+        a = rng.random((24, 24))
+        params = MachineParams(width=4, latency=3)
+        gpu = {n: make_algorithm(n).compute(a, params).sat for n in ALGORITHM_NAMES}
+        cpu = {n: fn(a) for n, fn in CPU_ALGORITHMS.items()}
+        reference = sat_reference(a)
+        for name, sat in {**gpu, **cpu}.items():
+            assert np.allclose(sat, reference), name
+
+
+class TestVisionPipeline:
+    def test_image_to_features_via_hmm_sat(self):
+        """Full pipeline: image -> HMM 1R1W SAT -> Haar features == CPU path."""
+        img = synthetic_image(32)
+        params = MachineParams(width=8, latency=3)
+        ii_hmm = IntegralImage(img, algorithm="1R1W", params=params)
+        ii_cpu = IntegralImage(img)
+        feats = dense_feature_grid(img.shape, "edge-v", 8, 8, stride=8)
+        hmm_vals = evaluate_features(ii_hmm.sat, feats)
+        cpu_vals = evaluate_features(ii_cpu.sat, feats)
+        assert np.allclose(hmm_vals, cpu_vals)
+
+    def test_box_filter_preserves_mean(self, rng):
+        img = rng.random((20, 20))
+        filtered = box_filter(img, 2)
+        assert filtered.mean() == pytest.approx(img.mean(), rel=0.1)
+
+
+class TestExecutorReuse:
+    def test_sequential_algorithms_in_one_executor_forbidden_buffer_clash(self, rng):
+        from repro.errors import ShapeError
+
+        params = MachineParams(width=4, latency=3)
+        ex = HMMExecutor(params)
+        make_algorithm("1R1W").compute(rng.random((8, 8)), params, executor=ex)
+        with pytest.raises(ShapeError):
+            make_algorithm("2R2W").compute(rng.random((8, 8)), params, executor=ex)
+
+    def test_counters_accumulate_on_shared_executor(self, rng):
+        params = MachineParams(width=4, latency=3)
+        ex = HMMExecutor(params)
+        res = make_algorithm("2R2W").compute(rng.random((8, 8)), params, executor=ex)
+        assert ex.counters.kernels_launched == res.counters.kernels_launched == 2
+
+
+class TestNumericalRobustness:
+    def test_large_values(self):
+        params = MachineParams(width=4, latency=3)
+        a = np.full((16, 16), 1e12)
+        res = compute_sat(a, algorithm="1R1W", params=params)
+        assert res.sat[-1, -1] == pytest.approx(256e12)
+
+    def test_mixed_magnitudes(self, rng):
+        params = MachineParams(width=4, latency=3)
+        a = rng.random((16, 16)) * np.logspace(0, 6, 16)[None, :]
+        res = compute_sat(a, algorithm="1.25R1W", params=params)
+        assert np.allclose(res.sat, sat_reference(a), rtol=1e-9)
+
+    def test_integer_exactness_all_algorithms(self, rng):
+        """Small-int inputs must produce bit-exact SATs on every algorithm."""
+        a = rng.integers(0, 9, size=(16, 16)).astype(np.float64)
+        params = MachineParams(width=4, latency=3)
+        expected = sat_reference(a)
+        for name in ALGORITHM_NAMES:
+            got = make_algorithm(name).compute(a, params).sat
+            assert np.array_equal(got, expected), name

@@ -1,0 +1,71 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Examples are loaded by path (they are scripts, not package modules) and
+driven with small arguments so the whole set stays fast.
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "examples",
+)
+
+
+def load_example(name: str):
+    path = os.path.join(EXAMPLES_DIR, f"{name}.py")
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_directory_contents():
+    present = {f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")}
+    assert {
+        "quickstart.py",
+        "vision_pipeline.py",
+        "shadow_maps.py",
+        "algorithm_tradeoffs.py",
+        "streaming_sat.py",
+    } <= present
+
+
+def test_quickstart(capsys):
+    load_example("quickstart").main(64)
+    out = capsys.readouterr().out
+    assert "1R1W" in out
+    assert "algorithm comparison" in out
+
+
+def test_vision_pipeline(capsys):
+    load_example("vision_pipeline").main(64)
+    out = capsys.readouterr().out
+    assert "Haar features" in out
+    assert "template matching" in out
+
+
+def test_shadow_maps(capsys):
+    load_example("shadow_maps").main(48)
+    out = capsys.readouterr().out
+    assert "mean visibility" in out
+    assert "penumbra" in out
+
+
+@pytest.mark.slow
+def test_algorithm_tradeoffs(capsys):
+    load_example("algorithm_tradeoffs").main()
+    out = capsys.readouterr().out
+    assert "overtakes 2R1W" in out
+    assert "winner" in out
+
+
+def test_streaming_sat(capsys):
+    load_example("streaming_sat").main(128, 16)
+    out = capsys.readouterr().out
+    assert "verified against the oracle: True" in out
+    assert "doubling" in out

@@ -1,0 +1,142 @@
+"""Tests for the block grid and kR1W triangle partition."""
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.layout.blocking import BlockGrid
+
+
+class TestGrid:
+    def test_basic_counts(self):
+        g = BlockGrid(16, 4)
+        assert g.blocks_per_side == 4
+        assert g.num_blocks == 16
+        assert g.num_diagonals == 7
+
+    def test_origin(self):
+        g = BlockGrid(16, 4)
+        assert g.origin(0, 0) == (0, 0)
+        assert g.origin(2, 3) == (8, 12)
+
+    def test_origin_bounds(self):
+        g = BlockGrid(16, 4)
+        with pytest.raises(ShapeError):
+            g.origin(4, 0)
+
+    def test_all_blocks_row_major(self):
+        g = BlockGrid(8, 4)
+        assert list(g.all_blocks()) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_non_multiple_rejected(self):
+        with pytest.raises(ShapeError):
+            BlockGrid(10, 4)
+
+    def test_degenerate_sizes_rejected(self):
+        with pytest.raises(ShapeError):
+            BlockGrid(0, 4)
+
+
+class TestRectangularGrid:
+    def test_shape_properties(self):
+        g = BlockGrid(8, 4, 16)
+        assert (g.block_rows, g.block_cols) == (2, 4)
+        assert g.num_blocks == 8
+        assert not g.is_square
+        assert g.num_diagonals == 5
+
+    def test_blocks_per_side_square_only(self):
+        with pytest.raises(ShapeError):
+            _ = BlockGrid(8, 4, 16).blocks_per_side
+
+    def test_triangle_partition_square_only(self):
+        with pytest.raises(ShapeError):
+            BlockGrid(8, 4, 16).triangle_partition(0.5)
+
+    def test_diagonals_cover_rectangle(self):
+        g = BlockGrid(8, 4, 20)
+        seen = []
+        for s in range(g.num_diagonals):
+            seen.extend(g.diagonal(s))
+        assert sorted(seen) == sorted(g.all_blocks())
+
+    def test_origin_bounds_rectangular(self):
+        g = BlockGrid(8, 4, 16)
+        assert g.origin(1, 3) == (4, 12)
+        with pytest.raises(ShapeError):
+            g.origin(2, 0)
+        with pytest.raises(ShapeError):
+            g.origin(0, 4)
+
+    def test_non_multiple_cols_rejected(self):
+        with pytest.raises(ShapeError):
+            BlockGrid(8, 4, 10)
+
+
+class TestDiagonals:
+    def test_diagonals_partition_all_blocks(self):
+        g = BlockGrid(20, 4)
+        seen = []
+        for s in range(g.num_diagonals):
+            seen.extend(g.diagonal(s))
+        assert sorted(seen) == sorted(g.all_blocks())
+        assert len(seen) == g.num_blocks  # no duplicates
+
+    def test_diagonal_contents(self):
+        g = BlockGrid(12, 4)  # 3x3 blocks
+        assert g.diagonal(0) == [(0, 0)]
+        assert g.diagonal(2) == [(0, 2), (1, 1), (2, 0)]
+        assert g.diagonal(4) == [(2, 2)]
+
+    def test_diagonal_blocks_are_independent(self):
+        """No block on a diagonal is the up/left neighbor of another."""
+        g = BlockGrid(24, 4)
+        for s in range(g.num_diagonals):
+            blocks = set(g.diagonal(s))
+            for i, j in blocks:
+                assert (i - 1, j) not in blocks
+                assert (i, j - 1) not in blocks
+
+    def test_diagonal_out_of_range(self):
+        g = BlockGrid(8, 4)
+        with pytest.raises(ShapeError):
+            g.diagonal(3)
+        with pytest.raises(ShapeError):
+            g.diagonal(-1)
+
+
+class TestTrianglePartition:
+    @pytest.mark.parametrize("p", [0.0, 0.2, 0.5, 0.8, 1.0])
+    def test_partition_is_disjoint_cover(self, p):
+        g = BlockGrid(32, 4)
+        top, mid, bot = g.triangle_partition(p)
+        combined = sorted(top + mid + bot)
+        assert combined == sorted(g.all_blocks())
+
+    def test_p_zero_everything_in_middle(self):
+        g = BlockGrid(16, 4)
+        top, mid, bot = g.triangle_partition(0.0)
+        assert top == [] and bot == []
+        assert len(mid) == g.num_blocks
+
+    def test_p_one_keeps_main_antidiagonal_in_middle(self):
+        g = BlockGrid(16, 4)
+        top, mid, bot = g.triangle_partition(1.0)
+        m = g.blocks_per_side
+        assert sorted(mid) == sorted(g.diagonal(m - 1))
+
+    def test_triangles_symmetric(self):
+        g = BlockGrid(24, 4)
+        top, _, bot = g.triangle_partition(0.5)
+        assert len(top) == len(bot)
+        m = g.blocks_per_side
+        mirrored = sorted((m - 1 - i, m - 1 - j) for i, j in bot)
+        assert mirrored == sorted(top)
+
+    def test_triangle_growth_monotone_in_p(self):
+        g = BlockGrid(32, 4)
+        sizes = [len(g.triangle_partition(p)[0]) for p in (0, 0.25, 0.5, 0.75, 1)]
+        assert sizes == sorted(sizes)
+
+    def test_bad_p(self):
+        with pytest.raises(ShapeError):
+            BlockGrid(8, 4).triangle_partition(1.5)

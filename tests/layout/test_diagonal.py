@@ -1,0 +1,92 @@
+"""Tests for the diagonal arrangement (Lemma 1 / Figure 6)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.layout.diagonal import DiagonalArrangement, RowMajorArrangement
+
+
+class TestLemma1:
+    @pytest.mark.parametrize("w", [1, 2, 3, 4, 5, 8, 16, 32])
+    def test_diagonal_rows_and_columns_conflict_free(self, w):
+        d = DiagonalArrangement(w)
+        assert d.max_row_conflict() == 1
+        assert d.max_column_conflict() == 1
+
+    @pytest.mark.parametrize("w", [2, 4, 8, 32])
+    def test_row_major_columns_serialize_fully(self, w):
+        r = RowMajorArrangement(w)
+        assert r.max_row_conflict() == 1
+        assert r.max_column_conflict() == w
+
+    def test_figure6_mapping(self):
+        """Figure 6: a[i][j] lands at shared slot (i, (i+j) mod w)."""
+        d = DiagonalArrangement(4)
+        assert d.address(0, 0) == 0
+        assert d.address(1, 0) == 4 + 1  # shifted one slot right
+        assert d.address(1, 3) == 4 + 0  # wraps
+        assert d.address(3, 2) == 12 + 1
+
+
+class TestMappingProperties:
+    @pytest.mark.parametrize("arr_cls", [DiagonalArrangement, RowMajorArrangement])
+    def test_bijective(self, arr_cls):
+        a = arr_cls(8)
+        addresses = {
+            a.address(i, j) for i in range(8) for j in range(8)
+        }
+        assert addresses == set(range(64))
+
+    def test_coordinates_inverse(self):
+        d = DiagonalArrangement(8)
+        for i in range(8):
+            for j in range(8):
+                assert d.coordinates(d.address(i, j)) == (i, j)
+
+    def test_pack_unpack_roundtrip(self, rng):
+        d = DiagonalArrangement(4)
+        m = rng.random((4, 4))
+        assert np.allclose(d.unpack(d.pack(m)), m)
+
+    def test_tall_arrangement(self):
+        d = DiagonalArrangement(4, rows=6)
+        assert d.size == 24
+        assert d.max_column_conflict() <= 2  # 6 rows over 4 banks
+
+    def test_row_and_column_addresses(self):
+        d = DiagonalArrangement(4)
+        assert d.row_addresses(0) == [0, 1, 2, 3]
+        assert sorted(a % 4 for a in d.column_addresses(0)) == [0, 1, 2, 3]
+
+
+class TestValidation:
+    def test_bad_width(self):
+        with pytest.raises(ConfigurationError):
+            DiagonalArrangement(0)
+
+    def test_bad_rows(self):
+        with pytest.raises(ConfigurationError):
+            DiagonalArrangement(4, rows=0)
+
+    def test_out_of_range_element(self):
+        d = DiagonalArrangement(4)
+        with pytest.raises(ShapeError):
+            d.address(4, 0)
+        with pytest.raises(ShapeError):
+            d.address(0, -1)
+
+    def test_pack_wrong_shape(self):
+        with pytest.raises(ShapeError):
+            DiagonalArrangement(4).pack(np.zeros((3, 4)))
+
+    def test_unpack_wrong_shape(self):
+        with pytest.raises(ShapeError):
+            DiagonalArrangement(4).unpack(np.zeros(15))
+
+    def test_coordinates_out_of_range(self):
+        with pytest.raises(ShapeError):
+            DiagonalArrangement(4).coordinates(16)
+
+    def test_conflict_degree_empty(self):
+        assert DiagonalArrangement(4).conflict_degree([]) == 0

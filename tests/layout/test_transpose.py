@@ -1,0 +1,104 @@
+"""Tests for the block transpose (Figure 7) and the full HMM transpose."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.layout.transpose import hmm_transpose, micro_block_transpose
+from repro.machine.macro.executor import HMMExecutor
+from repro.machine.params import MachineParams
+
+
+class TestMicroBlockTranspose:
+    def test_figure7_values(self, tiny_params):
+        block = np.arange(16.0).reshape(4, 4)
+        out, wc, rc = micro_block_transpose(block, tiny_params)
+        assert np.array_equal(out, block.T)
+
+    def test_conflict_free_both_phases(self, tiny_params, rng):
+        _, wc, rc = micro_block_transpose(rng.random((4, 4)), tiny_params)
+        assert wc == 1 and rc == 1
+
+    def test_wrong_shape(self, tiny_params):
+        with pytest.raises(ShapeError):
+            micro_block_transpose(np.zeros((4, 5)), tiny_params)
+
+    @pytest.mark.parametrize("w", [2, 3, 8])
+    def test_other_widths(self, w, rng):
+        p = MachineParams(width=w, latency=2)
+        block = rng.random((w, w))
+        out, wc, rc = micro_block_transpose(block, p)
+        assert np.allclose(out, block.T)
+        assert wc == 1 and rc == 1
+
+
+class TestHMMTranspose:
+    def test_correctness(self, tiny_params, rng):
+        ex = HMMExecutor(tiny_params)
+        a = rng.random((12, 12))
+        ex.gm.install("A", a)
+        hmm_transpose(ex, "A", "AT")
+        assert np.allclose(ex.gm.array("AT"), a.T)
+
+    def test_traffic_is_2n2_coalesced_no_barrier(self, tiny_params, rng):
+        ex = HMMExecutor(tiny_params)
+        n = 16
+        ex.gm.install("A", rng.random((n, n)))
+        hmm_transpose(ex, "A", "AT")
+        assert ex.counters.coalesced_elements == 2 * n * n
+        assert ex.counters.stride_ops == 0
+        assert ex.counters.barriers == 0
+
+    def test_allocates_destination(self, tiny_params):
+        ex = HMMExecutor(tiny_params)
+        ex.gm.install("A", np.zeros((8, 8)))
+        hmm_transpose(ex, "A", "B")
+        assert ex.gm.has("B")
+
+    def test_existing_destination_reused(self, tiny_params, rng):
+        ex = HMMExecutor(tiny_params)
+        a = rng.random((8, 8))
+        ex.gm.install("A", a)
+        ex.gm.alloc("B", (8, 8))
+        hmm_transpose(ex, "A", "B")
+        assert np.allclose(ex.gm.array("B"), a.T)
+
+    def test_double_transpose_is_identity(self, tiny_params, rng):
+        ex = HMMExecutor(tiny_params)
+        a = rng.random((8, 8))
+        ex.gm.install("A", a)
+        hmm_transpose(ex, "A", "B")
+        hmm_transpose(ex, "B", "C")
+        assert np.allclose(ex.gm.array("C"), a)
+
+    def test_rectangular_transpose(self, tiny_params, rng):
+        ex = HMMExecutor(tiny_params)
+        a = rng.random((4, 8))
+        ex.gm.install("A", a)
+        hmm_transpose(ex, "A", "B")
+        assert ex.gm.shape("B") == (8, 4)
+        assert np.allclose(ex.gm.array("B"), a.T)
+
+    def test_wrong_shaped_destination_rejected(self, tiny_params):
+        ex = HMMExecutor(tiny_params)
+        ex.gm.install("A", np.zeros((4, 8)))
+        ex.gm.alloc("B", (4, 8))  # should be (8, 4)
+        with pytest.raises(ShapeError):
+            hmm_transpose(ex, "A", "B")
+
+    def test_non_block_multiple_rejected(self, tiny_params):
+        ex = HMMExecutor(tiny_params)
+        ex.gm.install("A", np.zeros((6, 8)))
+        with pytest.raises(ShapeError):
+            hmm_transpose(ex, "A", "B")
+
+    def test_order_independent(self, rng):
+        """Asynchronous block execution cannot affect the result."""
+        a = rng.random((12, 12))
+        outs = []
+        for seed in (0, 1, 2):
+            ex = HMMExecutor(MachineParams(width=4, latency=3), seed=seed)
+            ex.gm.install("A", a)
+            hmm_transpose(ex, "A", "AT")
+            outs.append(ex.gm.array("AT").copy())
+        assert all(np.array_equal(outs[0], o) for o in outs[1:])

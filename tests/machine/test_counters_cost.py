@@ -1,0 +1,98 @@
+"""Tests for AccessCounters arithmetic and the cost model."""
+
+import pytest
+
+from repro.machine.cost import (
+    CostBreakdown,
+    access_cost,
+    breakdown,
+    cost_formula,
+    timing_chart,
+    transaction_cost,
+)
+from repro.machine.macro.counters import AccessCounters
+from repro.machine.params import MachineParams
+
+
+class TestCounters:
+    def test_add(self):
+        a = AccessCounters(coalesced_elements=4, stride_ops=1, barriers=2)
+        b = AccessCounters(coalesced_elements=6, stride_ops=3)
+        a.add(b)
+        assert a.coalesced_elements == 10
+        assert a.stride_ops == 4
+        assert a.barriers == 2
+
+    def test_diff(self):
+        a = AccessCounters(coalesced_elements=10, barriers=3)
+        earlier = AccessCounters(coalesced_elements=4, barriers=1)
+        d = a.diff(earlier)
+        assert d.coalesced_elements == 6
+        assert d.barriers == 2
+
+    def test_copy_independent(self):
+        a = AccessCounters(stride_ops=1)
+        c = a.copy()
+        c.stride_ops += 1
+        assert a.stride_ops == 1
+
+    def test_global_reads_writes(self):
+        a = AccessCounters(coalesced_elements=5, stride_ops=2)
+        assert a.global_reads_writes == 7
+
+    def test_str_mentions_key_fields(self):
+        s = str(AccessCounters(coalesced_elements=5, barriers=1))
+        assert "coalesced=5" in s and "barriers=1" in s
+
+    def test_as_dict(self):
+        d = AccessCounters(shared_reads=3).as_dict()
+        assert d["shared_reads"] == 3
+
+
+class TestCostModel:
+    def test_access_cost_formula(self):
+        p = MachineParams(width=8, latency=100)
+        c = AccessCounters(coalesced_elements=80, stride_ops=5, barriers=2)
+        assert access_cost(c, p) == 80 / 8 + 5 + 3 * 100
+
+    def test_cost_formula_matches(self):
+        p = MachineParams(width=8, latency=100)
+        assert cost_formula(80, 5, 2, p) == 80 / 8 + 5 + 3 * 100
+
+    def test_transaction_cost_uses_exact_stages(self):
+        p = MachineParams(width=8, latency=10)
+        c = AccessCounters(
+            coalesced_elements=8, coalesced_transactions=2, barriers=0
+        )
+        # misalignment made 8 elements cost 2 transactions
+        assert transaction_cost(c, p) == 2 + 10
+        assert access_cost(c, p) == 1 + 10
+
+    def test_breakdown_sums_to_total(self):
+        p = MachineParams(width=4, latency=7)
+        c = AccessCounters(coalesced_elements=40, stride_ops=3, barriers=1)
+        b = breakdown(c, p)
+        assert isinstance(b, CostBreakdown)
+        assert b.total == access_cost(c, p)
+        assert b.latency == 2 * 7
+
+    def test_zero_traffic_cost_is_latency(self):
+        p = MachineParams(width=4, latency=7)
+        assert access_cost(AccessCounters(), p) == 7
+
+
+class TestTimingChart:
+    def test_empty(self):
+        assert "no kernels" in timing_chart([], MachineParams())[0]
+
+    def test_rows_and_total(self):
+        p = MachineParams(width=4, latency=10)
+        lines = timing_chart([20, 5], p)
+        assert len(lines) == 3
+        assert "total time = 45" in lines[-1]
+
+    def test_each_phase_shows_stage_count(self):
+        p = MachineParams(width=4, latency=10)
+        lines = timing_chart([20, 5], p)
+        assert "stages=20" in lines[0]
+        assert "stages=5" in lines[1]

@@ -1,0 +1,117 @@
+"""Tests for the cycle-exact micro DMM/UMM simulators (Figure 4 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AccessError
+from repro.machine.micro.machines import MicroDMM, MicroUMM
+from repro.machine.micro.memory import BankedMemory
+from repro.machine.micro.warp import MemoryRequest, reads, writes
+
+
+FIGURE4_ADDRESSES = [(0, 7), (1, 5), (2, 15), (3, 0), (4, 10), (5, 11), (6, 12), (7, 9)]
+
+
+class TestFigure4:
+    """The paper's worked example: w=4, warps {7,5,15,0} and {10,11,12,9}."""
+
+    def test_dmm_timing(self, tiny_params):
+        dmm = MicroDMM(tiny_params, 16)
+        result = dmm.access(reads(FIGURE4_ADDRESSES))
+        assert result.stages_per_warp == [2, 1]
+        assert result.total_stages == 3
+        assert result.time == tiny_params.latency + 2
+
+    def test_umm_timing(self, tiny_params):
+        umm = MicroUMM(tiny_params, 16)
+        result = umm.access(reads(FIGURE4_ADDRESSES))
+        assert result.stages_per_warp == [3, 2]
+        assert result.total_stages == 5
+        assert result.time == tiny_params.latency + 4
+
+    def test_umm_slower_than_dmm_on_this_pattern(self, tiny_params):
+        dmm = MicroDMM(tiny_params, 16)
+        umm = MicroUMM(tiny_params, 16)
+        assert umm.access(reads(FIGURE4_ADDRESSES)).time > dmm.access(
+            reads(FIGURE4_ADDRESSES)
+        ).time
+
+
+class TestFunctional:
+    def test_write_then_read(self, tiny_params):
+        dmm = MicroDMM(tiny_params, 8)
+        dmm.access(writes([(0, 3, 42.0)]))
+        result = dmm.access(reads([(0, 3)]))
+        assert result.reads[0] == 42.0
+
+    def test_parallel_reads_return_per_thread(self, tiny_params):
+        umm = MicroUMM(tiny_params, 8)
+        umm.memory.fill_from(np.arange(8.0))
+        result = umm.access(reads([(t, t) for t in range(8)]))
+        assert result.reads == {t: float(t) for t in range(8)}
+
+    def test_clock_accumulates(self, tiny_params):
+        dmm = MicroDMM(tiny_params, 8)
+        t1 = dmm.access(reads([(0, 0)])).time
+        t2 = dmm.access(reads([(0, 1)])).time
+        assert dmm.clock == t1 + t2
+
+    def test_reset_clock(self, tiny_params):
+        dmm = MicroDMM(tiny_params, 8)
+        dmm.access(reads([(0, 0)]))
+        dmm.reset_clock()
+        assert dmm.clock == 0
+        assert dmm.rounds == []
+
+    def test_empty_round_is_free(self, tiny_params):
+        dmm = MicroDMM(tiny_params, 8)
+        result = dmm.access([])
+        assert result.time == 0
+        assert dmm.clock == 0
+
+    def test_coalesced_umm_round_is_minimal(self, tiny_params):
+        umm = MicroUMM(tiny_params, 8)
+        result = umm.access(reads([(t, t) for t in range(4)]))
+        assert result.total_stages == 1
+        assert result.time == tiny_params.latency
+
+    def test_out_of_bounds_raises(self, tiny_params):
+        dmm = MicroDMM(tiny_params, 4)
+        with pytest.raises(AccessError):
+            dmm.access(reads([(0, 99)]))
+
+
+class TestBankedMemory:
+    def test_bounds(self):
+        mem = BankedMemory(4, 4)
+        with pytest.raises(AccessError):
+            mem.load(4)
+        with pytest.raises(AccessError):
+            mem.store(-1, 0.0)
+
+    def test_fill_and_snapshot(self):
+        mem = BankedMemory(6, 4)
+        mem.fill_from([1, 2, 3], offset=2)
+        snap = mem.snapshot()
+        assert list(snap) == [0, 0, 1, 2, 3, 0]
+        snap[0] = 99  # snapshot is independent
+        assert mem.load(0) == 0
+
+    def test_fill_overflow(self):
+        mem = BankedMemory(4, 4)
+        with pytest.raises(AccessError):
+            mem.fill_from([1] * 5)
+
+    def test_store_many_length_mismatch(self):
+        mem = BankedMemory(4, 4)
+        with pytest.raises(AccessError):
+            mem.store_many([0, 1], [1.0])
+
+    def test_load_many(self):
+        mem = BankedMemory(4, 4)
+        mem.fill_from([5, 6, 7, 8])
+        assert mem.load_many([3, 0]) == [8, 5]
+
+    def test_bank_of(self):
+        mem = BankedMemory(16, 4)
+        assert mem.bank_of(7) == 3

@@ -1,0 +1,61 @@
+"""Micro/macro cross-validation: arithmetic charges == simulated stages."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machine.macro.global_memory import transactions_for_run
+from repro.machine.micro.validate import (
+    group_aligned_warps,
+    micro_transactions_for_run,
+    validate_run,
+)
+from repro.machine.params import MachineParams
+
+
+class TestGroupAlignedWarps:
+    def test_aligned_run_one_warp_per_group(self):
+        warps = group_aligned_warps(0, 8, 4)
+        assert warps == [[0, 1, 2, 3], [4, 5, 6, 7]]
+
+    def test_misaligned_run_split_at_boundaries(self):
+        warps = group_aligned_warps(2, 5, 4)
+        assert warps == [[2, 3], [4, 5, 6]]
+
+    def test_empty(self):
+        assert group_aligned_warps(5, 0, 4) == []
+
+    def test_chunks_never_exceed_width(self):
+        for start in range(10):
+            for length in range(1, 30):
+                for warp in group_aligned_warps(start, length, 4):
+                    assert len(warp) <= 4
+                    assert len({a // 4 for a in warp}) == 1  # one group each
+
+
+class TestCrossValidation:
+    @given(st.integers(0, 500), st.integers(0, 300), st.integers(1, 64))
+    def test_arithmetic_equals_simulation(self, start, length, width):
+        assert transactions_for_run(start, length, width) == (
+            micro_transactions_for_run(start, length, width)
+        )
+
+    def test_validate_run_helper(self):
+        params = MachineParams(width=8, latency=2)
+        assert validate_run(3, 20, params)
+
+    def test_every_algorithm_access_shape_is_validated(self):
+        """Spot-check the shapes the SAT algorithms actually issue:
+        aligned blocks, w-runs, and the corner-prefixed (w+1)-runs."""
+        w = 32
+        for start, length in [
+            (0, w),  # block row
+            (5 * w, w * w),  # whole strip
+            (3 * w - 1, w + 1),  # corner-prefixed aux read
+            (0, w + 1),
+            (7, 1),  # single-word
+        ]:
+            assert transactions_for_run(start, length, w) == (
+                micro_transactions_for_run(start, length, w)
+            )

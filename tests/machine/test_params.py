@@ -1,0 +1,78 @@
+"""Tests for MachineParams validation and address math."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.params import SHARED_MATRICES_PER_DMM, MachineParams, gtx_780_ti, tiny
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        p = MachineParams()
+        assert p.width == 32
+        assert p.latency >= 1
+        assert p.num_dmms >= 1
+
+    @pytest.mark.parametrize("width", [0, -1, 2.5, "4"])
+    def test_bad_width_rejected(self, width):
+        with pytest.raises(ConfigurationError):
+            MachineParams(width=width)
+
+    @pytest.mark.parametrize("latency", [0, -3, 1.5])
+    def test_bad_latency_rejected(self, latency):
+        with pytest.raises(ConfigurationError):
+            MachineParams(latency=latency)
+
+    @pytest.mark.parametrize("d", [0, -2])
+    def test_bad_num_dmms_rejected(self, d):
+        with pytest.raises(ConfigurationError):
+            MachineParams(num_dmms=d)
+
+    def test_default_shared_capacity(self):
+        p = MachineParams(width=8)
+        assert p.shared_capacity_words == SHARED_MATRICES_PER_DMM * 64
+
+    def test_shared_capacity_override(self):
+        p = MachineParams(width=4, shared_capacity_words=100)
+        assert p.shared_capacity_words == 100
+
+    def test_shared_capacity_must_hold_one_block(self):
+        with pytest.raises(ConfigurationError):
+            MachineParams(width=8, shared_capacity_words=63)
+
+
+class TestAddressMath:
+    def test_bank_of_interleaves(self):
+        p = MachineParams(width=4)
+        assert [p.bank_of(a) for a in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_address_group(self):
+        p = MachineParams(width=4)
+        assert p.address_group_of(0) == 0
+        assert p.address_group_of(3) == 0
+        assert p.address_group_of(4) == 1
+        assert p.address_group_of(15) == 3
+
+    def test_aliases_match_fields(self):
+        p = MachineParams(width=16, latency=7, num_dmms=3)
+        assert (p.w, p.l, p.d) == (16, 7, 3)
+
+
+class TestPresetsAndCopies:
+    def test_gtx_780_ti_shape(self):
+        p = gtx_780_ti()
+        assert p.width == 32
+        assert p.num_dmms == 15
+
+    def test_tiny_matches_figure4_scale(self):
+        p = tiny()
+        assert p.width == 4
+
+    def test_with_replaces_field(self):
+        p = tiny().with_(latency=99)
+        assert p.latency == 99
+        assert p.width == tiny().width
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            tiny().width = 8

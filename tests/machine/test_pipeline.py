@@ -1,0 +1,89 @@
+"""Tests for DMM/UMM pipeline-stage accounting, incl. the Figure 4 example."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.micro.pipeline import (
+    batch_stages,
+    dmm_stages,
+    pipeline_time,
+    umm_stages,
+)
+
+
+class TestDMMStages:
+    def test_conflict_free_is_one_stage(self):
+        assert dmm_stages([0, 1, 2, 3], 4) == 1
+
+    def test_same_bank_serializes(self):
+        # 7 and 15 share bank 3 at width 4 (the Figure 4 warp W0).
+        assert dmm_stages([7, 5, 15, 0], 4) == 2
+
+    def test_figure4_second_warp(self):
+        assert dmm_stages([10, 11, 12, 9], 4) == 1
+
+    def test_full_conflict(self):
+        assert dmm_stages([0, 4, 8, 12], 4) == 4
+
+    def test_empty(self):
+        assert dmm_stages([], 4) == 0
+
+    def test_bad_width(self):
+        with pytest.raises(ConfigurationError):
+            dmm_stages([0], 0)
+
+
+class TestUMMStages:
+    def test_same_group_is_one_stage(self):
+        assert umm_stages([4, 5, 6, 7], 4) == 1
+
+    def test_figure4_first_warp(self):
+        # {7,5,15,0} -> groups {1,1,3,0} -> 3 stages.
+        assert umm_stages([7, 5, 15, 0], 4) == 3
+
+    def test_figure4_second_warp(self):
+        # {10,11,12,9} -> groups {2,2,3,2} -> 2 stages.
+        assert umm_stages([10, 11, 12, 9], 4) == 2
+
+    def test_fully_scattered(self):
+        assert umm_stages([0, 4, 8, 12], 4) == 4
+
+    def test_empty(self):
+        assert umm_stages([], 4) == 0
+
+
+class TestPipelineTime:
+    def test_single_stage_costs_latency(self):
+        assert pipeline_time(1, 5) == 5
+
+    def test_stages_pipeline(self):
+        # k stages through l-deep pipeline: k + l - 1.
+        assert pipeline_time(3, 5) == 7
+
+    def test_figure4_totals(self):
+        l = 3
+        assert pipeline_time(2 + 1, l) == l + 2  # DMM
+        assert pipeline_time(3 + 2, l) == l + 4  # UMM
+
+    def test_zero_stages_free(self):
+        assert pipeline_time(0, 100) == 0
+
+    def test_negative_stages_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pipeline_time(-1, 5)
+
+    def test_bad_latency(self):
+        with pytest.raises(ConfigurationError):
+            pipeline_time(1, 0)
+
+
+class TestBatchStages:
+    def test_batch_dmm(self):
+        assert batch_stages([[7, 5, 15, 0], [10, 11, 12, 9]], 4, kind="dmm") == [2, 1]
+
+    def test_batch_umm(self):
+        assert batch_stages([[7, 5, 15, 0], [10, 11, 12, 9]], 4, kind="umm") == [3, 2]
+
+    def test_bad_kind(self):
+        with pytest.raises(ConfigurationError):
+            batch_stages([[0]], 4, kind="hmm")

@@ -1,0 +1,92 @@
+"""Unit tests for SharedArray/SharedAllocator beyond the executor paths."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BarrierViolation, SharedMemoryOverflow
+from repro.machine.macro.counters import AccessCounters
+from repro.machine.macro.shared import SharedAllocator, SharedArray
+from repro.machine.params import MachineParams
+
+
+@pytest.fixture
+def counters():
+    return AccessCounters()
+
+
+@pytest.fixture
+def allocator(counters):
+    return SharedAllocator(MachineParams(width=4, latency=2), counters)
+
+
+class TestSharedArray:
+    def test_load_store_counted(self, allocator, counters):
+        a = allocator.alloc((2, 2))
+        a.store((0, 1), 5.0)
+        assert a.load((0, 1)) == 5.0
+        assert counters.shared_writes == 1
+        assert counters.shared_reads == 1
+
+    def test_fill_counts_per_element(self, allocator, counters):
+        a = allocator.alloc((2, 3))
+        a.fill(np.ones((2, 3)))
+        assert counters.shared_writes == 6
+
+    def test_read_all_counts_and_copies(self, allocator, counters):
+        a = allocator.alloc((4,))
+        a.fill(np.arange(4.0))
+        out = a.read_all()
+        assert counters.shared_reads == 4
+        out[0] = 99  # the copy must not alias the shared store
+        assert a.load(0) == 0.0
+
+    def test_charge_manual(self, allocator, counters):
+        a = allocator.alloc((2,))
+        a.charge(reads=10, writes=3)
+        assert (counters.shared_reads, counters.shared_writes) == (10, 3)
+
+    def test_shape_and_words(self, allocator):
+        a = allocator.alloc((3, 5))
+        assert a.shape == (3, 5)
+        assert a.words == 15
+
+    def test_scalar_shape_alloc(self, allocator):
+        a = allocator.alloc(7)
+        assert a.words == 7
+
+    def test_dead_array_raises_everywhere(self, allocator):
+        a = allocator.alloc((2, 2))
+        allocator.reset_all()
+        assert not a.alive
+        for op in (lambda: a.load((0, 0)),
+                   lambda: a.store((0, 0), 1.0),
+                   lambda: a.fill(np.zeros((2, 2))),
+                   lambda: a.read_all(),
+                   lambda: a.data):
+            with pytest.raises(BarrierViolation):
+                op()
+
+    def test_reset_zeroes_backing_store(self, allocator):
+        a = allocator.alloc((2, 2))
+        backing = a._array
+        a.fill(np.full((2, 2), 7.0))
+        allocator.reset_all()
+        assert (backing == 0).all()
+
+
+class TestSharedAllocator:
+    def test_capacity_accounting(self, allocator):
+        cap = allocator.free_words
+        allocator.alloc((cap // 2,))
+        assert allocator.used_words == cap // 2
+        assert allocator.free_words == cap - cap // 2
+
+    def test_overflow_raises(self, allocator):
+        with pytest.raises(SharedMemoryOverflow):
+            allocator.alloc((allocator.free_words + 1,))
+
+    def test_reset_frees_capacity(self, allocator):
+        allocator.alloc((allocator.free_words,))
+        allocator.reset_all()
+        assert allocator.used_words == 0
+        allocator.alloc((1,))  # must succeed again

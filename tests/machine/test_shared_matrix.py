@@ -1,0 +1,74 @@
+"""Tests for the micro shared-memory matrix (Lemma 1 at request level)."""
+
+import numpy as np
+import pytest
+
+from repro.layout.diagonal import DiagonalArrangement, RowMajorArrangement
+from repro.machine.micro.shared_memory import SharedMatrix
+from repro.machine.params import MachineParams
+
+
+@pytest.fixture
+def params():
+    return MachineParams(width=4, latency=3)
+
+
+class TestRoundTrip:
+    def test_load_to_matrix_roundtrip(self, params, rng):
+        m = rng.random((4, 4))
+        sm = SharedMatrix(params)
+        sm.load_matrix(m)
+        assert np.allclose(sm.to_matrix(), m)
+
+    def test_row_and_column_reads(self, params, rng):
+        m = rng.random((4, 4))
+        sm = SharedMatrix(params)
+        sm.load_matrix(m)
+        assert np.allclose(sm.read_row(2), m[2])
+        assert np.allclose(sm.read_column(1), m[:, 1])
+
+    def test_writes(self, params):
+        sm = SharedMatrix(params)
+        sm.write_row(0, [1, 2, 3, 4])
+        sm.write_column(0, [9, 8, 7, 6])
+        out = sm.to_matrix()
+        assert out[0, 0] == 9  # column write overwrote the corner
+        assert list(out[0, 1:]) == [2, 3, 4]
+        assert list(out[:, 0]) == [9, 8, 7, 6]
+
+
+class TestLemma1Timing:
+    """Row AND column access are single-stage under the diagonal arrangement."""
+
+    def test_diagonal_rows_conflict_free(self, params):
+        sm = SharedMatrix(params, DiagonalArrangement(4))
+        for i in range(4):
+            sm.read_row(i)
+            assert sm.last_round().stages_per_warp == [1]
+
+    def test_diagonal_columns_conflict_free(self, params):
+        sm = SharedMatrix(params, DiagonalArrangement(4))
+        for j in range(4):
+            sm.read_column(j)
+            assert sm.last_round().stages_per_warp == [1]
+
+    def test_row_major_columns_fully_serialize(self, params):
+        sm = SharedMatrix(params, RowMajorArrangement(4))
+        sm.read_column(0)
+        assert sm.last_round().stages_per_warp == [4]
+
+    def test_row_major_rows_still_fine(self, params):
+        sm = SharedMatrix(params, RowMajorArrangement(4))
+        sm.read_row(0)
+        assert sm.last_round().stages_per_warp == [1]
+
+    def test_column_sweep_cost_ratio(self, params):
+        """Full column sweep: diagonal is w times cheaper in stages."""
+        diag = SharedMatrix(params, DiagonalArrangement(4))
+        naive = SharedMatrix(params, RowMajorArrangement(4))
+        for j in range(4):
+            diag.read_column(j)
+            naive.read_column(j)
+        diag_stages = sum(r.total_stages for r in diag.dmm.rounds)
+        naive_stages = sum(r.total_stages for r in naive.dmm.rounds)
+        assert naive_stages == 4 * diag_stages

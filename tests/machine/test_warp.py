@@ -1,0 +1,72 @@
+"""Tests for warp partitioning and request construction."""
+
+import pytest
+
+from repro.errors import AccessError
+from repro.machine.micro.warp import (
+    MemoryRequest,
+    partition_into_warps,
+    reads,
+    writes,
+)
+
+
+class TestMemoryRequest:
+    def test_read_request(self):
+        r = MemoryRequest(thread=1, op="read", address=5)
+        assert r.value is None
+
+    def test_write_requires_value(self):
+        with pytest.raises(AccessError):
+            MemoryRequest(thread=0, op="write", address=0)
+
+    @pytest.mark.parametrize("op", ["load", "store", ""])
+    def test_bad_op(self, op):
+        with pytest.raises(AccessError):
+            MemoryRequest(thread=0, op=op, address=0)
+
+    def test_negative_thread_or_address(self):
+        with pytest.raises(AccessError):
+            MemoryRequest(thread=-1, op="read", address=0)
+        with pytest.raises(AccessError):
+            MemoryRequest(thread=0, op="read", address=-1)
+
+
+class TestPartition:
+    def test_groups_by_width(self):
+        reqs = reads([(0, 10), (1, 11), (4, 12), (5, 13)])
+        warps = partition_into_warps(reqs, 4)
+        assert [w.index for w in warps] == [0, 1]
+        assert warps[0].addresses() == [10, 11]
+        assert warps[1].addresses() == [12, 13]
+
+    def test_inactive_warps_skipped(self):
+        # Threads 0 and 8 with width 4: warps 0 and 2 active, warp 1 absent.
+        warps = partition_into_warps(reads([(0, 1), (8, 2)]), 4)
+        assert [w.index for w in warps] == [0, 2]
+
+    def test_dispatch_order_is_round_robin(self):
+        warps = partition_into_warps(reads([(9, 0), (1, 1), (5, 2)]), 4)
+        assert [w.index for w in warps] == [0, 1, 2]
+
+    def test_requests_sorted_by_thread_within_warp(self):
+        warps = partition_into_warps(reads([(3, 30), (1, 10), (2, 20)]), 4)
+        assert [r.thread for r in warps[0].requests] == [1, 2, 3]
+
+    def test_duplicate_thread_rejected(self):
+        with pytest.raises(AccessError, match="two requests"):
+            partition_into_warps(reads([(0, 1), (0, 2)]), 4)
+
+    def test_empty_input(self):
+        assert partition_into_warps([], 4) == []
+
+    def test_active_property(self):
+        warps = partition_into_warps(reads([(0, 0)]), 4)
+        assert warps[0].active
+
+
+class TestConstructors:
+    def test_writes_builder(self):
+        ws = writes([(0, 5, 1.5), (1, 6, 2.5)])
+        assert all(w.op == "write" for w in ws)
+        assert ws[1].value == 2.5

@@ -1,0 +1,139 @@
+"""Structural tests of individual algorithms: barriers, recursion, snapshots."""
+
+import numpy as np
+import pytest
+
+from repro.machine.params import MachineParams
+from repro.sat.algo_1r1w import AUX_BOTTOM, AUX_RIGHT, OneReadOneWrite
+from repro.sat.algo_2r1w import TwoReadOneWrite, recursion_depth
+from repro.sat.algo_4r1w import FourReadOneWrite
+from repro.sat.algo_kr1w import CombinedKR1W, OnePointTwoFiveR1W
+from repro.sat.reference import sat_reference
+from repro.util.matrices import FIGURE3_INPUT, random_matrix
+
+
+class TestBarrierLaws:
+    def test_2r2w_one_barrier(self):
+        from repro.sat.algo_2r2w import TwoReadTwoWrite
+
+        res = TwoReadTwoWrite().compute(random_matrix(8), MachineParams(width=4, latency=2))
+        assert res.counters.barriers == 1
+
+    def test_4r4w_three_barriers(self):
+        from repro.sat.algo_4r4w import FourReadFourWrite
+
+        res = FourReadFourWrite().compute(random_matrix(8), MachineParams(width=4, latency=2))
+        assert res.counters.barriers == 3
+
+    def test_4r1w_2n_minus_2_barriers(self):
+        n = 6
+        res = FourReadOneWrite().compute(random_matrix(n), MachineParams(width=4, latency=2))
+        assert res.counters.barriers == 2 * n - 2
+
+    def test_1r1w_diagonal_barriers(self):
+        params = MachineParams(width=4, latency=2)
+        n = 20  # m = 5 -> 9 stages -> 8 barriers
+        res = OneReadOneWrite().compute(random_matrix(n), params)
+        assert res.counters.barriers == 2 * (n // 4) - 2
+
+    @pytest.mark.parametrize(
+        "n,expected_depth", [(4, 0), (16, 0), (20, 0), (24, 1), (128, 2)]
+    )
+    def test_2r1w_barriers_track_recursion(self, n, expected_depth):
+        """Barriers = 2 + 2r (Lemma 4), r = recursion depth; w=4."""
+        params = MachineParams(width=4, latency=2)
+        assert recursion_depth(n, 4) == expected_depth
+        res = TwoReadOneWrite().compute(random_matrix(n), params)
+        if n <= 4:
+            assert res.counters.barriers == 0  # single-block special case
+        else:
+            assert res.counters.barriers == 2 + 2 * expected_depth
+
+    def test_kr1w_barriers_decrease_with_p(self):
+        params = MachineParams(width=4, latency=2)
+        a = random_matrix(64)
+        barriers = [
+            CombinedKR1W(p=p).compute(a, params).counters.barriers
+            for p in (0.0, 0.5, 1.0)
+        ]
+        assert barriers[0] > barriers[1] > barriers[2]
+
+
+class TestSnapshots:
+    def test_4r1w_stage_snapshot_matches_figure10(self):
+        """After stage 7 on the 9x9 example, exactly diagonals 0..7 are final."""
+        algo = FourReadOneWrite(snapshot_after_stage=7)
+        algo.compute(FIGURE3_INPUT, MachineParams(width=3, latency=2))
+        snap = algo.snapshot
+        expected = sat_reference(FIGURE3_INPUT)
+        n = 9
+        for i in range(n):
+            for j in range(n):
+                if i + j <= 7:
+                    assert snap[i, j] == expected[i, j]
+        # the untouched region still holds input values
+        assert snap[8, 8] == FIGURE3_INPUT[8, 8]
+
+    def test_1r1w_stage_snapshot_matches_figure11(self):
+        """After stage 1 (w=3), blocks (0,0), (0,1), (1,0) hold final SATs."""
+        algo = OneReadOneWrite(snapshot_after_stage=1)
+        algo.compute(FIGURE3_INPUT, MachineParams(width=3, latency=2))
+        snap = algo.snapshot
+        expected = sat_reference(FIGURE3_INPUT)
+        assert np.array_equal(snap[0:3, 0:6], expected[0:3, 0:6])
+        assert np.array_equal(snap[3:6, 0:3], expected[3:6, 0:3])
+        assert np.array_equal(snap[3:6, 3:6], FIGURE3_INPUT[3:6, 3:6])
+
+    def test_2r1w_intermediates_capture(self):
+        algo = TwoReadOneWrite(keep_intermediates=True)
+        algo.compute(FIGURE3_INPUT, MachineParams(width=3, latency=2))
+        assert any("step1" in k for k in algo.intermediates)
+        step1 = next(v for k, v in algo.intermediates.items() if "step1" in k)
+        # Figure 8 'after step 1': column sums of block (0,0) are [0,1,2]
+        assert step1["A.C"][0, 0:3].tolist() == [0, 1, 2]
+        # block sums matrix M: top-left block sums to 3 (Figure 8's sums)
+        assert step1["A.M"][0, 0] == 3
+
+
+class TestAuxBuffers:
+    def test_1r1w_aux_rows_hold_final_sat_boundaries(self):
+        params = MachineParams(width=4, latency=2)
+        a = random_matrix(16, seed=5)
+        from repro.machine.macro.executor import HMMExecutor
+
+        ex = HMMExecutor(params)
+        OneReadOneWrite().compute(a, params, executor=ex)
+        expected = sat_reference(a)
+        aux_b = ex.gm.array(AUX_BOTTOM)
+        aux_r = ex.gm.array(AUX_RIGHT)
+        m = 16 // 4
+        for block_row in range(m - 1):
+            assert np.allclose(aux_b[block_row], expected[(block_row + 1) * 4 - 1])
+        for block_col in range(m - 1):
+            assert np.allclose(aux_r[block_col], expected[:, (block_col + 1) * 4 - 1])
+
+
+class TestKR1WProperties:
+    def test_k_value(self):
+        assert CombinedKR1W(p=0.5).k == 1.25
+        assert CombinedKR1W(p=0.0).k == 1.0
+        assert "1.25" in CombinedKR1W(p=0.5).display_name
+
+    def test_125_instance(self):
+        algo = OnePointTwoFiveR1W()
+        assert algo.p == 0.5
+        assert algo.name == "1.25R1W"
+
+    def test_bad_p_rejected(self):
+        from repro.errors import ShapeError
+
+        with pytest.raises(ShapeError):
+            CombinedKR1W(p=1.5)
+
+    def test_p_zero_traffic_equals_1r1w(self):
+        params = MachineParams(width=4, latency=2)
+        a = random_matrix(32)
+        k = CombinedKR1W(p=0.0).compute(a, params)
+        one = OneReadOneWrite().compute(a, params)
+        assert k.counters.coalesced_elements == one.counters.coalesced_elements
+        assert k.counters.barriers == one.counters.barriers

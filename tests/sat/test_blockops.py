@@ -1,0 +1,138 @@
+"""Tests for the shared per-block computations (Figure 9 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.machine.macro.executor import HMMExecutor
+from repro.machine.params import MachineParams
+from repro.sat.blockops import (
+    apply_offsets,
+    block_sat_inplace,
+    block_total,
+    column_sums,
+    offsets_from_neighbor_rows,
+    row_sums,
+    stage_block_in,
+)
+from repro.sat.reference import sat_reference
+
+
+def run_one_block(fn):
+    """Execute ``fn(ctx)`` as a single block task; return the executor."""
+    ex = HMMExecutor(MachineParams(width=4, latency=3))
+    ex.gm.install("A", np.arange(64.0).reshape(8, 8))
+    ex.run_kernel([fn])
+    return ex
+
+
+class TestStaging:
+    def test_stage_block_in_copies_region(self):
+        seen = {}
+
+        def task(ctx):
+            tile = stage_block_in(ctx, "A", 4, 4, 4, 4)
+            seen["data"] = tile.data.copy()
+
+        ex = run_one_block(task)
+        assert np.allclose(seen["data"], ex.gm.array("A")[4:8, 4:8])
+
+    def test_stage_charges_coalesced(self):
+        def task(ctx):
+            stage_block_in(ctx, "A", 0, 0, 4, 4)
+
+        ex = run_one_block(task)
+        assert ex.counters.coalesced_elements == 16
+        assert ex.counters.shared_writes == 16
+
+
+class TestSums:
+    def test_column_and_row_sums(self):
+        out = {}
+
+        def task(ctx):
+            tile = stage_block_in(ctx, "A", 0, 0, 4, 4)
+            out["cs"] = column_sums(tile)
+            out["rs"] = row_sums(tile)
+            out["total"] = block_total(tile)
+
+        ex = run_one_block(task)
+        block = ex.gm.array("A")[:4, :4]
+        assert np.allclose(out["cs"], block.sum(axis=0))
+        assert np.allclose(out["rs"], block.sum(axis=1))
+        assert out["total"] == block.sum()
+
+    def test_sums_charge_shared_reads(self):
+        def task(ctx):
+            tile = stage_block_in(ctx, "A", 0, 0, 4, 4)
+            column_sums(tile)
+
+        ex = run_one_block(task)
+        assert ex.counters.shared_reads == 16
+
+
+class TestBlockSat:
+    def test_block_sat_inplace(self, rng):
+        out = {}
+
+        def task(ctx):
+            tile = stage_block_in(ctx, "A", 0, 0, 4, 4)
+            block_sat_inplace(tile)
+            out["sat"] = tile.data.copy()
+
+        ex = run_one_block(task)
+        assert np.allclose(out["sat"], sat_reference(ex.gm.array("A")[:4, :4]))
+
+
+class TestApplyOffsets:
+    def test_figure9_composition(self, rng):
+        """Offsets + block SAT must equal the global SAT restricted to a block."""
+        a = rng.random((8, 8))
+        expected = sat_reference(a)
+        # block (1,1): offsets derived from the ground truth
+        top = expected[3, 4:8] - np.concatenate(([expected[3, 3]], expected[3, 4:7]))
+        left = expected[4:8, 3] - np.concatenate(([expected[3, 3]], expected[4:7, 3]))
+        corner = expected[3, 3]
+
+        out = {}
+
+        def task(ctx):
+            tile = stage_block_in(ctx, "A", 4, 4, 4, 4)
+            apply_offsets(tile, top, left, corner)
+            block_sat_inplace(tile)
+            out["sat"] = tile.data.copy()
+
+        ex = HMMExecutor(MachineParams(width=4, latency=3))
+        ex.gm.install("A", a)
+        ex.run_kernel([task])
+        assert np.allclose(out["sat"], expected[4:8, 4:8])
+
+    def test_partial_offsets(self):
+        def task(ctx):
+            tile = stage_block_in(ctx, "A", 0, 0, 4, 4)
+            apply_offsets(tile, top=np.ones(4))
+            assert tile.data[0].min() >= 1
+
+        run_one_block(task)
+
+
+class TestOffsetsFromNeighborRows:
+    def test_reconstruction(self, rng):
+        a = rng.random((8, 8))
+        f = sat_reference(a)
+        above = np.concatenate(([f[3, 3]], f[3, 4:8]))
+        left_t = np.concatenate(([f[3, 3]], f[4:8, 3]))
+        top, left, corner = offsets_from_neighbor_rows(above, left_t)
+        assert corner == f[3, 3]
+        assert np.allclose(top, np.diff(above))
+        assert np.allclose(left, np.diff(left_t))
+
+    def test_none_handling(self):
+        top, left, corner = offsets_from_neighbor_rows(None, None)
+        assert top is None and left is None and corner == 0.0
+
+    def test_corner_from_left_when_no_above(self):
+        left_t = np.array([5.0, 7.0, 9.0])
+        top, left, corner = offsets_from_neighbor_rows(None, left_t)
+        assert corner == 5.0
+        assert top is None
+        assert np.allclose(left, [2.0, 2.0])

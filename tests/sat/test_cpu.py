@@ -1,0 +1,54 @@
+"""Tests for the sequential CPU baselines."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sat.cpu import (
+    CPU_ALGORITHMS,
+    cpu_2r2w,
+    cpu_4r1w,
+    cpu_4r1w_strict,
+    cpu_numpy_2r2w,
+)
+from repro.sat.reference import sat_reference
+
+
+ALL_CPU = [cpu_2r2w, cpu_4r1w, cpu_numpy_2r2w, cpu_4r1w_strict]
+
+
+@pytest.mark.parametrize("fn", ALL_CPU)
+@pytest.mark.parametrize("n", [1, 2, 7, 32])
+def test_matches_reference(fn, n, rng):
+    a = rng.random((n, n))
+    assert np.allclose(fn(a), sat_reference(a))
+
+
+@pytest.mark.parametrize("fn", ALL_CPU)
+def test_rectangular(fn, rng):
+    a = rng.random((5, 9))
+    assert np.allclose(fn(a), sat_reference(a))
+
+
+@pytest.mark.parametrize("fn", ALL_CPU)
+def test_input_not_mutated(fn, rng):
+    a = rng.random((6, 6))
+    before = a.copy()
+    fn(a)
+    assert np.array_equal(a, before)
+
+
+@pytest.mark.parametrize("fn", ALL_CPU)
+def test_1d_rejected(fn):
+    with pytest.raises(ShapeError):
+        fn(np.zeros(4))
+
+
+def test_registry_names():
+    assert set(CPU_ALGORITHMS) == {"2R2W(CPU)", "4R1W(CPU)", "numpy-cumsum(CPU)"}
+
+
+def test_integer_inputs_are_exact(rng):
+    a = rng.integers(0, 100, size=(16, 16)).astype(np.float64)
+    for fn in ALL_CPU:
+        assert np.array_equal(fn(a), sat_reference(a))

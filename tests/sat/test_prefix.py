@@ -1,0 +1,90 @@
+"""Tests for the 1-D prefix-sum substrate (paper ref. [13])."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.machine.params import MachineParams
+from repro.prefix import (
+    exclusive_scan,
+    inclusive_scan,
+    scan_blocked,
+    scan_doubling,
+    scan_sequential,
+)
+
+PARAMS = MachineParams(width=8, latency=16)
+ALL_SCANS = [scan_sequential, scan_blocked, scan_doubling]
+
+
+class TestReference:
+    def test_inclusive(self):
+        assert inclusive_scan([1, 2, 3]).tolist() == [1, 3, 6]
+
+    def test_exclusive(self):
+        assert exclusive_scan([1, 2, 3]).tolist() == [0, 1, 3]
+
+    def test_2d_rejected(self):
+        with pytest.raises(ShapeError):
+            inclusive_scan(np.zeros((2, 2)))
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("fn", ALL_SCANS)
+    @pytest.mark.parametrize("k", [1, 7, 8, 9, 63, 64, 65, 300])
+    def test_matches_oracle(self, fn, k, rng):
+        a = rng.random(k)
+        r = fn(a, PARAMS)
+        assert np.allclose(r.values, np.cumsum(a))
+        assert r.length == k
+
+    @pytest.mark.parametrize("fn", ALL_SCANS)
+    def test_empty_rejected(self, fn):
+        with pytest.raises(ShapeError):
+            fn(np.array([]), PARAMS)
+
+    @pytest.mark.parametrize("fn", ALL_SCANS)
+    def test_order_invariance(self, fn, rng):
+        """Asynchronous block order cannot change the scan (double-buffering
+        in the doubling scan exists exactly for this)."""
+        a = rng.random(200)
+        assert np.allclose(fn(a, PARAMS).values, fn(a, PARAMS).values)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.floats(-50, 50), min_size=1, max_size=120))
+    def test_property_all_scans_agree(self, xs):
+        a = np.array(xs)
+        outs = [fn(a, PARAMS).values for fn in ALL_SCANS]
+        for o in outs[1:]:
+            assert np.allclose(outs[0], o, atol=1e-8)
+
+
+class TestTrafficShape:
+    def test_sequential_is_all_stride(self, rng):
+        r = scan_sequential(rng.random(128), PARAMS)
+        assert r.counters.coalesced_elements == 0
+        assert r.counters.barriers == 0
+
+    def test_blocked_is_coalesced_constant_barriers(self, rng):
+        r = scan_blocked(rng.random(4096), PARAMS)
+        assert r.counters.stride_ops <= 2 * 4096 // (PARAMS.width * 4)  # sums only
+        assert r.counters.barriers == 2
+        assert r.accesses_per_element < 3.2
+
+    def test_doubling_traffic_grows_logarithmically(self, rng):
+        r1 = scan_doubling(rng.random(512), PARAMS)
+        r2 = scan_doubling(rng.random(4096), PARAMS)
+        assert r2.counters.barriers > r1.counters.barriers
+        # ~3k log k: per-element accesses grow with log k.
+        assert r2.accesses_per_element > r1.accesses_per_element
+
+    def test_large_constant_factor_claim(self, rng):
+        """The paper's justification for block algorithms, measured:
+        repeated doubling moves an order of magnitude more data."""
+        a = rng.random(4096)
+        blocked = scan_blocked(a, PARAMS)
+        doubling = scan_doubling(a, PARAMS)
+        assert doubling.accesses_per_element > 5 * blocked.accesses_per_element
+        assert doubling.cost > blocked.cost

@@ -1,0 +1,121 @@
+"""Tests for the SAT oracle and rectangle-sum machinery."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sat.reference import (
+    assert_sat_equal,
+    rectangle_sum,
+    rectangle_sums,
+    sat_reference,
+    undo_sat,
+)
+from repro.util.matrices import FIGURE3_INPUT, FIGURE3_TOTAL
+
+
+class TestSatReference:
+    def test_figure3_total(self):
+        sat = sat_reference(FIGURE3_INPUT)
+        assert sat[-1, -1] == FIGURE3_TOTAL
+
+    def test_figure3_known_cells(self):
+        """Spot-check values the paper prints in Figure 3's SAT."""
+        sat = sat_reference(FIGURE3_INPUT)
+        assert sat[0, :3].tolist() == [0, 0, 0]
+        assert sat[2, 4] == 10  # row 2 shows 0 1 3 6 10 13 15 16 16
+        assert sat[2, -1] == 16
+        assert sat[3, 4] == 17
+        assert sat[4, 4] == 26
+        assert sat[8, 5] == 55
+
+    def test_manual_small_case(self):
+        a = np.array([[1.0, 2], [3, 4]])
+        expected = np.array([[1.0, 3], [4, 10]])
+        assert np.array_equal(sat_reference(a), expected)
+
+    def test_ones_matrix_closed_form(self):
+        n = 7
+        sat = sat_reference(np.ones((n, n)))
+        i, j = np.mgrid[0:n, 0:n]
+        assert np.array_equal(sat, (i + 1.0) * (j + 1.0))
+
+    def test_rectangular_input(self, rng):
+        a = rng.random((3, 7))
+        assert sat_reference(a).shape == (3, 7)
+
+    def test_1d_rejected(self):
+        with pytest.raises(ShapeError):
+            sat_reference(np.zeros(5))
+
+
+class TestRectangleSum:
+    def test_full_matrix(self, rng):
+        a = rng.random((6, 6))
+        sat = sat_reference(a)
+        assert np.isclose(rectangle_sum(sat, 0, 0, 5, 5), a.sum())
+
+    def test_interior_rectangle(self, rng):
+        a = rng.random((8, 8))
+        sat = sat_reference(a)
+        assert np.isclose(rectangle_sum(sat, 2, 3, 5, 6), a[2:6, 3:7].sum())
+
+    def test_single_cell(self, rng):
+        a = rng.random((4, 4))
+        sat = sat_reference(a)
+        assert np.isclose(rectangle_sum(sat, 2, 2, 2, 2), a[2, 2])
+
+    def test_touching_edges(self, rng):
+        a = rng.random((5, 5))
+        sat = sat_reference(a)
+        assert np.isclose(rectangle_sum(sat, 0, 2, 3, 4), a[0:4, 2:5].sum())
+        assert np.isclose(rectangle_sum(sat, 2, 0, 4, 2), a[2:5, 0:3].sum())
+
+    def test_invalid_rectangles(self):
+        sat = sat_reference(np.ones((4, 4)))
+        with pytest.raises(ShapeError):
+            rectangle_sum(sat, 2, 0, 1, 3)  # top > bottom
+        with pytest.raises(ShapeError):
+            rectangle_sum(sat, 0, 0, 4, 0)  # bottom out of range
+
+
+class TestRectangleSums:
+    def test_matches_scalar_version(self, rng):
+        a = rng.random((10, 10))
+        sat = sat_reference(a)
+        rects = np.array([[0, 0, 9, 9], [1, 2, 3, 4], [5, 5, 5, 5], [0, 3, 8, 3]])
+        batch = rectangle_sums(sat, rects)
+        for got, (t, l, b, r) in zip(batch, rects):
+            assert np.isclose(got, rectangle_sum(sat, t, l, b, r))
+
+    def test_shape_validation(self):
+        sat = sat_reference(np.ones((4, 4)))
+        with pytest.raises(ShapeError):
+            rectangle_sums(sat, np.zeros((2, 3)))
+
+    def test_out_of_range(self):
+        sat = sat_reference(np.ones((4, 4)))
+        with pytest.raises(ShapeError):
+            rectangle_sums(sat, np.array([[0, 0, 4, 0]]))
+
+
+class TestUndoSat:
+    def test_roundtrip(self, rng):
+        a = rng.random((7, 9))
+        assert np.allclose(undo_sat(sat_reference(a)), a)
+
+    def test_figure3(self):
+        assert np.allclose(undo_sat(sat_reference(FIGURE3_INPUT)), FIGURE3_INPUT)
+
+
+class TestAssertSatEqual:
+    def test_passes_on_match(self, rng):
+        a = rng.random((5, 5))
+        assert_sat_equal(sat_reference(a), a)
+
+    def test_fails_with_location(self, rng):
+        a = rng.random((5, 5))
+        bad = sat_reference(a)
+        bad[3, 2] += 1
+        with pytest.raises(AssertionError, match=r"\(3, 2\)"):
+            assert_sat_equal(bad, a)

@@ -1,0 +1,107 @@
+"""Tests for the scan kernels."""
+
+import numpy as np
+import pytest
+
+from repro.machine.macro.executor import HMMExecutor
+from repro.machine.params import MachineParams
+from repro.sat.scan import (
+    column_scan_tasks,
+    row_scan_tasks_stride,
+    seeded_column_scan_tasks,
+)
+
+
+@pytest.fixture
+def ex():
+    return HMMExecutor(MachineParams(width=4, latency=3))
+
+
+class TestColumnScan:
+    def test_correctness(self, ex, rng):
+        a = rng.random((8, 8))
+        ex.gm.install("A", a)
+        ex.run_kernel(column_scan_tasks("A", 8, 8, 4))
+        assert np.allclose(ex.gm.array("A"), np.cumsum(a, axis=0))
+
+    def test_all_coalesced(self, ex, rng):
+        ex.gm.install("A", rng.random((8, 8)))
+        ex.run_kernel(column_scan_tasks("A", 8, 8, 4))
+        assert ex.counters.stride_ops == 0
+        assert ex.counters.coalesced_elements == 8 * 8 + 7 * 8
+
+    def test_region_scan(self, ex, rng):
+        a = rng.random((8, 8))
+        ex.gm.install("A", a)
+        ex.run_kernel(column_scan_tasks("A", 4, 4, 4, row0=2, col0=4))
+        expected = a.copy()
+        expected[2:6, 4:8] = np.cumsum(a[2:6, 4:8], axis=0)
+        assert np.allclose(ex.gm.array("A"), expected)
+
+    def test_single_row_noop_write(self, ex, rng):
+        a = rng.random((1, 4))
+        ex.gm.install("A", a)
+        ex.run_kernel(column_scan_tasks("A", 1, 4, 4))
+        assert np.allclose(ex.gm.array("A"), a)
+        assert ex.counters.coalesced_elements == 4  # read only
+
+    def test_non_multiple_cols_rejected(self):
+        with pytest.raises(ValueError):
+            column_scan_tasks("A", 8, 6, 4)
+
+
+class TestRowScanStride:
+    def test_correctness(self, ex, rng):
+        a = rng.random((8, 8))
+        ex.gm.install("A", a)
+        ex.run_kernel(row_scan_tasks_stride("A", 8, 8, 4))
+        assert np.allclose(ex.gm.array("A"), np.cumsum(a, axis=1))
+
+    def test_all_stride(self, ex, rng):
+        ex.gm.install("A", rng.random((8, 8)))
+        ex.run_kernel(row_scan_tasks_stride("A", 8, 8, 4))
+        assert ex.counters.coalesced_elements == 0
+        assert ex.counters.stride_ops == 8 * 8 + 8 * 7
+
+    def test_non_multiple_rows_rejected(self):
+        with pytest.raises(ValueError):
+            row_scan_tasks_stride("A", 6, 8, 4)
+
+
+class TestSeededColumnScan:
+    def test_inclusive_scan_with_seed(self, ex, rng):
+        a = rng.random((6, 4))
+        ex.gm.install("A", a)
+        seed = np.array([10.0, 20.0, 30.0, 40.0])
+        tasks = seeded_column_scan_tasks("A", 6, 4, 4, lambda strip, ctx: seed)
+        ex.run_kernel(tasks)
+        assert np.allclose(ex.gm.array("A"), np.cumsum(a, axis=0) + seed)
+
+    def test_none_seed_means_zero(self, ex, rng):
+        a = rng.random((4, 4))
+        ex.gm.install("A", a)
+        ex.run_kernel(seeded_column_scan_tasks("A", 4, 4, 4, lambda s, c: None))
+        assert np.allclose(ex.gm.array("A"), np.cumsum(a, axis=0))
+
+    def test_row_range_restriction(self, ex, rng):
+        a = rng.random((8, 4))
+        ex.gm.install("A", a)
+        ex.run_kernel(
+            seeded_column_scan_tasks(
+                "A", 8, 4, 4, lambda s, c: None, row_range_for_strip=lambda s: range(2, 5)
+            )
+        )
+        out = ex.gm.array("A")
+        assert np.allclose(out[:2], a[:2])  # untouched
+        assert np.allclose(out[2:5], np.cumsum(a[2:5], axis=0))
+        assert np.allclose(out[5:], a[5:])
+
+    def test_empty_range_is_noop(self, ex, rng):
+        a = rng.random((4, 4))
+        ex.gm.install("A", a)
+        ex.run_kernel(
+            seeded_column_scan_tasks(
+                "A", 4, 4, 4, lambda s, c: None, row_range_for_strip=lambda s: range(0)
+            )
+        )
+        assert np.allclose(ex.gm.array("A"), a)

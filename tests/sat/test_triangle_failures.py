@@ -1,0 +1,77 @@
+"""Failure injection for the kR1W triangle machinery."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.layout.blocking import BlockGrid
+from repro.machine.macro.executor import HMMExecutor
+from repro.machine.params import MachineParams
+from repro.sat.algo_1r1w import alloc_aux_buffers
+from repro.sat.triangle2r1w import (
+    _runs_by_column,
+    _runs_by_row,
+    alloc_triangle_buffers,
+    triangle_phases,
+)
+
+
+@pytest.fixture
+def params():
+    return MachineParams(width=4, latency=3)
+
+
+class TestRunExtraction:
+    def test_contiguous_runs(self):
+        runs = _runs_by_column([(0, 0), (1, 0), (0, 1)])
+        assert runs[0] == range(0, 2)
+        assert runs[1] == range(0, 1)
+
+    def test_non_contiguous_rejected(self):
+        with pytest.raises(ShapeError, match="not contiguous"):
+            _runs_by_column([(0, 0), (2, 0)])
+
+    def test_row_runs_mirror_column_runs(self):
+        blocks = [(0, 0), (0, 1), (1, 0)]
+        assert _runs_by_row(blocks)[0] == range(0, 2)
+
+
+class TestSeededEdgeGuards:
+    """A seeded region must never touch the top/left matrix edge: there
+    would be no final boundary row to seed from."""
+
+    def _run_triangle(self, params, blocks, seeded):
+        ex = HMMExecutor(params)
+        n = 16
+        ex.gm.install("A", np.zeros((n, n)))
+        grid = BlockGrid(n, params.width)
+        alloc_aux_buffers(ex, n)
+        alloc_triangle_buffers(ex.gm, grid)
+        for label, tasks in triangle_phases(
+            "A", grid, blocks, seeded=seeded, label="T"
+        ):
+            ex.run_kernel(tasks, label=label)
+        return ex
+
+    def test_seeded_region_at_top_edge_raises(self, params):
+        with pytest.raises(ShapeError, match="top edge"):
+            self._run_triangle(params, [(0, 3)], seeded=True)
+
+    def test_seeded_region_at_left_edge_raises(self, params):
+        with pytest.raises(ShapeError, match="left edge"):
+            self._run_triangle(params, [(3, 0)], seeded=True)
+
+    def test_unseeded_region_at_edges_is_fine(self, params):
+        self._run_triangle(params, [(0, 0), (0, 1), (1, 0)], seeded=False)
+
+    def test_empty_region_yields_no_phases(self, params):
+        grid = BlockGrid(16, 4)
+        assert list(triangle_phases("A", grid, [], seeded=False, label="T")) == []
+
+
+class TestTriangleBuffersIdempotent:
+    def test_double_alloc_is_noop(self, params):
+        ex = HMMExecutor(params)
+        grid = BlockGrid(16, 4)
+        alloc_triangle_buffers(ex.gm, grid)
+        alloc_triangle_buffers(ex.gm, grid)  # must not raise

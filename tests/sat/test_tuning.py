@@ -1,0 +1,62 @@
+"""Tests for kR1W mixing-parameter tuning."""
+
+import pytest
+
+from repro.machine.params import MachineParams
+from repro.sat.tuning import candidate_ps, tune_analytic, tune_measured
+from repro.util.matrices import random_matrix
+
+
+class TestCandidates:
+    def test_one_block_matrix(self):
+        assert candidate_ps(4, 4) == [0.0]
+
+    def test_covers_zero_and_one(self):
+        ps = candidate_ps(32, 4)
+        assert ps[0] == 0.0 and ps[-1] == 1.0
+
+    def test_count_equals_m_when_small(self):
+        assert len(candidate_ps(32, 4)) == 8  # m = 8
+
+    def test_thinned_when_large(self):
+        ps = candidate_ps(32 * 200, 32, max_candidates=17)
+        assert len(ps) <= 17
+        assert ps[0] == 0.0 and ps[-1] == 1.0
+
+
+class TestTuneMeasured:
+    def test_best_is_argmin_of_sweep(self):
+        params = MachineParams(width=4, latency=50)
+        result = tune_measured(random_matrix(32), params, ps=[0.0, 0.5, 1.0])
+        assert result.best_cost == min(c for _, c in result.sweep)
+        assert any(p == result.best_p for p, _ in result.sweep)
+
+    def test_best_k_property(self):
+        params = MachineParams(width=4, latency=10)
+        result = tune_measured(random_matrix(16), params, ps=[0.5])
+        assert result.best_k == 1.25
+
+
+class TestTuneAnalytic:
+    def test_agrees_with_measured_cost(self):
+        """Analytic sweep values equal measured costs point for point."""
+        params = MachineParams(width=4, latency=37)
+        measured = tune_measured(random_matrix(32), params, ps=[0.0, 0.4, 1.0])
+        analytic = tune_analytic(32, params, ps=[0.0, 0.4, 1.0])
+        for (pm, cm), (pa, ca) in zip(measured.sweep, analytic.sweep):
+            assert pm == pa
+            assert cm == pytest.approx(ca)
+
+    def test_best_p_decreases_with_n(self):
+        """Table II's trend: the optimal p shrinks as matrices grow."""
+        params = MachineParams(width=32, latency=5000)
+        small = tune_analytic(1024, params)
+        large = tune_analytic(16 * 1024, params)
+        assert large.best_p < small.best_p
+
+    def test_latency_pushes_p_up(self):
+        """More latency per barrier favours fewer stages (bigger triangles)."""
+        n = 4096
+        low = tune_analytic(n, MachineParams(width=32, latency=100))
+        high = tune_analytic(n, MachineParams(width=32, latency=50000))
+        assert high.best_p >= low.best_p

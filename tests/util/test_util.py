@@ -1,0 +1,111 @@
+"""Tests for utilities: matrices, validation, formatting."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.util.formatting import format_matrix, format_table, write_result
+from repro.util.matrices import (
+    FIGURE3_INPUT,
+    FIGURE3_TOTAL,
+    gradient_matrix,
+    ones_matrix,
+    pad_to_multiple,
+    random_int_matrix,
+    random_matrix,
+    synthetic_image,
+)
+from repro.util.validation import as_square_matrix, require_multiple
+
+
+class TestMatrices:
+    def test_figure3_shape_and_total(self):
+        assert FIGURE3_INPUT.shape == (9, 9)
+        assert FIGURE3_INPUT.sum() == FIGURE3_TOTAL
+
+    def test_figure3_symmetry(self):
+        """The example is a symmetric diamond."""
+        assert np.array_equal(FIGURE3_INPUT, FIGURE3_INPUT.T)
+        assert np.array_equal(FIGURE3_INPUT, FIGURE3_INPUT[::-1, ::-1])
+
+    def test_random_matrix_deterministic(self):
+        assert np.array_equal(random_matrix(8, seed=1), random_matrix(8, seed=1))
+        assert not np.array_equal(random_matrix(8, seed=1), random_matrix(8, seed=2))
+
+    def test_random_matrix_rectangular(self):
+        assert random_matrix(4, m=6).shape == (4, 6)
+
+    def test_random_int_dtype(self):
+        m = random_int_matrix(8)
+        assert m.dtype == np.float64
+        assert np.array_equal(m, np.round(m))
+
+    def test_gradient_and_ones(self):
+        g = gradient_matrix(4)
+        assert g[2, 3] == 5
+        assert ones_matrix(3).sum() == 9
+
+    def test_synthetic_image_range(self):
+        img = synthetic_image(32)
+        assert img.min() >= 0 and img.max() <= 1
+
+    def test_pad_to_multiple(self):
+        a = np.ones((5, 7))
+        p = pad_to_multiple(a, 4)
+        assert p.shape == (8, 8)
+        assert p[:5, :7].sum() == 35
+        assert p[5:, :].sum() == 0
+
+    def test_pad_noop_when_aligned(self):
+        a = np.ones((8, 8))
+        assert pad_to_multiple(a, 4) is a
+
+    def test_pad_1d_rejected(self):
+        with pytest.raises(ShapeError):
+            pad_to_multiple(np.ones(4), 4)
+
+
+class TestValidation:
+    def test_as_square_accepts_lists(self):
+        m = as_square_matrix([[1, 2], [3, 4]])
+        assert m.shape == (2, 2)
+
+    @pytest.mark.parametrize("bad", [np.zeros(4), np.zeros((2, 3)), np.zeros((0, 0))])
+    def test_as_square_rejects(self, bad):
+        with pytest.raises(ShapeError):
+            as_square_matrix(bad)
+
+    def test_require_multiple(self):
+        require_multiple(8, 4)
+        with pytest.raises(ShapeError):
+            require_multiple(6, 4)
+        with pytest.raises(ShapeError):
+            require_multiple(0, 4)
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["bb", 20.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0]
+        assert set(lines[1]) <= {"-", "+"}
+
+    def test_format_table_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.startswith("My Table")
+
+    def test_write_result(self, tmp_path):
+        path = write_result("unit_test", "hello", results_dir=str(tmp_path))
+        assert os.path.exists(path)
+        assert open(path).read() == "hello\n"
+
+    def test_format_matrix_integers(self):
+        text = format_matrix(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        assert "1" in text and "\n" in text
+
+    def test_format_matrix_floats(self):
+        text = format_matrix(np.array([[1.25, 2.5]]), int_like=True)
+        assert "1.250" in text
