@@ -37,10 +37,14 @@ from .errors import (
     AccessError,
     BarrierViolation,
     ConfigurationError,
+    CorruptionDetected,
+    IdempotenceViolation,
     NotComputedError,
     ReproError,
+    RetryExhausted,
     ShapeError,
     SharedMemoryOverflow,
+    TransientFault,
 )
 from .machine import HMMExecutor, MachineParams, gtx_780_ti
 from .sat import (
@@ -78,13 +82,17 @@ __all__ = [
     "AccessError",
     "BarrierViolation",
     "ConfigurationError",
+    "CorruptionDetected",
     "HMMExecutor",
+    "IdempotenceViolation",
     "MachineParams",
     "NotComputedError",
     "ReproError",
+    "RetryExhausted",
     "SATResult",
     "ShapeError",
     "SharedMemoryOverflow",
+    "TransientFault",
     "__version__",
     "compute_sat",
     "gtx_780_ti",

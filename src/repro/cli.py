@@ -7,6 +7,9 @@ Commands
 ``table2``    calibrated runtime predictions vs the published Table II
 ``tune``      sweep the kR1W mixing parameter at one size
 ``crossover`` locate the 1R1W/2R1W crossover under both runtime models
+``chaos``     run every algorithm under a seeded fault plan; assert the
+              resilience invariant (correct SAT or typed error, never a
+              silently wrong answer)
 """
 
 from __future__ import annotations
@@ -156,6 +159,60 @@ def cmd_crossover(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """Run the chaos suite: all algorithms under one seeded fault plan.
+
+    Exit code 0 means the resilience invariant held for every algorithm
+    (each run ended in an oracle-correct SAT or a typed ``ReproError``);
+    1 means some run produced a silently wrong answer. The whole fault
+    schedule is a pure function of ``--seed``, so a failure reproduces
+    exactly.
+    """
+    from .errors import ConfigurationError
+    from .faults import SILENT_WRONG, FaultPlan, run_chaos_suite
+    from .sat.registry import ALGORITHM_NAMES
+
+    plan = FaultPlan.chaos(seed=args.seed, intensity=args.intensity)
+    params = _params(args)
+    algorithms = args.algorithms.split(",") if args.algorithms else None
+    # A typo'd name is a configuration error, not a chaos outcome: reject
+    # it up front instead of reporting "typed error, invariant HELD".
+    if algorithms is not None:
+        known = ALGORITHM_NAMES + ["kR1W"]
+        unknown = [a for a in algorithms if a not in known]
+        if unknown:
+            raise ConfigurationError(
+                f"unknown algorithm(s) {unknown}; choose from {known}"
+            )
+    outcomes = run_chaos_suite(
+        plan,
+        n=args.n,
+        params=params,
+        algorithms=algorithms,
+        max_task_retries=args.retries,
+    )
+    print(
+        format_table(
+            ["algorithm", "outcome", "error", "retries", "faults injected"],
+            [o.row() for o in outcomes],
+            title=(
+                f"chaos sweep: seed={args.seed}, intensity={args.intensity}, "
+                f"n={args.n}, w={params.width}, l={params.latency}, "
+                f"task retries={args.retries}"
+            ),
+        )
+    )
+    violations = [o for o in outcomes if o.status == SILENT_WRONG]
+    ok = sum(1 for o in outcomes if o.status == "ok")
+    print(
+        f"invariant: {'HELD' if not violations else 'VIOLATED'} "
+        f"({ok}/{len(outcomes)} recovered to a correct SAT, "
+        f"{len(outcomes) - ok - len(violations)} ended in a typed error, "
+        f"{len(violations)} silently wrong)"
+    )
+    return 1 if violations else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -189,6 +246,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("crossover", help="locate the 1R1W/2R1W crossover")
     p.set_defaults(fn=cmd_crossover)
+
+    p = sub.add_parser("chaos", help="fault-inject every algorithm; check the invariant")
+    p.add_argument("-n", type=int, default=64)
+    p.add_argument("--seed", type=int, default=0, help="fault-plan seed")
+    p.add_argument("--intensity", type=float, default=1.0, help="fault-rate scale")
+    p.add_argument("--retries", type=int, default=2, help="executor task retries")
+    p.add_argument(
+        "--algorithms", default="", help="comma-separated subset (default: all)"
+    )
+    _add_machine_args(p)
+    p.set_defaults(fn=cmd_chaos)
     return parser
 
 

@@ -43,3 +43,45 @@ class AccessError(ReproError):
 
 class NotComputedError(ReproError):
     """A result was requested before the producing step had run."""
+
+
+class TransientFault(ReproError):
+    """A recoverable fault: a block task died or a band fetch hiccuped.
+
+    Raised by the fault-injection layer (and by real providers wrapping
+    flaky I/O). The resilience machinery — executor task retry,
+    :class:`~repro.sat.out_of_core.ResilientBandProvider` — catches exactly
+    this type and retries; anything else propagates unchanged.
+    """
+
+
+class CorruptionDetected(ReproError):
+    """Data failed an integrity check (non-finite values, checksum mismatch).
+
+    Corruption is modeled the way GPU ECC surfaces it: poisoned words
+    (NaN) or values that disagree between redundant fetches. Raising here
+    is the whole point of the resilience layer — a corrupted run must end
+    in a typed error, never a silently wrong SAT.
+    """
+
+
+class RetryExhausted(ReproError):
+    """A bounded retry loop used up its budget without a clean attempt.
+
+    Carries the last underlying fault as ``__cause__`` so callers can see
+    what kept failing.
+    """
+
+
+class IdempotenceViolation(BarrierViolation):
+    """A replayed block task diverged from its failed attempt's writes.
+
+    The executor's retry path tracks each attempt's global-memory write
+    set. A replay that writes *different values* to an address the failed
+    attempt already wrote (read-modify-write on global state), or that
+    abandons an address the failed attempt dirtied, cannot be replayed
+    safely — the partial writes of the first attempt would survive or
+    double-apply. Like its parent :class:`BarrierViolation`, this marks a
+    program that smuggles state across the asynchronous HMM's reset
+    boundaries.
+    """

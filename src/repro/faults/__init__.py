@@ -1,0 +1,41 @@
+"""Deterministic fault injection and the chaos harness.
+
+The asynchronous HMM's adversary (Section II–III) reorders block
+execution; this package extends the adversary to memory and I/O — block
+tasks that die, reads that come back poisoned, latency spikes, band
+providers that fail or return garbage — all scheduled deterministically
+from a single seed, and all survivable by the resilience layers this
+package exercises:
+
+* the executor's bounded task retry with write-set idempotence
+  verification (:mod:`repro.machine.macro.executor`);
+* the out-of-core streaming layer's resilient provider, carry-row
+  checksums, checkpoints, and oracle degradation
+  (:mod:`repro.sat.out_of_core`);
+* the chaos harness here, which asserts the end-to-end invariant:
+  *correct SAT or typed* :class:`~repro.errors.ReproError`, *never a
+  silently wrong answer* (``python -m repro chaos``).
+"""
+
+from .harness import (
+    OK,
+    SILENT_WRONG,
+    TYPED_ERROR,
+    ChaosOutcome,
+    run_chaos,
+    run_chaos_suite,
+)
+from .injector import FaultInjector, FaultyGlobalMemory
+from .plan import FaultPlan
+
+__all__ = [
+    "OK",
+    "SILENT_WRONG",
+    "TYPED_ERROR",
+    "ChaosOutcome",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultyGlobalMemory",
+    "run_chaos",
+    "run_chaos_suite",
+]

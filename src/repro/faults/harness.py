@@ -1,0 +1,155 @@
+"""Chaos harness: run SAT algorithms under a fault plan, classify outcomes.
+
+The contract being tested is the resilience invariant:
+
+    under any seeded :class:`FaultPlan`, an algorithm run ends in either a
+    SAT that matches the numpy oracle or a typed
+    :class:`~repro.errors.ReproError` — never a silently wrong answer.
+
+``run_chaos`` runs one algorithm inside the full fault sandwich (faulty
+global memory below it, retrying executor around it, finiteness check
+after it) and reports which of the three outcomes occurred; the chaos CLI
+and the ``tests/faults`` suite assert that ``silent-wrong`` never appears.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import logging
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+from ..machine.macro.executor import HMMExecutor
+from ..machine.params import MachineParams
+from ..sat.reference import sat_reference
+from ..sat.registry import ALGORITHM_NAMES, make_algorithm
+from ..util.matrices import random_matrix
+from ..util.validation import require_finite
+from .injector import FaultInjector, FaultyGlobalMemory
+from .plan import FaultPlan
+
+logger = logging.getLogger("repro.faults")
+
+#: Outcome statuses. ``SILENT_WRONG`` existing as a category is the point:
+#: the harness can *name* the failure mode it exists to rule out.
+OK = "ok"
+TYPED_ERROR = "error"
+SILENT_WRONG = "silent-wrong"
+
+
+@dataclasses.dataclass
+class ChaosOutcome:
+    """What happened to one algorithm under one fault plan."""
+
+    algorithm: str
+    status: str
+    #: Exception class name when ``status == "error"``, else ``None``.
+    error: Optional[str]
+    #: Human-readable one-liner (error message or verification note).
+    detail: str
+    #: Block-task attempts that were replayed after a transient fault.
+    task_retries: int
+    #: What the injector actually injected, by category.
+    injected: Dict[str, int]
+
+    @property
+    def upheld_invariant(self) -> bool:
+        """True unless the run produced a silently wrong SAT."""
+        return self.status != SILENT_WRONG
+
+    def row(self) -> List[str]:
+        """Cells for the CLI table."""
+        injected = ", ".join(f"{k}={v}" for k, v in sorted(self.injected.items()))
+        return [
+            self.algorithm,
+            self.status,
+            self.error or "-",
+            str(self.task_retries),
+            injected or "-",
+        ]
+
+
+def run_chaos(
+    algorithm: str,
+    plan: FaultPlan,
+    *,
+    n: int = 64,
+    params: Optional[MachineParams] = None,
+    max_task_retries: int = 2,
+    input_seed: int = 0,
+) -> ChaosOutcome:
+    """Run one algorithm under ``plan`` and classify the outcome.
+
+    The input matrix depends only on ``(n, input_seed)`` and the fault
+    schedule only on ``plan.seed`` and the run's structure, so identical
+    arguments give identical outcomes — the reproducibility half of the
+    chaos contract.
+    """
+    if params is None:
+        params = MachineParams()
+    a = random_matrix(n, seed=input_seed)
+    injector = FaultInjector(plan)
+    gm = FaultyGlobalMemory(params, injector=injector)
+    executor = HMMExecutor(
+        params,
+        gm,
+        seed=plan.seed,
+        max_task_retries=max_task_retries,
+        injector=injector,
+    )
+    retries = 0
+    try:
+        algo = make_algorithm(algorithm)
+        result = algo.compute(a, params, executor=executor)
+        retries = result.counters.task_retries
+        # Poisoned words that survived to the output are corruption, not
+        # an answer; detect them before anyone consumes the SAT.
+        require_finite(result.sat, what=f"{algorithm} SAT")
+    except ReproError as fault:
+        return ChaosOutcome(
+            algorithm=algorithm,
+            status=TYPED_ERROR,
+            error=type(fault).__name__,
+            detail=str(fault),
+            task_retries=executor.counters.task_retries,
+            injected=dict(injector.stats),
+        )
+    if np.allclose(result.sat, sat_reference(a)):
+        status, detail = OK, "matches numpy oracle"
+    else:
+        status, detail = SILENT_WRONG, "SAT differs from numpy oracle"
+        logger.error("chaos invariant violated for %s: %s", algorithm, detail)
+    return ChaosOutcome(
+        algorithm=algorithm,
+        status=status,
+        error=None,
+        detail=detail,
+        task_retries=retries,
+        injected=dict(injector.stats),
+    )
+
+
+def run_chaos_suite(
+    plan: FaultPlan,
+    *,
+    n: int = 64,
+    params: Optional[MachineParams] = None,
+    algorithms: Optional[Sequence[str]] = None,
+    max_task_retries: int = 2,
+    input_seed: int = 0,
+) -> List[ChaosOutcome]:
+    """Run every (or the given) registered algorithm under ``plan``."""
+    names = list(algorithms) if algorithms is not None else list(ALGORITHM_NAMES)
+    return [
+        run_chaos(
+            name,
+            plan,
+            n=n,
+            params=params,
+            max_task_retries=max_task_retries,
+            input_seed=input_seed,
+        )
+        for name in names
+    ]

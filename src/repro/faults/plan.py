@@ -1,0 +1,179 @@
+"""Seeded, deterministic fault plans.
+
+A :class:`FaultPlan` is a pure value object: every fault decision is a
+function of ``(plan.seed, fault stream, event index)`` hashed through
+BLAKE2 (a keyed cryptographic hash, so distinct decision streams are
+statistically independent — CRC-style linear hashes visibly correlate
+them), meaning the same seed always produces bit-identical fault
+schedules across runs, machines, and ``PYTHONHASHSEED`` values. No global
+RNG state is consumed or mutated.
+
+The asynchronous HMM already treats *ordering* adversarially (the
+executor's randomized block schedule); a plan extends the adversary to
+memory and I/O behaviour:
+
+* **task failures** — a block task dies with
+  :class:`~repro.errors.TransientFault`, either before any global write
+  lands or after all of them have (the harsher replay case);
+* **corrupted reads** — a global-memory read run comes back with a
+  poisoned word, modelled like ECC poisoning (NaN) or a silent bit flip
+  (``garbage`` mode: a huge finite value);
+* **latency spikes** — a memory access stalls the pipeline for extra
+  units, charged to the Section III cost model;
+* **band-provider faults** — an out-of-core fetch raises or returns a
+  corrupted band.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import math
+from typing import Optional
+
+from ..errors import ConfigurationError
+
+_RATE_FIELDS = (
+    "task_failure_rate",
+    "task_failure_after_writes_fraction",
+    "corrupt_read_rate",
+    "latency_spike_rate",
+    "provider_failure_rate",
+    "provider_corruption_rate",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """Immutable description of which faults to inject, derived from a seed.
+
+    All rates are probabilities in ``[0, 1]``; a rate of zero disables
+    that fault class entirely, and :meth:`quiet` gives the all-zero plan
+    (useful to prove the injection plumbing itself costs nothing).
+    """
+
+    seed: int = 0
+    #: Probability that a given (kernel, block) site is faulty.
+    task_failure_rate: float = 0.0
+    #: How many consecutive attempts fail at a faulty site. Keeping this
+    #: at or below the executor's retry budget makes faults transient;
+    #: raising it above the budget forces RetryExhausted.
+    task_failure_depth: int = 1
+    #: Fraction of faulty sites that fail *after* their writes landed.
+    task_failure_after_writes_fraction: float = 0.5
+    #: Probability that one global-memory read call returns corrupted data.
+    corrupt_read_rate: float = 0.0
+    #: ``"nan"`` poisons a word with NaN (detectable by finiteness checks,
+    #: like ECC poisoning); ``"garbage"`` writes a huge finite value
+    #: (detectable only by redundancy, e.g. double-fetch comparison).
+    corruption_mode: str = "nan"
+    #: Probability that one memory access suffers a latency spike.
+    latency_spike_rate: float = 0.0
+    #: Extra pipeline-stall units charged per spike.
+    latency_spike_units: int = 64
+    #: Probability that one band-provider call raises TransientFault.
+    provider_failure_rate: float = 0.0
+    #: Probability that one band-provider call returns a corrupted band.
+    provider_corruption_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in _RATE_FIELDS:
+            rate = getattr(self, name)
+            if not (isinstance(rate, (int, float)) and 0.0 <= rate <= 1.0):
+                raise ConfigurationError(f"{name} must be in [0, 1], got {rate!r}")
+        if self.task_failure_depth < 1:
+            raise ConfigurationError(
+                f"task_failure_depth must be >= 1, got {self.task_failure_depth}"
+            )
+        if self.latency_spike_units < 0:
+            raise ConfigurationError(
+                f"latency_spike_units must be >= 0, got {self.latency_spike_units}"
+            )
+        if self.corruption_mode not in ("nan", "garbage"):
+            raise ConfigurationError(
+                f"corruption_mode must be 'nan' or 'garbage', got {self.corruption_mode!r}"
+            )
+
+    # --- presets ------------------------------------------------------------
+
+    @classmethod
+    def quiet(cls, seed: int = 0) -> "FaultPlan":
+        """A plan that injects nothing (all rates zero)."""
+        return cls(seed=seed)
+
+    @classmethod
+    def chaos(cls, seed: int = 0, *, intensity: float = 1.0) -> "FaultPlan":
+        """The standard chaos-suite plan: every fault class enabled.
+
+        ``intensity`` scales all rates; 1.0 is the default used by
+        ``python -m repro chaos`` and the tests.
+        """
+        if intensity < 0:
+            raise ConfigurationError(f"intensity must be >= 0, got {intensity}")
+
+        def r(x: float) -> float:
+            return min(1.0, x * intensity)
+
+        return cls(
+            seed=seed,
+            task_failure_rate=r(0.15),
+            task_failure_depth=1,
+            corrupt_read_rate=r(0.002),
+            corruption_mode="nan",
+            latency_spike_rate=r(0.01),
+            latency_spike_units=64,
+            provider_failure_rate=r(0.2),
+            provider_corruption_rate=r(0.1),
+        )
+
+    # --- the deterministic decision core ------------------------------------
+
+    def _unit(self, *key) -> float:
+        """Uniform value in [0, 1) derived from (seed, key) via BLAKE2."""
+        data = ":".join(str(k) for k in ("faultplan", self.seed, *key)).encode()
+        digest = hashlib.blake2b(data, digest_size=8).digest()
+        return int.from_bytes(digest, "big") / 2**64
+
+    # --- executor-level decisions -------------------------------------------
+
+    def task_fault_mode(
+        self, kernel_index: int, block_index: int, attempt: int
+    ) -> Optional[str]:
+        """``None`` (no fault), ``"before"`` or ``"after"`` for this attempt."""
+        if attempt >= self.task_failure_depth:
+            return None  # the fault is transient: later attempts succeed
+        if self._unit("task", kernel_index, block_index) >= self.task_failure_rate:
+            return None
+        after = (
+            self._unit("task-mode", kernel_index, block_index)
+            < self.task_failure_after_writes_fraction
+        )
+        return "after" if after else "before"
+
+    def read_corrupted(self, call_index: int) -> bool:
+        return self._unit("read", call_index) < self.corrupt_read_rate
+
+    def corruption_offset(self, call_index: int, size: int) -> int:
+        """Which element of a corrupted read run gets the poisoned word."""
+        return int(self._unit("read-offset", call_index) * size) % max(size, 1)
+
+    def corrupt_value(self, call_index: int) -> float:
+        if self.corruption_mode == "nan":
+            return math.nan
+        # A silent bit flip: huge but finite, sign from the hash.
+        sign = 1.0 if self._unit("garbage-sign", call_index) < 0.5 else -1.0
+        return sign * 2.0**80
+
+    def latency_spike(self, call_index: int) -> int:
+        """Extra latency units for this access (0 = no spike)."""
+        if self._unit("latency", call_index) < self.latency_spike_rate:
+            return self.latency_spike_units
+        return 0
+
+    # --- band-provider decisions --------------------------------------------
+
+    def provider_fails(self, call_index: int) -> bool:
+        return self._unit("provider", call_index) < self.provider_failure_rate
+
+    def provider_corrupts(self, call_index: int) -> bool:
+        return self._unit("provider-corrupt", call_index) < self.provider_corruption_rate

@@ -32,11 +32,17 @@ from .params import MachineParams
 
 
 def access_cost(counters: AccessCounters, params: MachineParams) -> float:
-    """The paper's cost: ``C/w + S + (B+1) * l`` from measured counters."""
+    """The paper's cost: ``C/w + S + (B+1) * l`` from measured counters.
+
+    Injected latency spikes (``fault_latency_units``, zero in fault-free
+    runs) are charged additively: a spike stalls the memory pipeline the
+    same way extra drain latency would.
+    """
     return (
         counters.coalesced_elements / params.width
         + counters.stride_ops
         + (counters.barriers + 1) * params.latency
+        + counters.fault_latency_units
     )
 
 
@@ -46,6 +52,7 @@ def transaction_cost(counters: AccessCounters, params: MachineParams) -> float:
         counters.coalesced_transactions
         + counters.stride_ops
         + (counters.barriers + 1) * params.latency
+        + counters.fault_latency_units
     )
 
 
@@ -77,7 +84,7 @@ class CostBreakdown:
 def breakdown(counters: AccessCounters, params: MachineParams) -> CostBreakdown:
     return CostBreakdown(
         bandwidth=counters.coalesced_elements / params.width + counters.stride_ops,
-        latency=(counters.barriers + 1) * params.latency,
+        latency=(counters.barriers + 1) * params.latency + counters.fault_latency_units,
     )
 
 

@@ -33,6 +33,11 @@ class AccessCounters:
     shared_writes: int = 0
     kernels_launched: int = 0
     blocks_executed: int = 0
+    #: Extra latency units injected by fault simulation (latency spikes).
+    #: Zero in fault-free runs, so the published cost numbers are unchanged.
+    fault_latency_units: int = 0
+    #: Block-task attempts that ended in a transient fault and were replayed.
+    task_retries: int = 0
 
     @property
     def global_reads_writes(self) -> int:

@@ -29,9 +29,10 @@ from typing import Callable, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from ...errors import IdempotenceViolation, RetryExhausted, TransientFault
 from ..params import MachineParams
 from .counters import AccessCounters
-from .global_memory import GlobalMemory
+from .global_memory import GlobalMemory, WriteLog
 from .shared import SharedAllocator
 
 
@@ -74,6 +75,55 @@ class BlockContext:
 BlockTask = Callable[[BlockContext], None]
 
 
+class TaskFaultHook:
+    """Interface the executor calls around each block-task attempt.
+
+    :class:`repro.faults.FaultInjector` implements it; either hook may
+    raise :class:`~repro.errors.TransientFault` to kill the attempt —
+    ``on_task_start`` before any write lands, ``on_task_end`` after the
+    task's whole write set has landed (the harsher case for replay).
+    """
+
+    def on_task_start(self, kernel_index: int, block_index: int, attempt: int) -> None:
+        """Called before the attempt runs; may raise TransientFault."""
+
+    def on_task_end(self, kernel_index: int, block_index: int, attempt: int) -> None:
+        """Called after the attempt's writes landed; may raise TransientFault."""
+
+
+def _verify_idempotent_replay(
+    failed: WriteLog, replay: WriteLog, kernel: str, block_index: int
+) -> None:
+    """Check a successful replay against a failed attempt's write set.
+
+    Two hazards make a replay unsafe (the task is not idempotent):
+
+    * the replay never rewrote an address the failed attempt dirtied — the
+      stale partial write would survive into the final state;
+    * the replay wrote a *different* value to a shared address — the task
+      read global state its own failed attempt had modified (e.g. a
+      read-modify-write accumulation), so retrying double-applies it.
+
+    Values are compared with NaN treated as equal to itself so poisoned
+    words do not masquerade as divergence of the program logic.
+    """
+    for address, value in failed.values.items():
+        if address not in replay.values:
+            raise IdempotenceViolation(
+                f"block {block_index} of kernel {kernel!r}: replay abandoned "
+                f"address {address} written by the failed attempt — stale "
+                "partial write would survive"
+            )
+        replayed = replay.values[address]
+        same = replayed == value or (np.isnan(replayed) and np.isnan(value))
+        if not same:
+            raise IdempotenceViolation(
+                f"block {block_index} of kernel {kernel!r}: replay wrote "
+                f"{replayed!r} where the failed attempt wrote {value!r} "
+                f"(address {address}) — task is not idempotent under replay"
+            )
+
+
 class HMMExecutor:
     """Runs asynchronous-HMM programs and accounts their memory traffic."""
 
@@ -84,6 +134,8 @@ class HMMExecutor:
         *,
         seed: Optional[int] = 0,
         shuffle_blocks: bool = True,
+        max_task_retries: int = 0,
+        injector: Optional["TaskFaultHook"] = None,
     ):
         self.params = params
         self.counters = AccessCounters()
@@ -94,6 +146,10 @@ class HMMExecutor:
         self.traces: List[KernelTrace] = []
         self._rng = random.Random(seed)
         self._shuffle = shuffle_blocks
+        if max_task_retries < 0:
+            raise ValueError(f"max_task_retries must be >= 0, got {max_task_retries}")
+        self.max_task_retries = max_task_retries
+        self.injector = injector
 
     def run_kernel(self, tasks: Iterable[BlockTask], label: str = "") -> KernelTrace:
         """Launch one kernel: run all block tasks (in randomized order).
@@ -109,13 +165,10 @@ class HMMExecutor:
         if self._shuffle:
             self._rng.shuffle(order)
         before = self.counters.copy()
+        kernel_index = self.counters.kernels_launched - 1
+        kernel_name = label or f"kernel{kernel_index}"
         for i in order:
-            shared = SharedAllocator(self.params, self.counters)
-            ctx = BlockContext(self.gm, shared, self.params, i, len(tasks))
-            try:
-                tasks[i](ctx)
-            finally:
-                shared.reset_all()  # asynchronous-HMM DMM reset
+            self._run_task(tasks[i], i, len(tasks), kernel_index, kernel_name)
             self.counters.blocks_executed += 1
         trace = KernelTrace(
             label=label or f"kernel{self.counters.kernels_launched - 1}",
@@ -124,6 +177,61 @@ class HMMExecutor:
         )
         self.traces.append(trace)
         return trace
+
+    def _run_task(
+        self,
+        task: BlockTask,
+        block_index: int,
+        num_blocks: int,
+        kernel_index: int,
+        kernel_name: str,
+    ) -> None:
+        """Run one block task, replaying transient faults up to the budget.
+
+        Every attempt gets a fresh DMM (shared memory), exactly as a GPU
+        rescheduling a failed block would. With ``max_task_retries == 0``
+        and no injector this reduces to the plain fault-free path; with
+        retries enabled, each attempt's global writes are logged so a
+        replay can be verified idempotent before it is accepted.
+        """
+        track_writes = self.max_task_retries > 0
+        failed_log: Optional[WriteLog] = None
+        for attempt in range(self.max_task_retries + 1):
+            shared = SharedAllocator(self.params, self.counters)
+            ctx = BlockContext(self.gm, shared, self.params, block_index, num_blocks)
+            log = self.gm.begin_write_log() if track_writes else None
+            try:
+                if self.injector is not None:
+                    self.injector.on_task_start(kernel_index, block_index, attempt)
+                task(ctx)
+                if self.injector is not None:
+                    self.injector.on_task_end(kernel_index, block_index, attempt)
+            except TransientFault as fault:
+                if attempt == self.max_task_retries:
+                    raise RetryExhausted(
+                        f"block {block_index} of kernel {kernel_name!r} still "
+                        f"failing after {attempt + 1} attempt(s): {fault}"
+                    ) from fault
+                self.counters.task_retries += 1
+                if log is not None:
+                    # Accumulate the dirtied addresses of every failed
+                    # attempt; all of them must be re-covered by the replay.
+                    if failed_log is None:
+                        failed_log = log
+                    else:
+                        failed_log.values.update(log.values)
+                        failed_log.writes_recorded += log.writes_recorded
+                continue
+            else:
+                if failed_log is not None and log is not None:
+                    _verify_idempotent_replay(
+                        failed_log, log, kernel_name, block_index
+                    )
+                return
+            finally:
+                if track_writes:
+                    self.gm.end_write_log()
+                shared.reset_all()  # asynchronous-HMM DMM reset
 
     def map_blocks(
         self,

@@ -29,6 +29,41 @@ from ..params import MachineParams
 from .counters import AccessCounters
 
 
+class WriteLog:
+    """Records every global-memory write issued while it is attached.
+
+    Used by the executor's retry path: each block-task attempt runs under
+    its own log, and a replayed attempt is checked against the failed
+    attempt's log — same addresses, same values — before the replay is
+    accepted as idempotent (see
+    :class:`~repro.errors.IdempotenceViolation`).
+
+    Addresses are the flat linear addresses of
+    :meth:`GlobalMemory.linear_address`, so a single dict covers every
+    buffer without name bookkeeping.
+    """
+
+    def __init__(self):
+        #: Flat linear address -> last value written there.
+        self.values: Dict[int, float] = {}
+        self.writes_recorded: int = 0
+
+    def record(self, start_address: int, values: np.ndarray) -> None:
+        """Record a contiguous run of written words starting at ``start``."""
+        flat = np.asarray(values).ravel()
+        for offset, v in enumerate(flat):
+            self.values[start_address + offset] = float(v)
+        self.writes_recorded += int(flat.size)
+
+    def record_scatter(self, addresses: np.ndarray, values: np.ndarray) -> None:
+        """Record scattered single-word writes."""
+        flat_a = np.asarray(addresses).ravel()
+        flat_v = np.asarray(values).ravel()
+        for a, v in zip(flat_a, flat_v):
+            self.values[int(a)] = float(v)
+        self.writes_recorded += int(flat_a.size)
+
+
 def transactions_for_run(start_address: int, length: int, width: int) -> int:
     """Address groups touched by a contiguous run of ``length`` words.
 
@@ -50,6 +85,27 @@ class GlobalMemory:
         self._buffers: Dict[str, np.ndarray] = {}
         self._base_addresses: Dict[str, int] = {}
         self._next_base = 0
+        self._write_log: Optional[WriteLog] = None
+
+    # --- write-set tracking -------------------------------------------------
+
+    def begin_write_log(self) -> WriteLog:
+        """Attach (and return) a fresh :class:`WriteLog` capturing all writes."""
+        self._write_log = WriteLog()
+        return self._write_log
+
+    def end_write_log(self) -> Optional[WriteLog]:
+        """Detach and return the active write log (``None`` if none)."""
+        log, self._write_log = self._write_log, None
+        return log
+
+    def _log_run_write(self, name: str, row: int, col: int, values) -> None:
+        if self._write_log is not None and np.asarray(values).size:
+            self._write_log.record(self.linear_address(name, row, col), values)
+
+    def _log_scatter_write(self, addresses, values) -> None:
+        if self._write_log is not None:
+            self._write_log.record_scatter(addresses, values)
 
     # --- allocation --------------------------------------------------------
 
@@ -150,6 +206,7 @@ class GlobalMemory:
             raise ShapeError("write_hrun takes a 1-D value array")
         arr, idx = self._hrun_slice(name, row, col, values.shape[0])
         self._charge_coalesced(name, row, col, values.shape[0])
+        self._log_run_write(name, row, col, values)
         arr[idx] = values
 
     def read_block(self, name: str, row: int, col: int, height: int, width: int) -> np.ndarray:
@@ -225,6 +282,9 @@ class GlobalMemory:
         h, wdt = values.shape
         arr = self._strip_slice(name, row, col, h, wdt)
         self._charge_strip_coalesced(name, row, col, h, wdt)
+        if self._write_log is not None:
+            for r in range(h):
+                self._log_run_write(name, row + r, col, values[r])
         arr[row : row + h, col : col + wdt] = values
 
     def read_strip_stride(
@@ -248,6 +308,9 @@ class GlobalMemory:
         h, wdt = values.shape
         arr = self._strip_slice(name, row, col, h, wdt)
         self.counters.stride_ops += h * wdt
+        if self._write_log is not None:
+            for r in range(h):
+                self._log_run_write(name, row + r, col, values[r])
         arr[row : row + h, col : col + wdt] = values
 
     # --- scattered (fancy-indexed) access: always stride ----------------------
@@ -282,6 +345,9 @@ class GlobalMemory:
         if values.shape != rows.shape:
             raise ShapeError("values must match the index arrays' shape")
         self.counters.stride_ops += int(rows.size)
+        if self._write_log is not None and rows.size:
+            base = self._base_addresses[name]
+            self._log_scatter_write(base + rows * arr.shape[1] + cols, values)
         arr[rows, cols] = values
 
     # --- stride (vertical-run / scattered) access -----------------------------
@@ -310,6 +376,10 @@ class GlobalMemory:
             raise ShapeError("write_vrun takes a 1-D value array")
         arr = self._vrun_check(name, col, row, values.shape[0])
         self.counters.stride_ops += values.shape[0]
+        if self._write_log is not None and values.shape[0]:
+            base = self._base_addresses[name] + col
+            addresses = base + (row + np.arange(values.shape[0])) * arr.shape[1]
+            self._log_scatter_write(addresses, values)
         arr[row : row + values.shape[0], col] = values
 
     def read_at(self, name: str, row: int, col: int = 0):
@@ -321,8 +391,10 @@ class GlobalMemory:
 
     def write_at(self, name: str, row: int, col: int, value) -> None:
         """Stride write of a single word."""
-        self.linear_address(name, row, col)
+        address = self.linear_address(name, row, col)
         self.counters.stride_ops += 1
+        if self._write_log is not None:
+            self._write_log.record(address, np.asarray([value]))
         arr = self._require(name)
         if arr.ndim == 1:
             arr[row] = value

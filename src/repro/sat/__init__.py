@@ -32,7 +32,17 @@ from .reference import (
     sat_reference,
     undo_sat,
 )
-from .out_of_core import PeakMemoryMeter, sat_out_of_core, sat_streamed
+from .out_of_core import (
+    PeakMemoryMeter,
+    ResilientBandProvider,
+    StreamCheckpoint,
+    StreamReport,
+    carry_checksum,
+    sat_out_of_core,
+    sat_out_of_core_resilient,
+    sat_streamed,
+    sat_streamed_resilient,
+)
 from .registry import ALGORITHM_NAMES, make_algorithm
 from .tuning import TuningResult, candidate_ps, tune_analytic, tune_measured
 
@@ -45,8 +55,14 @@ __all__ = [
     "MATRIX_BUFFER",
     "OnePointTwoFiveR1W",
     "PeakMemoryMeter",
+    "ResilientBandProvider",
+    "StreamCheckpoint",
+    "StreamReport",
+    "carry_checksum",
     "sat_out_of_core",
+    "sat_out_of_core_resilient",
     "sat_streamed",
+    "sat_streamed_resilient",
     "OneReadOneWrite",
     "SATAlgorithm",
     "SATResult",

@@ -16,12 +16,19 @@ HMM-simulated ones), so the carry row plays exactly the role of 1R1W's
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Optional, Tuple
+import dataclasses
+import logging
+import zlib
+from typing import Callable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from ..errors import ShapeError
+from ..errors import CorruptionDetected, RetryExhausted, ReproError, ShapeError, TransientFault
+from ..util.backoff import Clock, ExponentialBackoff, FakeClock
+from ..util.validation import require_finite
 from .reference import sat_reference
+
+logger = logging.getLogger("repro.sat.out_of_core")
 
 #: A band provider maps (row0, row1) -> the matrix rows [row0, row1).
 BandProvider = Callable[[int, int], np.ndarray]
@@ -61,16 +68,22 @@ def sat_streamed(
     carry = np.zeros(n_cols)
     for row0 in range(0, n_rows, band_rows):
         row1 = min(row0 + band_rows, n_rows)
-        band = np.asarray(provider(row0, row1), dtype=np.float64)
+        # Copy unconditionally: providers commonly return views of backing
+        # storage, and a band_sat that works in place must never be able
+        # to reach back through the view and mutate the source.
+        band = np.array(provider(row0, row1), dtype=np.float64, copy=True)
         if band.shape != (row1 - row0, n_cols):
             raise ShapeError(
                 f"provider returned shape {band.shape} for rows [{row0}, {row1}) "
                 f"of a {shape} matrix"
             )
+        require_finite(band, what=f"provider band rows [{row0}, {row1})")
         sat_band = np.asarray(band_sat(band), dtype=np.float64)
         if sat_band.shape != band.shape:
             raise ShapeError("band_sat must preserve the band's shape")
         sat_band = sat_band + carry[None, :]
+        # This also validates the next carry row — it is sat_band's last row.
+        require_finite(sat_band, what=f"SAT band rows [{row0}, {row1})")
         carry = sat_band[-1].copy()
         yield row0, sat_band
 
@@ -96,6 +109,317 @@ def sat_out_of_core(
     ):
         out[row0 : row0 + sat_band.shape[0]] = sat_band
     return out
+
+
+# --- resilience layer ---------------------------------------------------------
+
+
+def carry_checksum(carry: np.ndarray) -> int:
+    """CRC-32 of a carry row's bytes — the streaming layer's integrity tag.
+
+    The carry row is the only state threaded between bands; a corrupted
+    carry poisons every band after it, so it is the one thing worth
+    checksumming at each hand-off.
+    """
+    arr = np.ascontiguousarray(np.asarray(carry, dtype=np.float64))
+    return zlib.crc32(arr.tobytes())
+
+
+@dataclasses.dataclass(frozen=True)
+class StreamCheckpoint:
+    """Resumable position of a banded SAT stream.
+
+    ``row0`` is the first row *not yet* computed; ``carry`` is the
+    finished SAT's row ``row0 - 1`` (zeros at ``row0 == 0``). ``checksum``
+    guards the carry across whatever storage the checkpoint lived in.
+    """
+
+    row0: int
+    carry: np.ndarray
+    checksum: int
+
+    @classmethod
+    def initial(cls, n_cols: int) -> "StreamCheckpoint":
+        carry = np.zeros(n_cols)
+        return cls(row0=0, carry=carry, checksum=carry_checksum(carry))
+
+    @classmethod
+    def at(cls, row0: int, carry: np.ndarray) -> "StreamCheckpoint":
+        carry = np.array(carry, dtype=np.float64, copy=True)
+        return cls(row0=row0, carry=carry, checksum=carry_checksum(carry))
+
+    def restore(self) -> np.ndarray:
+        """Validate and return a private copy of the carry row."""
+        carry = np.asarray(self.carry, dtype=np.float64)
+        if carry.ndim != 1:
+            raise ShapeError(f"checkpoint carry must be 1-D, got ndim={carry.ndim}")
+        if carry_checksum(carry) != self.checksum:
+            raise CorruptionDetected(
+                f"checkpoint at row {self.row0} failed its carry checksum "
+                f"(expected {self.checksum}, got {carry_checksum(carry)})"
+            )
+        require_finite(carry, what=f"checkpoint carry at row {self.row0}")
+        return carry.copy()
+
+
+@dataclasses.dataclass
+class StreamReport:
+    """What the resilient stream survived — surfaced, not just logged."""
+
+    bands_completed: int = 0
+    #: band_sat invocations that raised a ReproError and were retried.
+    band_sat_retries: int = 0
+    #: ``row0`` of every band that fell back to the numpy oracle.
+    degraded_bands: List[int] = dataclasses.field(default_factory=list)
+    #: ``row0`` the stream resumed from (``None`` for a fresh run).
+    resumed_at: Optional[int] = None
+    checkpoints_written: int = 0
+    #: Human-readable fault log, in order.
+    events: List[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.degraded_bands)
+
+    def note(self, message: str) -> None:
+        self.events.append(message)
+        logger.warning("%s", message)
+
+    def summary(self) -> str:
+        return (
+            f"bands={self.bands_completed}, band_sat_retries={self.band_sat_retries}, "
+            f"degraded={len(self.degraded_bands)}, "
+            f"resumed_at={self.resumed_at}, checkpoints={self.checkpoints_written}"
+        )
+
+
+class ResilientBandProvider:
+    """Wraps a flaky provider with bounded retry and read verification.
+
+    * :class:`~repro.errors.TransientFault` from the provider is retried
+      with deterministic exponential backoff on an injected clock (a
+      :class:`~repro.util.backoff.FakeClock` by default — no real
+      sleeping, ever, unless a caller opts into a real clock).
+    * With ``verify_reads`` (default), every band is fetched twice and the
+      two copies compared; a disagreement means a transient corruption and
+      is retried too. Redundant fetching doubles traffic but is the only
+      detector that catches *finite* garbage, not just NaN poison.
+    * A band containing non-finite values in both fetches raises
+      :class:`~repro.errors.CorruptionDetected`, which is also retried —
+      a deterministic corruption thus ends in
+      :class:`~repro.errors.RetryExhausted` rather than an infinite loop.
+    """
+
+    def __init__(
+        self,
+        provider: BandProvider,
+        *,
+        max_retries: int = 3,
+        backoff: Optional[ExponentialBackoff] = None,
+        clock: Optional[Clock] = None,
+        verify_reads: bool = True,
+    ):
+        if max_retries < 0:
+            raise ShapeError(f"max_retries must be >= 0, got {max_retries}")
+        self._provider = provider
+        self.max_retries = max_retries
+        self.backoff = backoff if backoff is not None else ExponentialBackoff()
+        self.clock = clock if clock is not None else FakeClock()
+        self.verify_reads = verify_reads
+        self.fetches = 0
+        self.retries = 0
+        self.corruptions_detected = 0
+
+    def _fetch(self, row0: int, row1: int) -> np.ndarray:
+        self.fetches += 1
+        return np.array(self._provider(row0, row1), dtype=np.float64, copy=True)
+
+    def _attempt(self, row0: int, row1: int) -> np.ndarray:
+        band = self._fetch(row0, row1)
+        if self.verify_reads:
+            again = self._fetch(row0, row1)
+            same = band.shape == again.shape and np.array_equal(
+                band, again, equal_nan=True
+            )
+            if not same:
+                self.corruptions_detected += 1
+                raise CorruptionDetected(
+                    f"band [{row0}, {row1}): redundant fetches disagree — "
+                    "transient corruption"
+                )
+        require_finite(band, what=f"band [{row0}, {row1})")
+        return band
+
+    def __call__(self, row0: int, row1: int) -> np.ndarray:
+        for attempt in range(self.max_retries + 1):
+            try:
+                return self._attempt(row0, row1)
+            except (TransientFault, CorruptionDetected) as fault:
+                if attempt == self.max_retries:
+                    raise RetryExhausted(
+                        f"band [{row0}, {row1}) still failing after "
+                        f"{attempt + 1} attempt(s): {fault}"
+                    ) from fault
+                self.retries += 1
+                delay = self.backoff.pause(self.clock, attempt)
+                logger.warning(
+                    "band [%d, %d) attempt %d failed (%s: %s); retrying after %gs",
+                    row0, row1, attempt, type(fault).__name__, fault, delay,
+                )
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+def sat_streamed_resilient(
+    provider: BandProvider,
+    shape: Tuple[int, int],
+    band_rows: int,
+    *,
+    band_sat: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    oracle_fallback: bool = True,
+    max_band_attempts: int = 3,
+    backoff: Optional[ExponentialBackoff] = None,
+    clock: Optional[Clock] = None,
+    checkpoint: Optional[StreamCheckpoint] = None,
+    on_checkpoint: Optional[Callable[[StreamCheckpoint], None]] = None,
+    report: Optional[StreamReport] = None,
+) -> Iterator[Tuple[int, np.ndarray]]:
+    """:func:`sat_streamed` hardened against faulty kernels and interruptions.
+
+    Differences from the plain stream:
+
+    * ``band_sat`` failures (any :class:`~repro.errors.ReproError`, e.g. a
+      fault-injected HMM run exhausting its retries) are retried up to
+      ``max_band_attempts`` times with deterministic backoff; if the band
+      still fails, the computation **degrades** to the numpy oracle for
+      that band (``oracle_fallback``), recording it in ``report`` — or
+      raises :class:`~repro.errors.RetryExhausted` when fallback is off.
+    * after each band a :class:`StreamCheckpoint` ``(row0, carry,
+      checksum)`` is handed to ``on_checkpoint``; an interrupted stream
+      resumes from its last checkpoint via ``checkpoint=`` without
+      recomputing (or re-fetching) finished bands.
+    * the carry row's integrity is checksum-verified on restore, so a
+      corrupted checkpoint raises
+      :class:`~repro.errors.CorruptionDetected` instead of silently
+      poisoning every remaining band.
+
+    Each ``band_sat`` attempt receives a private copy of the band, so a
+    kernel that mutates its input cannot corrupt the retry or the oracle
+    fallback.
+    """
+    n_rows, n_cols = shape
+    if n_rows <= 0 or n_cols <= 0:
+        raise ShapeError(f"matrix shape must be positive, got {shape}")
+    if band_rows <= 0:
+        raise ShapeError(f"band_rows must be positive, got {band_rows}")
+    if max_band_attempts < 1:
+        raise ShapeError(f"max_band_attempts must be >= 1, got {max_band_attempts}")
+    if band_sat is None:
+        band_sat = sat_reference
+    if backoff is None:
+        backoff = ExponentialBackoff()
+    if clock is None:
+        clock = FakeClock()
+    if report is None:
+        report = StreamReport()
+
+    start_row = 0
+    carry = np.zeros(n_cols)
+    if checkpoint is not None:
+        restored = checkpoint.restore()
+        if restored.shape != (n_cols,):
+            raise ShapeError(
+                f"checkpoint carry has {restored.shape[0]} columns, "
+                f"stream has {n_cols}"
+            )
+        if not 0 <= checkpoint.row0 <= n_rows:
+            raise ShapeError(
+                f"checkpoint row {checkpoint.row0} outside matrix of {n_rows} rows"
+            )
+        start_row, carry = checkpoint.row0, restored
+        report.resumed_at = checkpoint.row0
+        report.note(f"resumed from checkpoint at row {checkpoint.row0}")
+
+    for row0 in range(start_row, n_rows, band_rows):
+        row1 = min(row0 + band_rows, n_rows)
+        band = np.array(provider(row0, row1), dtype=np.float64, copy=True)
+        if band.shape != (row1 - row0, n_cols):
+            raise ShapeError(
+                f"provider returned shape {band.shape} for rows [{row0}, {row1}) "
+                f"of a {shape} matrix"
+            )
+        require_finite(band, what=f"provider band rows [{row0}, {row1})")
+
+        sat_band: Optional[np.ndarray] = None
+        last_fault: Optional[ReproError] = None
+        for attempt in range(max_band_attempts):
+            try:
+                candidate = np.asarray(band_sat(band.copy()), dtype=np.float64)
+                if candidate.shape != band.shape:
+                    raise ShapeError("band_sat must preserve the band's shape")
+                require_finite(
+                    candidate, what=f"band_sat output for rows [{row0}, {row1})"
+                )
+                sat_band = candidate
+                break
+            except ReproError as fault:
+                last_fault = fault
+                if attempt + 1 < max_band_attempts:
+                    report.band_sat_retries += 1
+                    delay = backoff.pause(clock, attempt)
+                    report.note(
+                        f"band [{row0}, {row1}) attempt {attempt} failed "
+                        f"({type(fault).__name__}: {fault}); retrying after {delay}s"
+                    )
+        if sat_band is None:
+            if oracle_fallback:
+                report.degraded_bands.append(row0)
+                report.note(
+                    f"band [{row0}, {row1}) failed {max_band_attempts} attempts "
+                    f"({type(last_fault).__name__}); degrading to numpy oracle"
+                )
+                sat_band = sat_reference(band)
+            else:
+                raise RetryExhausted(
+                    f"band [{row0}, {row1}) failed {max_band_attempts} "
+                    f"band_sat attempt(s): {last_fault}"
+                ) from last_fault
+
+        sat_band = sat_band + carry[None, :]
+        require_finite(sat_band, what=f"SAT band rows [{row0}, {row1})")
+        carry = sat_band[-1].copy()
+        report.bands_completed += 1
+        if on_checkpoint is not None:
+            on_checkpoint(StreamCheckpoint.at(row1, carry))
+            report.checkpoints_written += 1
+        yield row0, sat_band
+
+
+def sat_out_of_core_resilient(
+    a: np.ndarray,
+    band_rows: int,
+    **kwargs,
+) -> Tuple[np.ndarray, StreamReport]:
+    """Resilient convenience wrapper; returns ``(sat, report)``.
+
+    Accepts every :func:`sat_streamed_resilient` keyword. The in-memory
+    matrix stands in for whatever disk/network source a real deployment
+    streams from.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    if a.ndim != 2:
+        raise ShapeError(f"SAT input must be 2-D, got ndim={a.ndim}")
+    if kwargs.get("checkpoint") is not None:
+        # A resumed stream only yields the *remaining* bands; this wrapper
+        # promises the full SAT, so resume callers must drive
+        # sat_streamed_resilient themselves (keeping their earlier bands).
+        raise ShapeError("sat_out_of_core_resilient cannot resume; use sat_streamed_resilient")
+    report = kwargs.pop("report", None) or StreamReport()
+    out = np.empty_like(a)
+    for row0, sat_band in sat_streamed_resilient(
+        lambda r0, r1: a[r0:r1], a.shape, band_rows, report=report, **kwargs
+    ):
+        out[row0 : row0 + sat_band.shape[0]] = sat_band
+    return out, report
 
 
 class PeakMemoryMeter:

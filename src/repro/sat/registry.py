@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable, Dict, List
 
 from ..errors import ConfigurationError
@@ -34,11 +35,48 @@ def make_algorithm(name: str, **kwargs) -> SATAlgorithm:
     ``p=0.25``); it is reachable as ``make_algorithm("kR1W", p=0.25)``.
     """
     if name == "kR1W":
-        return CombinedKR1W(**kwargs)
+        factory: Callable[..., SATAlgorithm] = CombinedKR1W
+    else:
+        try:
+            factory = _FACTORIES[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown SAT algorithm {name!r}; choose from {ALGORITHM_NAMES + ['kR1W']}"
+            ) from None
+    _check_kwargs(name, factory, kwargs)
     try:
-        factory = _FACTORIES[name]
-    except KeyError:
+        return factory(**kwargs)
+    except TypeError as exc:
+        # Anything signature-shaped that slipped past the explicit check
+        # (e.g. a missing required argument) is still a config problem.
         raise ConfigurationError(
-            f"unknown SAT algorithm {name!r}; choose from {ALGORITHM_NAMES + ['kR1W']}"
-        ) from None
-    return factory(**kwargs)
+            f"invalid arguments for SAT algorithm {name!r}: {exc}"
+        ) from exc
+
+
+def _check_kwargs(name: str, factory: Callable[..., SATAlgorithm], kwargs: Dict) -> None:
+    """Reject keyword arguments the factory cannot accept, by name.
+
+    Without this, ``make_algorithm("1R1W", p=0.5)`` escapes as a raw
+    ``TypeError`` from the constructor; callers catching
+    :class:`~repro.errors.ReproError` (the package contract) never see it.
+    """
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):  # builtins without introspectable signatures
+        return
+    parameters = signature.parameters.values()
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters):
+        return
+    accepted = {
+        p.name
+        for p in parameters
+        if p.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD, inspect.Parameter.KEYWORD_ONLY)
+    }
+    unexpected = sorted(set(kwargs) - accepted)
+    if unexpected:
+        raise ConfigurationError(
+            f"SAT algorithm {name!r} does not accept argument(s) "
+            f"{', '.join(repr(k) for k in unexpected)}; accepted: "
+            f"{sorted(accepted) or 'none'}"
+        )

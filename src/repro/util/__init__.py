@@ -1,5 +1,6 @@
 """Shared utilities: validation, matrix generators, table formatting."""
 
+from .backoff import Clock, ExponentialBackoff, FakeClock, SystemClock
 from .formatting import format_matrix, format_table, write_result
 from .matrices import (
     FIGURE3_INPUT,
@@ -11,11 +12,15 @@ from .matrices import (
     random_matrix,
     synthetic_image,
 )
-from .validation import as_square_matrix, require_multiple
+from .validation import as_square_matrix, require_finite, require_multiple
 
 __all__ = [
     "FIGURE3_INPUT",
     "FIGURE3_TOTAL",
+    "Clock",
+    "ExponentialBackoff",
+    "FakeClock",
+    "SystemClock",
     "as_square_matrix",
     "format_matrix",
     "format_table",
@@ -24,6 +29,7 @@ __all__ = [
     "pad_to_multiple",
     "random_int_matrix",
     "random_matrix",
+    "require_finite",
     "require_multiple",
     "synthetic_image",
     "write_result",

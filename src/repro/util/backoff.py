@@ -1,0 +1,86 @@
+"""Deterministic retry pacing: injectable clocks and exponential backoff.
+
+Resilient components (the executor's task retry, the out-of-core
+:class:`~repro.sat.out_of_core.ResilientBandProvider`) must never block the
+test suite on real ``time.sleep`` calls, and their pacing must be exactly
+reproducible from a seed. Both follow from making the clock an injected
+dependency: production code may pass :class:`SystemClock`, everything else
+uses :class:`FakeClock`, which merely records how long it *would* have
+slept.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+
+class Clock:
+    """Minimal clock interface: ``now()`` and ``sleep(seconds)``."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """Wall-clock implementation for production use."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class FakeClock(Clock):
+    """A clock that advances only when told to — no real sleeping.
+
+    ``sleeps`` records every requested delay so tests can assert the exact
+    deterministic backoff schedule.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self.sleeps: List[float] = []
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(float(seconds))
+        self._now += float(seconds)
+
+    def advance(self, seconds: float) -> None:
+        self._now += float(seconds)
+
+
+class ExponentialBackoff:
+    """Deterministic exponential backoff: ``base * factor**attempt``, capped.
+
+    No jitter on purpose — the resilience layer's contract is that a seed
+    reproduces the entire fault-and-recovery timeline bit for bit.
+    """
+
+    def __init__(self, base: float = 0.01, factor: float = 2.0, cap: float = 1.0):
+        if base < 0 or factor < 1.0 or cap < 0:
+            raise ValueError(
+                f"backoff needs base >= 0, factor >= 1, cap >= 0; "
+                f"got base={base}, factor={factor}, cap={cap}"
+            )
+        self.base = base
+        self.factor = factor
+        self.cap = cap
+
+    def delay(self, attempt: int) -> float:
+        """Delay before retry number ``attempt`` (0-based)."""
+        return min(self.cap, self.base * self.factor**attempt)
+
+    def pause(self, clock: Clock, attempt: int) -> float:
+        """Sleep the attempt's delay on ``clock``; returns the delay."""
+        d = self.delay(attempt)
+        clock.sleep(d)
+        return d

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import ShapeError
+from ..errors import CorruptionDetected, ShapeError
 
 
 def as_square_matrix(a, *, name: str = "matrix") -> np.ndarray:
@@ -25,3 +25,22 @@ def require_multiple(n: int, w: int, *, what: str = "matrix size") -> None:
         raise ShapeError(
             f"{what} must be a positive multiple of the machine width w={w}, got {n}"
         )
+
+
+def require_finite(a, *, what: str = "array", error=CorruptionDetected) -> np.ndarray:
+    """Raise ``error`` unless every element of ``a`` is finite.
+
+    NaN/Inf are how poisoned words (fault injection, ECC-style corruption,
+    a buggy provider) surface in float data; letting one through a
+    streaming pipeline silently poisons every later band, so callers check
+    at ingestion. Returns the validated array for chaining.
+    """
+    arr = np.asarray(a)
+    if arr.size and not np.isfinite(arr).all():
+        bad = np.argwhere(~np.isfinite(np.atleast_1d(arr)))
+        count = len(bad)
+        raise error(
+            f"{what} contains {count} non-finite value{'s' if count != 1 else ''} "
+            f"(first at index {tuple(bad[0])})"
+        )
+    return arr

@@ -1,0 +1,99 @@
+"""The chaos invariant, end to end.
+
+For every registered algorithm under a seeded fault plan, the outcome is
+either a SAT matching the numpy oracle or a typed ``ReproError`` — never a
+silently wrong answer — and the same seed reproduces the same fault
+schedule and the same outcome.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.cli import main
+from repro.faults import OK, SILENT_WRONG, TYPED_ERROR, FaultPlan, run_chaos, run_chaos_suite
+from repro.machine.params import MachineParams
+from repro.sat.registry import ALGORITHM_NAMES
+
+#: Small machine so the whole matrix of seeds x algorithms stays fast.
+PARAMS = MachineParams(width=8, latency=4)
+CHAOS_SEEDS = [0, 1, 2]
+
+
+def suite(seed):
+    return run_chaos_suite(FaultPlan.chaos(seed=seed), n=32, params=PARAMS)
+
+
+class TestInvariant:
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_never_silently_wrong(self, seed):
+        outcomes = suite(seed)
+        assert [o.algorithm for o in outcomes] == ALGORITHM_NAMES
+        for o in outcomes:
+            assert o.upheld_invariant, f"{o.algorithm}: {o.detail}"
+            assert o.status in (OK, TYPED_ERROR)
+            if o.status == TYPED_ERROR:
+                assert o.error is not None
+
+    def test_faults_actually_injected(self):
+        """The invariant must not hold vacuously: across the seeds, faults
+        fire and at least one run recovers to a correct SAT."""
+        all_outcomes = [o for seed in CHAOS_SEEDS for o in suite(seed)]
+        assert any(o.injected for o in all_outcomes)
+        assert any(o.status == OK and o.task_retries > 0 for o in all_outcomes)
+        assert any(o.status == TYPED_ERROR for o in all_outcomes)
+
+    def test_quiet_plan_everything_correct(self):
+        outcomes = run_chaos_suite(FaultPlan.quiet(seed=0), n=32, params=PARAMS)
+        for o in outcomes:
+            assert o.status == OK, f"{o.algorithm}: {o.detail}"
+            assert o.task_retries == 0
+            assert o.injected == {}
+
+
+class TestReproducibility:
+    def test_same_seed_identical_outcomes(self):
+        first, second = suite(0), suite(0)
+        assert [dataclasses.asdict(o) for o in first] == [
+            dataclasses.asdict(o) for o in second
+        ]
+
+    def test_different_seed_different_schedule(self):
+        stats_by_seed = [
+            [o.injected for o in suite(seed)] for seed in CHAOS_SEEDS
+        ]
+        assert stats_by_seed[0] != stats_by_seed[1]
+
+
+class TestChaosCLI:
+    def test_cli_exit_zero_and_reproducible(self, capsys):
+        argv = ["chaos", "--seed", "0", "-n", "32", "--width", "8", "--latency", "4"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert "invariant: HELD" in first
+        for name in ALGORITHM_NAMES:
+            assert name in first
+
+    def test_cli_subset_and_silent_wrong_categories(self, capsys):
+        assert (
+            main(["chaos", "--seed", "1", "-n", "32", "--width", "8",
+                  "--latency", "4", "--algorithms", "1R1W,2R2W"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "4R4W" not in out
+
+    def test_cli_rejects_unknown_algorithm_up_front(self):
+        """A typo'd --algorithms entry is a configuration error, not a
+        chaos outcome — it must not exit 0 with 'invariant: HELD'."""
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="9R9W"):
+            main(["chaos", "--seed", "0", "--algorithms", "9R9W"])
+
+    def test_run_chaos_single(self):
+        outcome = run_chaos("1R1W", FaultPlan.chaos(seed=0), n=32, params=PARAMS)
+        assert outcome.algorithm == "1R1W"
+        assert outcome.status != SILENT_WRONG

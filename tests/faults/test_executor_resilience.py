@@ -1,0 +1,158 @@
+"""Executor task retry: replay, write-set verification, typed failures."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IdempotenceViolation, RetryExhausted, TransientFault
+from repro.faults import FaultInjector, FaultPlan
+from repro.machine.macro.executor import HMMExecutor
+from repro.machine.params import MachineParams
+from repro.sat.registry import make_algorithm
+from repro.sat.reference import sat_reference
+from repro.util.matrices import random_matrix
+
+PARAMS = MachineParams(width=4, latency=3)
+
+
+def fail_n_times(n, when="before"):
+    """An injector hook failing the first ``n`` attempts of every task."""
+
+    class Hook:
+        def on_task_start(self, k, b, attempt):
+            if when == "before" and attempt < n:
+                raise TransientFault(f"injected before (attempt {attempt})")
+
+        def on_task_end(self, k, b, attempt):
+            if when == "after" and attempt < n:
+                raise TransientFault(f"injected after (attempt {attempt})")
+
+    return Hook()
+
+
+class TestRetry:
+    def test_fail_before_writes_recovers(self):
+        ex = HMMExecutor(
+            PARAMS, max_task_retries=2, injector=fail_n_times(1, "before")
+        )
+        out = ex.gm.alloc("B", (1, 4))
+        ex.run_kernel([lambda ctx: ctx.gm.write_hrun("B", 0, 0, np.arange(4.0))])
+        assert np.array_equal(out[0], np.arange(4.0))
+        assert ex.counters.task_retries == 1
+        assert ex.counters.blocks_executed == 1  # attempts don't double-count
+
+    def test_fail_after_writes_recovers_when_idempotent(self):
+        """A pure task (writes are a function of its inputs only) replays
+        to identical values, so post-write failure is survivable."""
+        ex = HMMExecutor(PARAMS, max_task_retries=1, injector=fail_n_times(1, "after"))
+        out = ex.gm.alloc("B", (1, 4))
+        ex.run_kernel([lambda ctx: ctx.gm.write_hrun("B", 0, 0, np.arange(4.0))])
+        assert np.array_equal(out[0], np.arange(4.0))
+        assert ex.counters.task_retries == 1
+
+    def test_retry_exhausted_is_typed(self):
+        ex = HMMExecutor(PARAMS, max_task_retries=1, injector=fail_n_times(5))
+        ex.gm.alloc("B", (1, 4))
+        with pytest.raises(RetryExhausted):
+            ex.run_kernel([lambda ctx: None])
+
+    def test_no_retries_by_default(self):
+        ex = HMMExecutor(PARAMS, injector=fail_n_times(1))
+        ex.gm.alloc("B", (1, 4))
+        with pytest.raises(RetryExhausted):
+            ex.run_kernel([lambda ctx: None])
+
+    def test_transient_fault_from_task_body_is_retried(self):
+        attempts = []
+
+        def flaky(ctx):
+            attempts.append(True)
+            if len(attempts) == 1:
+                raise TransientFault("task body hiccup")
+            ctx.gm.write_at("B", 0, 0, 7.0)
+
+        ex = HMMExecutor(PARAMS, max_task_retries=1)
+        out = ex.gm.alloc("B", (1, 4))
+        ex.run_kernel([flaky])
+        assert out[0, 0] == 7.0 and len(attempts) == 2
+
+    def test_non_transient_errors_not_retried(self):
+        def broken(ctx):
+            raise ValueError("a bug, not a fault")
+
+        ex = HMMExecutor(PARAMS, max_task_retries=3)
+        with pytest.raises(ValueError):
+            ex.run_kernel([broken])
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            HMMExecutor(PARAMS, max_task_retries=-1)
+
+
+class TestIdempotenceVerification:
+    def test_read_modify_write_replay_detected(self):
+        """An accumulating task double-applies under replay; the write-set
+        check turns that into a typed error, never a silent double-write."""
+
+        def accumulate(ctx):
+            v = ctx.gm.read_at("B", 0, 0)
+            ctx.gm.write_at("B", 0, 0, v + 1.0)
+
+        ex = HMMExecutor(PARAMS, max_task_retries=2, injector=fail_n_times(1, "after"))
+        ex.gm.alloc("B", (1, 4))
+        with pytest.raises(IdempotenceViolation):
+            ex.run_kernel([accumulate])
+
+    def test_shrinking_write_set_detected(self):
+        """A replay that abandons an address the failed attempt dirtied
+        would leave a stale partial write behind."""
+        calls = []
+
+        def shrinking(ctx):
+            calls.append(True)
+            ctx.gm.write_at("B", 0, 0, 1.0)
+            if len(calls) == 1:
+                ctx.gm.write_at("B", 0, 1, 2.0)  # only the first attempt
+
+        ex = HMMExecutor(PARAMS, max_task_retries=2, injector=fail_n_times(1, "after"))
+        ex.gm.alloc("B", (1, 4))
+        with pytest.raises(IdempotenceViolation):
+            ex.run_kernel([shrinking])
+
+    def test_idempotence_violation_is_barrier_violation(self):
+        from repro.errors import BarrierViolation
+
+        assert issubclass(IdempotenceViolation, BarrierViolation)
+
+
+class TestAlgorithmsUnderTaskFaults:
+    def test_1r1w_survives_pre_write_failures(self):
+        plan = FaultPlan(
+            seed=0, task_failure_rate=0.5, task_failure_after_writes_fraction=0.0
+        )
+        a = random_matrix(16, seed=0)
+        ex = HMMExecutor(PARAMS, max_task_retries=2, injector=FaultInjector(plan))
+        result = make_algorithm("1R1W").compute(a, PARAMS, executor=ex)
+        assert np.allclose(result.sat, sat_reference(a))
+        assert result.counters.task_retries > 0
+
+    def test_persistent_failures_exhaust_retries(self):
+        plan = FaultPlan(
+            seed=0,
+            task_failure_rate=1.0,
+            task_failure_depth=10,
+            task_failure_after_writes_fraction=0.0,
+        )
+        a = random_matrix(16, seed=0)
+        ex = HMMExecutor(PARAMS, max_task_retries=2, injector=FaultInjector(plan))
+        with pytest.raises(RetryExhausted):
+            make_algorithm("1R1W").compute(a, PARAMS, executor=ex)
+
+    def test_fault_free_traffic_unchanged_by_retry_machinery(self):
+        """Enabling the retry budget without faults must not change the
+        measured traffic (Table I numbers are load-bearing)."""
+        a = random_matrix(16, seed=0)
+        plain = make_algorithm("1R1W").compute(a, PARAMS)
+        ex = HMMExecutor(PARAMS, max_task_retries=3)
+        guarded = make_algorithm("1R1W").compute(a, PARAMS, executor=ex)
+        assert guarded.counters.as_dict() == plain.counters.as_dict()
+        assert guarded.cost == plain.cost

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import ShapeError
+from repro.errors import CorruptionDetected, ShapeError
 from repro.machine.params import MachineParams
 from repro.sat.out_of_core import PeakMemoryMeter, sat_out_of_core, sat_streamed
 from repro.sat.reference import sat_reference
@@ -76,3 +76,46 @@ class TestValidation:
     def test_band_sat_shape_check(self, rng):
         with pytest.raises(ShapeError):
             sat_out_of_core(rng.random((4, 4)), 2, band_sat=lambda b: np.zeros((1, 1)))
+
+    def test_bad_provider_shape_mid_stream(self, rng):
+        """A provider that goes wrong after the first band must still be
+        caught — the shape check runs per band, not just at startup."""
+        a = rng.random((8, 4))
+
+        def shrinks_later(r0, r1):
+            return a[r0:r1] if r0 == 0 else a[r0:r1, :2]
+
+        stream = sat_streamed(shrinks_later, a.shape, 4)
+        row0, band = next(stream)  # band 0 is fine
+        assert row0 == 0 and band.shape == (4, 4)
+        with pytest.raises(ShapeError):
+            next(stream)
+
+    def test_non_finite_provider_band_rejected(self, rng):
+        a = rng.random((8, 4))
+
+        def poisoned(r0, r1):
+            band = a[r0:r1].copy()
+            if r0 == 4:
+                band[0, 0] = np.inf
+            return band
+
+        stream = sat_streamed(poisoned, a.shape, 4)
+        next(stream)
+        with pytest.raises(CorruptionDetected):
+            next(stream)
+
+    def test_mutating_band_sat_cannot_reach_source(self, rng):
+        """Each band is handed to ``band_sat`` as a defensive copy, so an
+        in-place kernel can neither damage the source matrix nor leak its
+        intermediate state into later bands."""
+        a = rng.random((12, 6))
+        original = a.copy()
+
+        def in_place(band):
+            band[:] = np.cumsum(np.cumsum(band, 0), 1)
+            return band
+
+        out = sat_out_of_core(a, 4, band_sat=in_place)
+        assert np.allclose(out, sat_reference(original))
+        assert np.array_equal(a, original)

@@ -1,0 +1,50 @@
+"""Registry construction errors: typed, and naming the offending argument."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sat.registry import ALGORITHM_NAMES, make_algorithm
+
+
+class TestUnknownAlgorithm:
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            make_algorithm("9R9W")
+        msg = str(excinfo.value)
+        assert "9R9W" in msg
+        for name in ALGORITHM_NAMES:
+            assert name in msg
+
+
+class TestUnexpectedKwargs:
+    def test_unexpected_kwarg_names_the_argument(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            make_algorithm("1R1W", p=0.5)
+        assert "'p'" in str(excinfo.value)
+        assert "1R1W" in str(excinfo.value)
+
+    def test_multiple_unexpected_kwargs_all_named(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            make_algorithm("kR1W", bogus=1, also_bad=2)
+        msg = str(excinfo.value)
+        assert "also_bad" in msg and "bogus" in msg
+
+    def test_message_lists_accepted_arguments(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            make_algorithm("kR1W", bogus=1)
+        assert "'p'" in str(excinfo.value)  # the accepted kwarg is suggested
+
+    def test_typed_not_typeerror(self):
+        """Callers catch ReproError; a bare TypeError must never escape."""
+        with pytest.raises(ConfigurationError):
+            make_algorithm("2R2W", nonsense=True)
+
+
+class TestValidKwargsStillWork:
+    def test_kr1w_accepts_p(self):
+        algo = make_algorithm("kR1W", p=0.25)
+        assert algo.name == "kR1W"
+
+    @pytest.mark.parametrize("name", ALGORITHM_NAMES)
+    def test_all_names_construct_without_kwargs(self, name):
+        assert make_algorithm(name).name == name
