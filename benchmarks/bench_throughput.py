@@ -1,0 +1,251 @@
+"""Execution-engine throughput: plan caching, fast replay, pipelined streams.
+
+Measures the three layers the engine adds and writes them to
+``results/BENCH_throughput.json``:
+
+1. **Plan acquisition** — ``ExecutionEngine.plan_for`` ops/sec with a cold
+   cache (every call compiles) vs a warm cache (every call hits). This is
+   the serving metric of the plan cache itself: what a repeated-shape
+   workload pays before any kernel runs.
+2. **End-to-end compute** — full ``SATAlgorithm.compute`` ops/sec cold
+   (empty cache, counted execution) vs warm (cached plan, ``fast=True``
+   counter replay). The block tasks' real numpy work is identical on both
+   paths, so this ratio isolates what accounting + compilation cost per
+   run; it is modest by design and the CI gate only requires warm >= cold.
+3. **Streaming** — out-of-core band streaming GiB/s, serial vs pipelined
+   (``prefetch_depth=1``), against a provider whose per-band latency is
+   calibrated to the band compute time — the regime where double
+   buffering pays, exactly as on a real storage-bound stream.
+
+Runnable standalone (``python benchmarks/bench_throughput.py [--ci]``,
+exits non-zero if a gate fails) and as a pytest benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.machine.engine import ExecutionEngine, PlanCache
+from repro.machine.params import MachineParams
+from repro.sat import MATRIX_BUFFER, make_algorithm, sat_streamed
+from repro.util.matrices import random_matrix
+
+RESULTS_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "results"
+)
+JSON_NAME = "BENCH_throughput.json"
+
+
+def _rate(fn: Callable[[], object], reps: int) -> float:
+    """Run ``fn`` ``reps`` times and return ops/sec (with a warm-up call)."""
+    fn()
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        fn()
+    return reps / (time.perf_counter() - t0)
+
+
+def bench_plan_acquisition(
+    n: int, params: MachineParams, reps: int
+) -> Dict[str, float]:
+    """plan_for ops/sec: compile-every-time vs cache-hit-every-time."""
+    algo = make_algorithm("1R1W")
+
+    def cold() -> None:
+        ExecutionEngine(cache=PlanCache()).plan_for(
+            algo, n, n, params, input_buffer=MATRIX_BUFFER
+        )
+
+    warm_engine = ExecutionEngine(cache=PlanCache())
+
+    def warm() -> None:
+        warm_engine.plan_for(algo, n, n, params, input_buffer=MATRIX_BUFFER)
+
+    return {"cold_ops_per_sec": _rate(cold, reps), "warm_ops_per_sec": _rate(warm, reps)}
+
+
+def bench_end_to_end(n: int, params: MachineParams, reps: int) -> Dict[str, float]:
+    """Full compute ops/sec: cold cache + counted vs cached plan + fast."""
+    algo = make_algorithm("1R1W")
+    a = random_matrix(n, seed=0)
+
+    def cold() -> None:
+        algo.compute(a, params, engine=ExecutionEngine(cache=PlanCache()))
+
+    warm_engine = ExecutionEngine(cache=PlanCache())
+
+    def warm() -> None:
+        algo.compute(a, params, engine=warm_engine, fast=True)
+
+    return {"cold_ops_per_sec": _rate(cold, reps), "warm_ops_per_sec": _rate(warm, reps)}
+
+
+def bench_streaming(rows: int, cols: int, band_rows: int) -> Dict[str, float]:
+    """Streamed SAT GiB/s, serial vs pipelined, on an I/O-bound provider."""
+    rng = np.random.default_rng(7)
+    a = rng.integers(0, 100, size=(rows, cols)).astype(np.float64)
+
+    # Calibrate the simulated I/O latency to the per-band compute time so
+    # the stream sits at the fetch/compute balance point where
+    # double-buffering matters (an all-compute or all-I/O stream would
+    # show nothing either way).
+    t0 = time.perf_counter()
+    np.cumsum(np.cumsum(a[:band_rows], axis=0), axis=1)
+    fetch_delay = max(time.perf_counter() - t0, 5e-4)
+
+    def provider(r0: int, r1: int) -> np.ndarray:
+        time.sleep(fetch_delay)
+        return a[r0:r1]
+
+    gib = a.nbytes / 2**30
+
+    def run(depth: int) -> float:
+        t0 = time.perf_counter()
+        for _row0, _band in sat_streamed(
+            provider, a.shape, band_rows, copy_bands=False, prefetch_depth=depth
+        ):
+            pass
+        return gib / (time.perf_counter() - t0)
+
+    return {
+        "serial_gib_per_sec": run(0),
+        "pipelined_gib_per_sec": run(1),
+        "fetch_delay_sec": fetch_delay,
+        "gib_streamed": gib,
+    }
+
+
+def run_throughput_benchmark(
+    *, n: int = 256, reps: int = 5, stream_rows: int = 2048,
+    stream_cols: int = 1024, band_rows: int = 128,
+) -> Dict[str, object]:
+    params = MachineParams(width=32, latency=512)
+    plan = bench_plan_acquisition(n, params, reps)
+    e2e = bench_end_to_end(n, params, reps)
+    stream = bench_streaming(stream_rows, stream_cols, band_rows)
+    return {
+        "config": {
+            "n": n, "reps": reps, "width": params.width, "latency": params.latency,
+            "stream_shape": [stream_rows, stream_cols], "band_rows": band_rows,
+        },
+        "plan_acquisition": plan,
+        "end_to_end": e2e,
+        "streaming": stream,
+        "summary": {
+            "plan_warm_over_cold": plan["warm_ops_per_sec"] / plan["cold_ops_per_sec"],
+            "e2e_warm_over_cold": e2e["warm_ops_per_sec"] / e2e["cold_ops_per_sec"],
+            "pipelined_over_serial": (
+                stream["pipelined_gib_per_sec"] / stream["serial_gib_per_sec"]
+            ),
+        },
+    }
+
+
+def check_gates(results: Dict[str, object]) -> list:
+    """The regression gates CI enforces; returns failure messages."""
+    s = results["summary"]
+    failures = []
+    if s["e2e_warm_over_cold"] < 1.0:
+        failures.append(
+            "warm-cache compute throughput fell below cold-cache "
+            f"({s['e2e_warm_over_cold']:.2f}x)"
+        )
+    if s["plan_warm_over_cold"] < 3.0:
+        failures.append(
+            "warm plan acquisition is not >= 3x cold compilation "
+            f"({s['plan_warm_over_cold']:.2f}x)"
+        )
+    if s["pipelined_over_serial"] < 1.3:
+        failures.append(
+            "pipelined streaming is not >= 1.3x serial "
+            f"({s['pipelined_over_serial']:.2f}x)"
+        )
+    return failures
+
+
+def write_json(results: Dict[str, object], results_dir: Optional[str] = None) -> str:
+    results_dir = results_dir or RESULTS_DIR
+    os.makedirs(results_dir, exist_ok=True)
+    path = os.path.join(results_dir, JSON_NAME)
+    with open(path, "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def summary_text(results: Dict[str, object]) -> str:
+    s = results["summary"]
+    plan, e2e, st = (
+        results["plan_acquisition"], results["end_to_end"], results["streaming"]
+    )
+    return "\n".join(
+        [
+            f"plan acquisition: cold {plan['cold_ops_per_sec']:.1f} ops/s, "
+            f"warm {plan['warm_ops_per_sec']:.1f} ops/s "
+            f"({s['plan_warm_over_cold']:.1f}x)",
+            f"end-to-end SAT:   cold {e2e['cold_ops_per_sec']:.2f} ops/s, "
+            f"warm+fast {e2e['warm_ops_per_sec']:.2f} ops/s "
+            f"({s['e2e_warm_over_cold']:.2f}x)",
+            f"streaming:        serial {st['serial_gib_per_sec']:.3f} GiB/s, "
+            f"pipelined {st['pipelined_gib_per_sec']:.3f} GiB/s "
+            f"({s['pipelined_over_serial']:.2f}x)",
+        ]
+    )
+
+
+def test_throughput_benchmark(once, report):
+    """Small-size engine throughput run with the CI gates asserted."""
+    results = once(
+        run_throughput_benchmark,
+        n=256, reps=3, stream_rows=1024, stream_cols=512, band_rows=128,
+    )
+    write_json(results)
+    report("BENCH_throughput", summary_text(results))
+    assert not check_gates(results)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("-n", type=int, default=256, help="SAT side for the engine runs")
+    ap.add_argument("--reps", type=int, default=5)
+    ap.add_argument("--stream-rows", type=int, default=2048)
+    ap.add_argument("--stream-cols", type=int, default=1024)
+    ap.add_argument("--band-rows", type=int, default=128)
+    ap.add_argument(
+        "--ci", action="store_true",
+        help="small fixed sizes for the CI smoke job",
+    )
+    ap.add_argument("--out", default=None, help="results directory override")
+    args = ap.parse_args(argv)
+    if args.ci:
+        # n=256 keeps a wide margin on the >= 3x plan-acquisition gate
+        # (compilation is too cheap below that for a robust ratio on a
+        # noisy shared runner).
+        results = run_throughput_benchmark(
+            n=256, reps=3, stream_rows=1024, stream_cols=512, band_rows=128
+        )
+    else:
+        results = run_throughput_benchmark(
+            n=args.n, reps=args.reps, stream_rows=args.stream_rows,
+            stream_cols=args.stream_cols, band_rows=args.band_rows,
+        )
+    path = write_json(results, args.out)
+    print(summary_text(results))
+    print(f"wrote {path}")
+    failures = check_gates(results)
+    for msg in failures:
+        print(f"GATE FAILED: {msg}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,13 +36,31 @@ def _params(args) -> MachineParams:
 
 
 def cmd_demo(args) -> int:
-    """Run one SAT on the simulated HMM and verify it against numpy."""
+    """Run one SAT on the simulated HMM and verify it against numpy.
+
+    ``--repeat`` reruns the same shape to exercise the plan cache;
+    ``--fast`` uses the vectorized counter-replay path for the warm runs.
+    """
+    from .machine.engine import ExecutionEngine, PlanCache
+
     a = random_matrix(args.n, seed=args.seed)
     algo = make_algorithm(args.algorithm, **({"p": args.p} if args.algorithm == "kR1W" else {}))
-    result = algo.compute(a, _params(args))
+    engine = ExecutionEngine(cache=PlanCache())
+    result = algo.compute(a, _params(args), engine=engine)
     expected = np.cumsum(np.cumsum(a, axis=0), axis=1)
     ok = np.allclose(result.sat, expected)
+    for _ in range(max(0, args.repeat - 1)):
+        warm = algo.compute(a, _params(args), engine=engine, fast=args.fast)
+        ok = ok and np.array_equal(warm.sat, result.sat)
     print(result.summary())
+    if args.repeat > 1:
+        stats = engine.stats()
+        print(
+            f"plan cache over {args.repeat} runs"
+            f"{' (fast replay)' if args.fast else ''}: "
+            f"{stats['compiles']} compile(s), {stats['hits']} hit(s), "
+            f"warm runs bit-identical: {'OK' if ok else 'MISMATCH'}"
+        )
     print(f"verified against numpy oracle: {'OK' if ok else 'MISMATCH'}")
     return 0 if ok else 1
 
@@ -226,6 +244,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--algorithm", default="1R1W", help="Table II name or kR1W")
     p.add_argument("--p", type=float, default=0.5, help="kR1W mixing parameter")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--repeat", type=int, default=1,
+        help="run the same shape this many times through the plan cache",
+    )
+    p.add_argument(
+        "--fast", action="store_true",
+        help="use the vectorized counter-replay path for warm repeats",
+    )
     _add_machine_args(p)
     p.set_defaults(fn=cmd_demo)
 

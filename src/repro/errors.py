@@ -45,6 +45,17 @@ class NotComputedError(ReproError):
     """A result was requested before the producing step had run."""
 
 
+class PlanCompileError(ReproError):
+    """An algorithm's kernel structure could not be compiled into a plan.
+
+    Raised by the execution-engine recorder when ``_run`` performs an
+    operation that depends on buffer *contents* (e.g. reading global
+    memory between kernels, as snapshot-capturing variants do). The
+    driver catches this and falls back to direct execution, so a
+    non-compilable algorithm is slower, never wrong.
+    """
+
+
 class TransientFault(ReproError):
     """A recoverable fault: a block task died or a band fetch hiccuped.
 

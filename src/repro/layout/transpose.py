@@ -101,7 +101,7 @@ def hmm_transpose(
     w = executor.params.width
     grid = BlockGrid(rows, w, cols)
     if not executor.gm.has(dst):
-        executor.gm.alloc(dst, (cols, rows), dtype=executor.gm.array(src).dtype)
+        executor.gm.alloc(dst, (cols, rows), dtype=executor.gm.dtype(src))
     elif executor.gm.shape(dst) != (cols, rows):
         raise ShapeError(
             f"destination {dst!r} has shape {executor.gm.shape(dst)}, "

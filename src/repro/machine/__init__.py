@@ -8,7 +8,10 @@ Two complementary implementations of the paper's models live here:
 * :mod:`repro.machine.macro` — a transaction-counting executor for the
   asynchronous HMM on which the SAT algorithms actually run at scale;
 * :mod:`repro.machine.cost` — the global-memory access cost model of
-  Section III that converts measured counters into predicted time units.
+  Section III that converts measured counters into predicted time units;
+* :mod:`repro.machine.engine` — the execution engine: compiled task plans
+  for the macro executor, cached per ``(algorithm, shape, machine)`` key,
+  with a vectorized counter-replay fast path.
 """
 
 from .cost import (
@@ -19,6 +22,16 @@ from .cost import (
     timing_chart,
     transaction_cost,
 )
+from .engine import (
+    ExecutionEngine,
+    ExecutionPlan,
+    KernelPlan,
+    PlanCache,
+    PlanKey,
+    compile_plan,
+    default_engine,
+    execute_plan,
+)
 from .macro import AccessCounters, BlockContext, GlobalMemory, HMMExecutor
 from .params import MachineParams, gtx_780_ti, tiny
 
@@ -26,9 +39,17 @@ __all__ = [
     "AccessCounters",
     "BlockContext",
     "CostBreakdown",
+    "ExecutionEngine",
+    "ExecutionPlan",
     "GlobalMemory",
     "HMMExecutor",
+    "KernelPlan",
     "MachineParams",
+    "PlanCache",
+    "PlanKey",
+    "compile_plan",
+    "default_engine",
+    "execute_plan",
     "access_cost",
     "breakdown",
     "cost_formula",

@@ -1,0 +1,107 @@
+"""The high-throughput execution engine: cached plans, fast execution.
+
+The engine layer separates *plan construction* from *plan execution* for
+programs on the asynchronous HMM (the software-systolic idea of reusing
+compiled access plans across invocations):
+
+* :mod:`repro.machine.engine.plan` — :class:`ExecutionPlan` compilation by
+  recording an algorithm's ``_run``, and replay against live executors,
+  including the ``fast=True`` mode that skips per-access accounting by
+  replaying memoized per-kernel traffic diffs;
+* :mod:`repro.machine.engine.cache` — the bounded LRU :class:`PlanCache`;
+* :class:`ExecutionEngine` — the facade the SAT driver talks to: look up
+  or compile the plan for ``(algorithm, shape, params)``, then execute.
+
+A module-level default engine serves
+:meth:`repro.sat.base.SATAlgorithm.compute`; independent engines can be
+constructed for isolation (tests, benchmarks).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..params import MachineParams
+from ..macro.executor import HMMExecutor
+from .cache import PlanCache
+from .plan import (
+    AllocOp,
+    ExecutionPlan,
+    FreeOp,
+    KernelPlan,
+    PlanKey,
+    compile_plan,
+    execute_plan,
+)
+
+
+class ExecutionEngine:
+    """Looks up or compiles plans, executes them, and tracks cache stats."""
+
+    def __init__(self, cache: Optional[PlanCache] = None):
+        self.cache = cache if cache is not None else PlanCache()
+        self.compiles = 0
+
+    def key_for(self, algorithm, rows: int, cols: int, params: MachineParams) -> PlanKey:
+        return PlanKey.make(
+            algorithm.name, rows, cols, params,
+            getattr(algorithm, "plan_extras", dict)(),
+        )
+
+    def plan_for(
+        self,
+        algorithm,
+        rows: int,
+        cols: int,
+        params: MachineParams,
+        *,
+        input_buffer: str,
+    ) -> ExecutionPlan:
+        """Return the cached plan for this shape, compiling it on a miss.
+
+        Raises :class:`~repro.errors.PlanCompileError` when the algorithm
+        instance cannot be compiled (snapshot-capturing configurations);
+        callers fall back to direct execution.
+        """
+        key = self.key_for(algorithm, rows, cols, params)
+        plan = self.cache.get(key)
+        if plan is None:
+            plan = compile_plan(
+                algorithm, rows, cols, params, input_buffer=input_buffer
+            )
+            self.compiles += 1
+            self.cache.put(key, plan)
+        return plan
+
+    def execute(
+        self, plan: ExecutionPlan, executor: HMMExecutor, *, fast: bool = False
+    ) -> None:
+        execute_plan(plan, executor, fast=fast)
+
+    def stats(self) -> dict:
+        out = self.cache.stats()
+        out["compiles"] = self.compiles
+        return out
+
+
+#: Process-wide engine used by ``SATAlgorithm.compute`` unless overridden.
+_DEFAULT_ENGINE = ExecutionEngine(cache=PlanCache(capacity=64))
+
+
+def default_engine() -> ExecutionEngine:
+    """The shared engine behind ``SATAlgorithm.compute``'s plan cache."""
+    return _DEFAULT_ENGINE
+
+
+__all__ = [
+    "AllocOp",
+    "ExecutionEngine",
+    "ExecutionPlan",
+    "FreeOp",
+    "KernelPlan",
+    "PlanCache",
+    "PlanKey",
+    "compile_plan",
+    "default_engine",
+    "execute_plan",
+]

@@ -1,0 +1,90 @@
+"""Bounded LRU cache of compiled execution plans.
+
+One plan per ``(algorithm, n, w, p, ...)`` key (see
+:class:`~repro.machine.engine.plan.PlanKey`). The cache is the piece that
+turns repeated same-shape traffic — the production serving pattern — into
+dictionary lookups: compilation (and, once measured, per-access traffic
+accounting) happens once per shape, not once per request.
+
+The cache is guarded by a lock so the pipelined out-of-core scheduler,
+whose prefetch worker may trigger band-SAT computes concurrently with the
+consumer thread, can share the default engine safely.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+from ...errors import ConfigurationError
+from .plan import ExecutionPlan, PlanKey
+
+
+class PlanCache:
+    """LRU-bounded ``PlanKey -> ExecutionPlan`` map with hit/miss stats."""
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ConfigurationError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._plans: "OrderedDict[PlanKey, ExecutionPlan]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __contains__(self, key: PlanKey) -> bool:
+        with self._lock:
+            return key in self._plans
+
+    def get(self, key: PlanKey) -> Optional[ExecutionPlan]:
+        """Look up a plan, refreshing its recency; counts a hit or miss."""
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is None:
+                self.misses += 1
+                return None
+            self._plans.move_to_end(key)
+            self.hits += 1
+            return plan
+
+    def put(self, key: PlanKey, plan: ExecutionPlan) -> None:
+        """Insert (or refresh) a plan, evicting the least recently used."""
+        with self._lock:
+            if key in self._plans:
+                self._plans.move_to_end(key)
+            self._plans[key] = plan
+            while len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)
+                self.evictions += 1
+
+    def keys(self) -> List[PlanKey]:
+        """Current keys, least recently used first."""
+        with self._lock:
+            return list(self._plans)
+
+    def clear(self) -> None:
+        """Drop every cached plan (stats are kept; they describe history)."""
+        with self._lock:
+            self._plans.clear()
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "size": len(self._plans),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"<PlanCache {s['size']}/{s['capacity']} plans, "
+            f"{s['hits']} hits, {s['misses']} misses, {s['evictions']} evictions>"
+        )

@@ -39,29 +39,68 @@ class WriteLog:
     :class:`~repro.errors.IdempotenceViolation`).
 
     Addresses are the flat linear addresses of
-    :meth:`GlobalMemory.linear_address`, so a single dict covers every
-    buffer without name bookkeeping.
+    :meth:`GlobalMemory.linear_address`, so a single log covers every
+    buffer without name bookkeeping. Writes are accumulated as chunked
+    address/value arrays (appending a run is one ``np.arange`` plus two
+    list appends, never a per-word Python loop) and consolidated to a
+    last-write-wins sorted view only when the log is actually compared.
     """
 
+    __slots__ = ("_address_chunks", "_value_chunks", "writes_recorded")
+
     def __init__(self):
-        #: Flat linear address -> last value written there.
-        self.values: Dict[int, float] = {}
+        self._address_chunks: list = []
+        self._value_chunks: list = []
         self.writes_recorded: int = 0
 
     def record(self, start_address: int, values: np.ndarray) -> None:
         """Record a contiguous run of written words starting at ``start``."""
-        flat = np.asarray(values).ravel()
-        for offset, v in enumerate(flat):
-            self.values[start_address + offset] = float(v)
+        flat = np.array(values, dtype=np.float64).ravel()
+        if flat.size == 0:
+            return
+        self._address_chunks.append(
+            np.arange(start_address, start_address + flat.size, dtype=np.int64)
+        )
+        self._value_chunks.append(flat)
         self.writes_recorded += int(flat.size)
 
     def record_scatter(self, addresses: np.ndarray, values: np.ndarray) -> None:
         """Record scattered single-word writes."""
-        flat_a = np.asarray(addresses).ravel()
-        flat_v = np.asarray(values).ravel()
-        for a, v in zip(flat_a, flat_v):
-            self.values[int(a)] = float(v)
+        flat_a = np.array(addresses, dtype=np.int64).ravel()
+        flat_v = np.array(values, dtype=np.float64).ravel()
+        if flat_a.size == 0:
+            return
+        self._address_chunks.append(flat_a)
+        self._value_chunks.append(flat_v)
         self.writes_recorded += int(flat_a.size)
+
+    def merge_from(self, other: "WriteLog") -> None:
+        """Append another log's writes after this log's own (in write order)."""
+        self._address_chunks.extend(other._address_chunks)
+        self._value_chunks.extend(other._value_chunks)
+        self.writes_recorded += other.writes_recorded
+
+    def consolidated(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Last-write-wins view: ``(sorted unique addresses, final values)``."""
+        if not self._address_chunks:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+        addresses = np.concatenate(self._address_chunks)
+        values = np.concatenate(self._value_chunks)
+        # Stable sort keeps write order within each address, so the last
+        # element of every equal-address run is the final value written.
+        order = np.argsort(addresses, kind="stable")
+        addresses = addresses[order]
+        values = values[order]
+        is_last = np.empty(addresses.size, dtype=bool)
+        is_last[-1] = True
+        np.not_equal(addresses[:-1], addresses[1:], out=is_last[:-1])
+        return addresses[is_last], values[is_last]
+
+    @property
+    def values(self) -> Dict[int, float]:
+        """Address -> final value dict (kept for inspection/debugging)."""
+        addresses, values = self.consolidated()
+        return dict(zip(addresses.tolist(), values.tolist()))
 
 
 def transactions_for_run(start_address: int, length: int, width: int) -> int:
@@ -86,6 +125,22 @@ class GlobalMemory:
         self._base_addresses: Dict[str, int] = {}
         self._next_base = 0
         self._write_log: Optional[WriteLog] = None
+        self._counting = True
+
+    @property
+    def counting(self) -> bool:
+        """Whether accesses are being charged to the counters.
+
+        The execution engine's fast path disables counting while replaying
+        a plan whose per-kernel traffic totals were already measured, then
+        applies those totals wholesale — the data still moves, only the
+        per-access accounting arithmetic is skipped.
+        """
+        return self._counting
+
+    @counting.setter
+    def counting(self, enabled: bool) -> None:
+        self._counting = bool(enabled)
 
     # --- write-set tracking -------------------------------------------------
 
@@ -148,6 +203,10 @@ class GlobalMemory:
     def shape(self, name: str) -> Tuple[int, ...]:
         return self._require(name).shape
 
+    def dtype(self, name: str) -> np.dtype:
+        """Element dtype of a buffer (metadata only — never reads contents)."""
+        return self._require(name).dtype
+
     def array(self, name: str) -> np.ndarray:
         """Uncounted view of a buffer — host-side inspection only.
 
@@ -187,6 +246,8 @@ class GlobalMemory:
         return arr, (row, slice(col, col + length))
 
     def _charge_coalesced(self, name: str, row: int, col: int, length: int) -> None:
+        if not self._counting:
+            return
         start = self.linear_address(name, row, col) if length else 0
         self.counters.coalesced_elements += length
         self.counters.coalesced_transactions += transactions_for_run(
@@ -243,7 +304,7 @@ class GlobalMemory:
     def _charge_strip_coalesced(
         self, name: str, row: int, col: int, height: int, width: int
     ) -> None:
-        if height <= 0 or width <= 0:
+        if height <= 0 or width <= 0 or not self._counting:
             return
         arr = self._require(name)
         base = self._base_addresses[name] + col
@@ -297,7 +358,8 @@ class GlobalMemory:
         access lands in its own address group, so each is one stride op.
         """
         arr = self._strip_slice(name, row, col, height, width)
-        self.counters.stride_ops += height * width
+        if self._counting:
+            self.counters.stride_ops += height * width
         return arr[row : row + height, col : col + width].copy()
 
     def write_strip_stride(self, name: str, row: int, col: int, values: np.ndarray) -> None:
@@ -307,7 +369,8 @@ class GlobalMemory:
             raise ShapeError("write_strip_stride takes a 2-D value array")
         h, wdt = values.shape
         arr = self._strip_slice(name, row, col, h, wdt)
-        self.counters.stride_ops += h * wdt
+        if self._counting:
+            self.counters.stride_ops += h * wdt
         if self._write_log is not None:
             for r in range(h):
                 self._log_run_write(name, row + r, col, values[r])
@@ -335,7 +398,8 @@ class GlobalMemory:
     def read_scatter(self, name: str, rows, cols) -> np.ndarray:
         """Stride read of arbitrary (row, col) pairs (one op per element)."""
         arr, rows, cols = self._scatter_check(name, rows, cols)
-        self.counters.stride_ops += int(rows.size)
+        if self._counting:
+            self.counters.stride_ops += int(rows.size)
         return arr[rows, cols].copy()
 
     def write_scatter(self, name: str, rows, cols, values) -> None:
@@ -344,7 +408,8 @@ class GlobalMemory:
         values = np.asarray(values)
         if values.shape != rows.shape:
             raise ShapeError("values must match the index arrays' shape")
-        self.counters.stride_ops += int(rows.size)
+        if self._counting:
+            self.counters.stride_ops += int(rows.size)
         if self._write_log is not None and rows.size:
             base = self._base_addresses[name]
             self._log_scatter_write(base + rows * arr.shape[1] + cols, values)
@@ -366,7 +431,8 @@ class GlobalMemory:
     def read_vrun(self, name: str, col: int, row: int, length: int) -> np.ndarray:
         """Stride read of ``length`` words down one column."""
         arr = self._vrun_check(name, col, row, length)
-        self.counters.stride_ops += length
+        if self._counting:
+            self.counters.stride_ops += length
         return arr[row : row + length, col].copy()
 
     def write_vrun(self, name: str, col: int, row: int, values: np.ndarray) -> None:
@@ -375,7 +441,8 @@ class GlobalMemory:
         if values.ndim != 1:
             raise ShapeError("write_vrun takes a 1-D value array")
         arr = self._vrun_check(name, col, row, values.shape[0])
-        self.counters.stride_ops += values.shape[0]
+        if self._counting:
+            self.counters.stride_ops += values.shape[0]
         if self._write_log is not None and values.shape[0]:
             base = self._base_addresses[name] + col
             addresses = base + (row + np.arange(values.shape[0])) * arr.shape[1]
@@ -385,14 +452,16 @@ class GlobalMemory:
     def read_at(self, name: str, row: int, col: int = 0):
         """Stride read of a single word."""
         self.linear_address(name, row, col)  # bounds check
-        self.counters.stride_ops += 1
+        if self._counting:
+            self.counters.stride_ops += 1
         arr = self._require(name)
         return arr[row] if arr.ndim == 1 else arr[row, col]
 
     def write_at(self, name: str, row: int, col: int, value) -> None:
         """Stride write of a single word."""
         address = self.linear_address(name, row, col)
-        self.counters.stride_ops += 1
+        if self._counting:
+            self.counters.stride_ops += 1
         if self._write_log is not None:
             self._write_log.record(address, np.asarray([value]))
         arr = self._require(name)

@@ -33,6 +33,7 @@ from .reference import (
     undo_sat,
 )
 from .out_of_core import (
+    BandPrefetcher,
     PeakMemoryMeter,
     ResilientBandProvider,
     StreamCheckpoint,
@@ -49,6 +50,7 @@ from .tuning import TuningResult, candidate_ps, tune_analytic, tune_measured
 __all__ = [
     "ALGORITHM_NAMES",
     "CPU_ALGORITHMS",
+    "BandPrefetcher",
     "CombinedKR1W",
     "FourReadFourWrite",
     "FourReadOneWrite",

@@ -124,6 +124,12 @@ class OneReadOneWrite(SATAlgorithm):
         self.snapshot_after_stage = snapshot_after_stage
         self.snapshot: Optional[np.ndarray] = None
 
+    @property
+    def plan_safe(self) -> bool:
+        # Capturing a mid-run snapshot reads global memory between
+        # kernels, which a reusable plan cannot express.
+        return self.snapshot_after_stage is None
+
     def _run(self, executor: HMMExecutor, rows: int, cols: int) -> None:
         grid = BlockGrid(rows, executor.params.width, cols)
         alloc_aux_buffers(executor, rows, cols)

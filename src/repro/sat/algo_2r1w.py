@@ -88,6 +88,12 @@ class TwoReadOneWrite(SATAlgorithm):
         self.keep_intermediates = keep_intermediates
         self.intermediates: Dict[str, Dict[str, np.ndarray]] = {}
 
+    @property
+    def plan_safe(self) -> bool:
+        # Keeping intermediates reads the auxiliary buffers after every
+        # phase, which a reusable plan cannot express.
+        return not self.keep_intermediates
+
     # --- step tasks ---------------------------------------------------------
 
     def _step1_tasks(

@@ -40,6 +40,12 @@ class FourReadOneWrite(SATAlgorithm):
         self.snapshot_after_stage = snapshot_after_stage
         self.snapshot: Optional[np.ndarray] = None
 
+    @property
+    def plan_safe(self) -> bool:
+        # Capturing a mid-run snapshot reads global memory between
+        # kernels, which a reusable plan cannot express.
+        return self.snapshot_after_stage is None
+
     def _stage_task(self, rows: int, cols: int, k: int, chunk: int):
         """One block task evaluating Formula (1) on a ``w``-element chunk of
         anti-diagonal ``k`` (one thread per element, ``w`` threads per block,

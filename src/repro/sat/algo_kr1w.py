@@ -55,6 +55,11 @@ class CombinedKR1W(SATAlgorithm):
         """Reads per element: ``1 + p^2`` (the 'k' in kR1W)."""
         return 1.0 + self.p**2
 
+    def plan_extras(self):
+        # p changes the triangle/band partition, i.e. the kernel structure:
+        # two instances with different p must never share a cached plan.
+        return {"p": self.p}
+
     @property
     def display_name(self) -> str:
         return f"{self.k:.4g}R1W(p={self.p:g})"

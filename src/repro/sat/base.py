@@ -12,12 +12,13 @@ from __future__ import annotations
 
 import abc
 import dataclasses
-from typing import List, Optional
+from typing import Dict, Hashable, List, Optional
 
 import numpy as np
 
-from ..errors import ShapeError
+from ..errors import ConfigurationError, PlanCompileError, ShapeError
 from ..machine.cost import CostBreakdown, access_cost, breakdown, transaction_cost
+from ..machine.engine import ExecutionEngine, default_engine
 from ..machine.macro.counters import AccessCounters
 from ..machine.macro.executor import HMMExecutor, KernelTrace
 from ..machine.params import MachineParams
@@ -91,6 +92,27 @@ class SATAlgorithm(abc.ABC):
     def _run(self, executor: HMMExecutor, rows: int, cols: int) -> None:
         """Issue the algorithm's kernels; the SAT must end up in ``A``."""
 
+    # --- execution-engine hooks ---------------------------------------------
+
+    @property
+    def plan_safe(self) -> bool:
+        """Whether this *instance*'s kernel structure can be plan-compiled.
+
+        False for configurations with per-run side effects that read
+        buffer contents between kernels (snapshot captures, kept
+        intermediates); those always execute directly.
+        """
+        return True
+
+    def plan_extras(self) -> Dict[str, Hashable]:
+        """Configuration that shapes the kernel structure, for the plan key.
+
+        Anything beyond ``(name, shape, params)`` that changes which
+        kernels are launched must appear here (e.g. kR1W's ``p``), or two
+        differently-configured instances would share one cached plan.
+        """
+        return {}
+
     def compute(
         self,
         matrix: np.ndarray,
@@ -98,6 +120,9 @@ class SATAlgorithm(abc.ABC):
         *,
         executor: Optional[HMMExecutor] = None,
         seed: Optional[int] = 0,
+        engine: Optional[ExecutionEngine] = None,
+        use_plan_cache: bool = True,
+        fast: bool = False,
     ) -> SATResult:
         """Compute the SAT of ``matrix`` on the asynchronous HMM.
 
@@ -111,10 +136,25 @@ class SATAlgorithm(abc.ABC):
             Machine configuration; defaults to :class:`MachineParams()`.
         executor:
             Optionally supply a pre-built executor (for custom global
-            memory or deterministic block ordering); it must not already
-            contain a buffer named ``"A"``.
+            memory, fault injection, or deterministic block ordering); it
+            must not already contain a buffer named ``"A"``. Supplying an
+            executor bypasses the plan cache — fault/retry configuration
+            is per-run state a shared plan must not absorb.
         seed:
             Seed for the executor's randomized block ordering.
+        engine:
+            Execution engine holding the plan cache; defaults to the
+            process-wide engine. Pass a private engine to isolate caching.
+        use_plan_cache:
+            Set ``False`` to force direct (plan-less) execution — the
+            always-cold reference path used by benchmarks and tests.
+        fast:
+            Execute through the engine's fast path: per-access traffic
+            accounting is replaced by replaying the plan's memoized
+            per-kernel tallies (exact, because HMM access patterns are
+            data-independent; asserted bit-identical in the test suite).
+            The first fast run at a new shape transparently runs counted
+            to populate those tallies. Requires the engine path.
         """
         if self.supports_rectangular:
             matrix = np.asarray(matrix)
@@ -128,14 +168,30 @@ class SATAlgorithm(abc.ABC):
         if self.requires_block_multiple:
             require_multiple(rows, params.width, what="row count")
             require_multiple(cols, params.width, what="column count")
+        plan = None
         if executor is None:
+            if use_plan_cache and self.plan_safe:
+                try:
+                    plan = (engine or default_engine()).plan_for(
+                        self, rows, cols, params, input_buffer=MATRIX_BUFFER
+                    )
+                except PlanCompileError:
+                    plan = None
             executor = HMMExecutor(params, seed=seed)
         elif executor.params is not params:
             raise ShapeError("executor was built with different MachineParams")
+        if fast and plan is None:
+            raise ConfigurationError(
+                "fast=True requires the plan-cached engine path (no custom "
+                "executor, plan-safe algorithm, use_plan_cache=True)"
+            )
         if executor.gm.has(MATRIX_BUFFER):
             raise ShapeError(f"executor already holds a {MATRIX_BUFFER!r} buffer")
         executor.gm.install(MATRIX_BUFFER, matrix.astype(np.float64, copy=True))
-        self._run(executor, rows, cols)
+        if plan is not None:
+            (engine or default_engine()).execute(plan, executor, fast=fast)
+        else:
+            self._run(executor, rows, cols)
         return SATResult(
             sat=executor.gm.array(MATRIX_BUFFER).copy(),
             algorithm=self.name,

@@ -19,7 +19,9 @@ from __future__ import annotations
 import dataclasses
 import logging
 import zlib
-from typing import Callable, Iterator, List, Optional, Tuple
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -34,12 +36,81 @@ logger = logging.getLogger("repro.sat.out_of_core")
 BandProvider = Callable[[int, int], np.ndarray]
 
 
+def _band_spans(n_rows: int, band_rows: int, start_row: int = 0) -> List[Tuple[int, int]]:
+    """The ``(row0, row1)`` spans a banded stream visits, in order."""
+    return [
+        (row0, min(row0 + band_rows, n_rows))
+        for row0 in range(start_row, n_rows, band_rows)
+    ]
+
+
+class BandPrefetcher:
+    """Double-buffered band fetcher: fetch band ``i+1`` while ``i`` computes.
+
+    A single worker thread runs the provider ahead of the consumer, with
+    at most ``depth`` fetched-but-unconsumed bands in flight (a bounded
+    queue, so residency stays ``O((depth + 1) * band_rows * n_cols)``
+    rather than growing to the whole matrix). Provider exceptions —
+    including :class:`~repro.errors.RetryExhausted` raised after a wrapped
+    :class:`ResilientBandProvider` burns its retry budget — are captured
+    by the future and re-raised at the consumer's ``fetch`` call for the
+    failing band, so pipelining never changes *which* band an error is
+    attributed to.
+    """
+
+    def __init__(
+        self,
+        provider: BandProvider,
+        spans: Sequence[Tuple[int, int]],
+        depth: int = 1,
+    ):
+        if depth < 1:
+            raise ShapeError(f"prefetch depth must be >= 1, got {depth}")
+        self._provider = provider
+        self._spans = list(spans)
+        self._depth = depth
+        self._next = 0
+        self._pending: "deque[Future]" = deque()
+        self._pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="band-prefetch"
+        )
+        for _ in range(min(depth, len(self._spans))):
+            self._submit()
+
+    def _submit(self) -> None:
+        row0, row1 = self._spans[self._next]
+        self._pending.append(self._pool.submit(self._provider, row0, row1))
+        self._next += 1
+
+    def fetch(self, row0: int, row1: int) -> np.ndarray:
+        """Return the band for the next span (must be called in order)."""
+        expected = self._spans[self._next - len(self._pending)]
+        if (row0, row1) != expected:
+            raise ShapeError(
+                f"prefetcher serves spans in order; expected {expected}, "
+                f"got {(row0, row1)}"
+            )
+        future = self._pending.popleft()
+        if self._next < len(self._spans):
+            self._submit()
+        return future.result()
+
+    def close(self) -> None:
+        """Stop prefetching and drop any bands still in flight."""
+        for future in self._pending:
+            future.cancel()
+        self._pending.clear()
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+
 def sat_streamed(
     provider: BandProvider,
     shape: Tuple[int, int],
     band_rows: int,
     *,
     band_sat: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    copy_bands: bool = True,
+    prefetch_depth: int = 0,
 ) -> Iterator[Tuple[int, np.ndarray]]:
     """Yield ``(row0, sat_band)`` pairs covering the full SAT, in order.
 
@@ -48,7 +119,8 @@ def sat_streamed(
     provider:
         Called once per band with ``(row0, row1)``; must return rows
         ``[row0, row1)`` of the input. This indirection is what makes the
-        input "larger than memory" — only one band is resident at a time.
+        input "larger than memory" — only one band (plus any prefetched
+        bands) is resident at a time.
     shape:
         Full matrix shape ``(n_rows, n_cols)``.
     band_rows:
@@ -57,6 +129,20 @@ def sat_streamed(
         In-core SAT kernel applied to each band; defaults to the numpy
         oracle. Pass e.g. ``lambda b: compute_sat(b, ...).sat`` to run the
         bands on the simulated HMM (bands must then be square-compatible).
+    copy_bands:
+        By default every band is defensively copied, because providers
+        commonly return views of backing storage and a ``band_sat`` that
+        works in place must never reach back through the view. Providers
+        that hand over ownership of each band (fresh arrays from disk or
+        network reads) can pass ``False`` for a zero-copy hand-off, which
+        halves the stream's peak residency — with the documented caveat
+        that an in-place ``band_sat`` then mutates the provider's array.
+    prefetch_depth:
+        ``0`` (default) fetches serially. ``>= 1`` overlaps data movement
+        with compute: a worker thread runs the provider up to this many
+        bands ahead while the current band's SAT is computed — the
+        double-buffering that hides fetch latency behind compute, exactly
+        as the GPU algorithms hide global-memory latency behind arithmetic.
     """
     n_rows, n_cols = shape
     if n_rows <= 0 or n_cols <= 0:
@@ -65,27 +151,38 @@ def sat_streamed(
         raise ShapeError(f"band_rows must be positive, got {band_rows}")
     if band_sat is None:
         band_sat = sat_reference
-    carry = np.zeros(n_cols)
-    for row0 in range(0, n_rows, band_rows):
-        row1 = min(row0 + band_rows, n_rows)
-        # Copy unconditionally: providers commonly return views of backing
-        # storage, and a band_sat that works in place must never be able
-        # to reach back through the view and mutate the source.
-        band = np.array(provider(row0, row1), dtype=np.float64, copy=True)
-        if band.shape != (row1 - row0, n_cols):
-            raise ShapeError(
-                f"provider returned shape {band.shape} for rows [{row0}, {row1}) "
-                f"of a {shape} matrix"
-            )
-        require_finite(band, what=f"provider band rows [{row0}, {row1})")
-        sat_band = np.asarray(band_sat(band), dtype=np.float64)
-        if sat_band.shape != band.shape:
-            raise ShapeError("band_sat must preserve the band's shape")
-        sat_band = sat_band + carry[None, :]
-        # This also validates the next carry row — it is sat_band's last row.
-        require_finite(sat_band, what=f"SAT band rows [{row0}, {row1})")
-        carry = sat_band[-1].copy()
-        yield row0, sat_band
+    spans = _band_spans(n_rows, band_rows)
+    prefetcher: Optional[BandPrefetcher] = None
+    fetch: BandProvider = provider
+    if prefetch_depth > 0:
+        prefetcher = BandPrefetcher(provider, spans, depth=prefetch_depth)
+        fetch = prefetcher.fetch
+    try:
+        carry = np.zeros(n_cols)
+        for row0, row1 in spans:
+            raw = fetch(row0, row1)
+            if copy_bands:
+                band = np.array(raw, dtype=np.float64, copy=True)
+            else:
+                band = np.asarray(raw, dtype=np.float64)
+            if band.shape != (row1 - row0, n_cols):
+                raise ShapeError(
+                    f"provider returned shape {band.shape} for rows "
+                    f"[{row0}, {row1}) of a {shape} matrix"
+                )
+            require_finite(band, what=f"provider band rows [{row0}, {row1})")
+            sat_band = np.asarray(band_sat(band), dtype=np.float64)
+            if sat_band.shape != band.shape:
+                raise ShapeError("band_sat must preserve the band's shape")
+            sat_band = sat_band + carry[None, :]
+            # This also validates the next carry row — it is sat_band's
+            # last row.
+            require_finite(sat_band, what=f"SAT band rows [{row0}, {row1})")
+            carry = sat_band[-1].copy()
+            yield row0, sat_band
+    finally:
+        if prefetcher is not None:
+            prefetcher.close()
 
 
 def sat_out_of_core(
@@ -282,6 +379,8 @@ def sat_streamed_resilient(
     checkpoint: Optional[StreamCheckpoint] = None,
     on_checkpoint: Optional[Callable[[StreamCheckpoint], None]] = None,
     report: Optional[StreamReport] = None,
+    copy_bands: bool = True,
+    prefetch_depth: int = 0,
 ) -> Iterator[Tuple[int, np.ndarray]]:
     """:func:`sat_streamed` hardened against faulty kernels and interruptions.
 
@@ -304,7 +403,14 @@ def sat_streamed_resilient(
 
     Each ``band_sat`` attempt receives a private copy of the band, so a
     kernel that mutates its input cannot corrupt the retry or the oracle
-    fallback.
+    fallback (band retries therefore stay safe even with
+    ``copy_bands=False``). ``prefetch_depth >= 1`` overlaps band fetching
+    with band computation exactly as in :func:`sat_streamed`; the provider
+    (including a wrapping :class:`ResilientBandProvider` with its retry
+    and backoff machinery) then runs on the prefetch thread, and a fetch
+    that exhausts its retries surfaces its
+    :class:`~repro.errors.RetryExhausted` when the stream reaches the
+    failing band. A resumed stream prefetches only the remaining bands.
     """
     n_rows, n_cols = shape
     if n_rows <= 0 or n_cols <= 0:
@@ -339,59 +445,72 @@ def sat_streamed_resilient(
         report.resumed_at = checkpoint.row0
         report.note(f"resumed from checkpoint at row {checkpoint.row0}")
 
-    for row0 in range(start_row, n_rows, band_rows):
-        row1 = min(row0 + band_rows, n_rows)
-        band = np.array(provider(row0, row1), dtype=np.float64, copy=True)
-        if band.shape != (row1 - row0, n_cols):
-            raise ShapeError(
-                f"provider returned shape {band.shape} for rows [{row0}, {row1}) "
-                f"of a {shape} matrix"
-            )
-        require_finite(band, what=f"provider band rows [{row0}, {row1})")
-
-        sat_band: Optional[np.ndarray] = None
-        last_fault: Optional[ReproError] = None
-        for attempt in range(max_band_attempts):
-            try:
-                candidate = np.asarray(band_sat(band.copy()), dtype=np.float64)
-                if candidate.shape != band.shape:
-                    raise ShapeError("band_sat must preserve the band's shape")
-                require_finite(
-                    candidate, what=f"band_sat output for rows [{row0}, {row1})"
-                )
-                sat_band = candidate
-                break
-            except ReproError as fault:
-                last_fault = fault
-                if attempt + 1 < max_band_attempts:
-                    report.band_sat_retries += 1
-                    delay = backoff.pause(clock, attempt)
-                    report.note(
-                        f"band [{row0}, {row1}) attempt {attempt} failed "
-                        f"({type(fault).__name__}: {fault}); retrying after {delay}s"
-                    )
-        if sat_band is None:
-            if oracle_fallback:
-                report.degraded_bands.append(row0)
-                report.note(
-                    f"band [{row0}, {row1}) failed {max_band_attempts} attempts "
-                    f"({type(last_fault).__name__}); degrading to numpy oracle"
-                )
-                sat_band = sat_reference(band)
+    spans = _band_spans(n_rows, band_rows, start_row)
+    prefetcher: Optional[BandPrefetcher] = None
+    fetch: BandProvider = provider
+    if prefetch_depth > 0:
+        prefetcher = BandPrefetcher(provider, spans, depth=prefetch_depth)
+        fetch = prefetcher.fetch
+    try:
+        for row0, row1 in spans:
+            raw = fetch(row0, row1)
+            if copy_bands:
+                band = np.array(raw, dtype=np.float64, copy=True)
             else:
-                raise RetryExhausted(
-                    f"band [{row0}, {row1}) failed {max_band_attempts} "
-                    f"band_sat attempt(s): {last_fault}"
-                ) from last_fault
+                band = np.asarray(raw, dtype=np.float64)
+            if band.shape != (row1 - row0, n_cols):
+                raise ShapeError(
+                    f"provider returned shape {band.shape} for rows "
+                    f"[{row0}, {row1}) of a {shape} matrix"
+                )
+            require_finite(band, what=f"provider band rows [{row0}, {row1})")
 
-        sat_band = sat_band + carry[None, :]
-        require_finite(sat_band, what=f"SAT band rows [{row0}, {row1})")
-        carry = sat_band[-1].copy()
-        report.bands_completed += 1
-        if on_checkpoint is not None:
-            on_checkpoint(StreamCheckpoint.at(row1, carry))
-            report.checkpoints_written += 1
-        yield row0, sat_band
+            sat_band: Optional[np.ndarray] = None
+            last_fault: Optional[ReproError] = None
+            for attempt in range(max_band_attempts):
+                try:
+                    candidate = np.asarray(band_sat(band.copy()), dtype=np.float64)
+                    if candidate.shape != band.shape:
+                        raise ShapeError("band_sat must preserve the band's shape")
+                    require_finite(
+                        candidate, what=f"band_sat output for rows [{row0}, {row1})"
+                    )
+                    sat_band = candidate
+                    break
+                except ReproError as fault:
+                    last_fault = fault
+                    if attempt + 1 < max_band_attempts:
+                        report.band_sat_retries += 1
+                        delay = backoff.pause(clock, attempt)
+                        report.note(
+                            f"band [{row0}, {row1}) attempt {attempt} failed "
+                            f"({type(fault).__name__}: {fault}); retrying after {delay}s"
+                        )
+            if sat_band is None:
+                if oracle_fallback:
+                    report.degraded_bands.append(row0)
+                    report.note(
+                        f"band [{row0}, {row1}) failed {max_band_attempts} attempts "
+                        f"({type(last_fault).__name__}); degrading to numpy oracle"
+                    )
+                    sat_band = sat_reference(band)
+                else:
+                    raise RetryExhausted(
+                        f"band [{row0}, {row1}) failed {max_band_attempts} "
+                        f"band_sat attempt(s): {last_fault}"
+                    ) from last_fault
+
+            sat_band = sat_band + carry[None, :]
+            require_finite(sat_band, what=f"SAT band rows [{row0}, {row1})")
+            carry = sat_band[-1].copy()
+            report.bands_completed += 1
+            if on_checkpoint is not None:
+                on_checkpoint(StreamCheckpoint.at(row1, carry))
+                report.checkpoints_written += 1
+            yield row0, sat_band
+    finally:
+        if prefetcher is not None:
+            prefetcher.close()
 
 
 def sat_out_of_core_resilient(

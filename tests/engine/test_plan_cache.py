@@ -1,0 +1,178 @@
+"""Plan compilation and the bounded LRU plan cache."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, PlanCompileError
+from repro.machine.engine import (
+    ExecutionEngine,
+    PlanCache,
+    PlanKey,
+    compile_plan,
+)
+from repro.machine.params import MachineParams
+from repro.sat import MATRIX_BUFFER, make_algorithm
+from repro.sat.algo_2r1w import TwoReadOneWrite
+from repro.sat.algo_4r1w import FourReadOneWrite
+from repro.sat.algo_kr1w import CombinedKR1W
+from repro.util.matrices import random_matrix
+
+PARAMS = MachineParams(width=8, latency=16)
+
+
+def fresh_engine(capacity: int = 8) -> ExecutionEngine:
+    return ExecutionEngine(cache=PlanCache(capacity=capacity))
+
+
+class TestPlanCache:
+    def _key(self, i: int) -> PlanKey:
+        return PlanKey.make("1R1W", 8 * i, 8 * i, PARAMS, {})
+
+    def test_get_put_and_stats(self):
+        cache = PlanCache(capacity=4)
+        assert cache.get(self._key(1)) is None
+        cache.put(self._key(1), "plan1")
+        assert cache.get(self._key(1)) == "plan1"
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["size"] == 1
+
+    def test_eviction_at_capacity_drops_least_recently_used(self):
+        cache = PlanCache(capacity=2)
+        cache.put(self._key(1), "p1")
+        cache.put(self._key(2), "p2")
+        cache.get(self._key(1))  # make key 2 the LRU entry
+        cache.put(self._key(3), "p3")
+        assert len(cache) == 2
+        assert cache.get(self._key(2)) is None  # evicted
+        assert cache.get(self._key(1)) == "p1"
+        assert cache.get(self._key(3)) == "p3"
+        assert cache.stats()["evictions"] == 1
+
+    def test_clear_keeps_stats(self):
+        cache = PlanCache(capacity=2)
+        cache.put(self._key(1), "p1")
+        cache.get(self._key(1))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["hits"] == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            PlanCache(capacity=0)
+
+
+class TestPlanKeys:
+    def test_distinct_shapes_get_distinct_keys(self):
+        engine = fresh_engine()
+        algo = make_algorithm("1R1W")
+        k16 = engine.key_for(algo, 16, 16, PARAMS)
+        k24 = engine.key_for(algo, 24, 24, PARAMS)
+        assert k16 != k24
+
+    def test_distinct_machine_widths_get_distinct_keys(self):
+        engine = fresh_engine()
+        algo = make_algorithm("1R1W")
+        other = MachineParams(width=16, latency=16)
+        assert engine.key_for(algo, 32, 32, PARAMS) != engine.key_for(
+            algo, 32, 32, other
+        )
+
+    def test_distinct_kr1w_p_get_distinct_keys(self):
+        engine = fresh_engine()
+        assert engine.key_for(CombinedKR1W(p=0.25), 32, 32, PARAMS) != engine.key_for(
+            CombinedKR1W(p=0.75), 32, 32, PARAMS
+        )
+
+    def test_same_configuration_shares_a_key(self):
+        engine = fresh_engine()
+        assert engine.key_for(CombinedKR1W(p=0.5), 32, 32, PARAMS) == engine.key_for(
+            CombinedKR1W(p=0.5), 32, 32, PARAMS
+        )
+
+
+class TestWarmCacheCorrectness:
+    def test_warm_run_is_bit_identical_with_identical_counters(self, rng):
+        a = rng.integers(0, 50, size=(24, 24)).astype(np.float64)
+        engine = fresh_engine()
+        algo = make_algorithm("1R1W")
+        cold = algo.compute(a, PARAMS, engine=engine)
+        assert engine.stats()["compiles"] == 1
+        warm = algo.compute(a, PARAMS, engine=engine)
+        assert engine.stats()["compiles"] == 1
+        assert engine.stats()["hits"] == 1
+        assert np.array_equal(warm.sat, cold.sat)
+        assert warm.counters.as_dict() == cold.counters.as_dict()
+        assert [t.label for t in warm.traces] == [t.label for t in cold.traces]
+
+    def test_cache_hits_increment_per_reuse(self, rng):
+        a = rng.integers(0, 50, size=(16, 16)).astype(np.float64)
+        engine = fresh_engine()
+        algo = make_algorithm("2R1W")
+        for expected_hits in (0, 1, 2, 3):
+            algo.compute(a, PARAMS, engine=engine)
+            assert engine.stats()["hits"] == expected_hits
+        assert engine.stats()["compiles"] == 1
+
+    def test_eviction_forces_recompile(self, rng):
+        engine = fresh_engine(capacity=1)
+        algo = make_algorithm("1R1W")
+        a = rng.integers(0, 9, size=(16, 16)).astype(np.float64)
+        b = rng.integers(0, 9, size=(24, 24)).astype(np.float64)
+        algo.compute(a, PARAMS, engine=engine)
+        algo.compute(b, PARAMS, engine=engine)  # evicts a's plan
+        algo.compute(a, PARAMS, engine=engine)  # recompile
+        assert engine.stats()["compiles"] == 3
+        assert engine.stats()["evictions"] == 2
+
+    def test_matrix_contents_do_not_affect_the_cached_plan(self, rng):
+        """One shape, two inputs: one compile, both SATs correct."""
+        engine = fresh_engine()
+        algo = make_algorithm("1R1W")
+        a = rng.integers(0, 9, size=(16, 16)).astype(np.float64)
+        b = rng.integers(0, 9, size=(16, 16)).astype(np.float64)
+        ra = algo.compute(a, PARAMS, engine=engine)
+        rb = algo.compute(b, PARAMS, engine=engine)
+        assert engine.stats()["compiles"] == 1
+        assert np.allclose(ra.sat, np.cumsum(np.cumsum(a, axis=0), axis=1))
+        assert np.allclose(rb.sat, np.cumsum(np.cumsum(b, axis=0), axis=1))
+
+
+class TestPlanSafety:
+    def test_snapshot_configuration_is_not_plan_safe(self):
+        assert FourReadOneWrite().plan_safe
+        assert not FourReadOneWrite(snapshot_after_stage=3).plan_safe
+
+    def test_keep_intermediates_is_not_plan_safe(self):
+        assert TwoReadOneWrite().plan_safe
+        assert not TwoReadOneWrite(keep_intermediates=True).plan_safe
+
+    def test_plan_unsafe_instance_bypasses_cache_but_still_works(self, rng):
+        a = rng.integers(0, 9, size=(12, 12)).astype(np.float64)
+        engine = fresh_engine()
+        algo = FourReadOneWrite(snapshot_after_stage=2)
+        result = algo.compute(a, PARAMS, engine=engine)
+        assert engine.stats()["compiles"] == 0
+        assert len(engine.cache) == 0
+        assert np.allclose(result.sat, np.cumsum(np.cumsum(a, axis=0), axis=1))
+        assert algo.snapshot is not None
+
+    def test_compile_plan_rejects_plan_unsafe_instances(self):
+        with pytest.raises(PlanCompileError):
+            compile_plan(
+                TwoReadOneWrite(keep_intermediates=True),
+                16,
+                16,
+                PARAMS,
+                input_buffer=MATRIX_BUFFER,
+            )
+
+    def test_use_plan_cache_false_bypasses_the_engine(self, rng):
+        a = rng.integers(0, 9, size=(16, 16)).astype(np.float64)
+        engine = fresh_engine()
+        make_algorithm("1R1W").compute(
+            a, PARAMS, engine=engine, use_plan_cache=False
+        )
+        assert engine.stats()["compiles"] == 0
+        assert len(engine.cache) == 0

@@ -1,0 +1,97 @@
+"""The vectorized WriteLog and kernel-trace labelling."""
+
+import numpy as np
+import pytest
+
+from repro.machine.macro.global_memory import WriteLog
+from repro.machine.macro.executor import HMMExecutor
+from repro.machine.params import MachineParams
+
+PARAMS = MachineParams(width=8, latency=16)
+
+
+class TestWriteLog:
+    def test_record_contiguous_run(self):
+        log = WriteLog()
+        log.record(10, [1.0, 2.0, 3.0])
+        addresses, values = log.consolidated()
+        assert addresses.tolist() == [10, 11, 12]
+        assert values.tolist() == [1.0, 2.0, 3.0]
+        assert log.writes_recorded == 3
+
+    def test_record_accepts_2d_blocks(self):
+        log = WriteLog()
+        log.record(0, np.arange(6.0).reshape(2, 3))
+        addresses, values = log.consolidated()
+        assert addresses.tolist() == [0, 1, 2, 3, 4, 5]
+        assert values.tolist() == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_record_scatter(self):
+        log = WriteLog()
+        log.record_scatter([7, 3, 5], [70.0, 30.0, 50.0])
+        addresses, values = log.consolidated()
+        assert addresses.tolist() == [3, 5, 7]
+        assert values.tolist() == [30.0, 50.0, 70.0]
+
+    def test_last_write_wins_within_and_across_records(self):
+        log = WriteLog()
+        log.record(0, [1.0, 2.0])
+        log.record_scatter([1, 1], [5.0, 6.0])  # later scatter overwrites
+        log.record(0, [9.0])
+        addresses, values = log.consolidated()
+        assert addresses.tolist() == [0, 1]
+        assert values.tolist() == [9.0, 6.0]
+        assert log.writes_recorded == 5
+
+    def test_empty_record_is_a_no_op(self):
+        log = WriteLog()
+        log.record(0, [])
+        log.record_scatter([], [])
+        addresses, values = log.consolidated()
+        assert addresses.size == 0
+        assert values.size == 0
+        assert log.writes_recorded == 0
+
+    def test_merge_from_concatenates_logs_in_order(self):
+        first, second = WriteLog(), WriteLog()
+        first.record(0, [1.0, 2.0])
+        second.record(1, [8.0])
+        first.merge_from(second)
+        addresses, values = first.consolidated()
+        assert addresses.tolist() == [0, 1]
+        assert values.tolist() == [1.0, 8.0]  # the merged log wrote last
+        assert first.writes_recorded == 3
+
+    def test_values_dict_view(self):
+        log = WriteLog()
+        log.record_scatter([4, 2], [40.0, 20.0])
+        assert log.values == {2: 20.0, 4: 40.0}
+
+    def test_recorded_values_are_snapshots_not_views(self):
+        """Mutating the caller's array after record must not alter the log."""
+        log = WriteLog()
+        buf = np.array([1.0, 2.0])
+        log.record(0, buf)
+        buf[0] = 99.0
+        _, values = log.consolidated()
+        assert values.tolist() == [1.0, 2.0]
+
+
+class TestKernelTraceLabels:
+    def test_trace_label_matches_explicit_label(self):
+        executor = HMMExecutor(PARAMS)
+        trace = executor.run_kernel([lambda ctx: None], label="step1")
+        assert trace.label == "step1"
+        assert executor.traces[-1].label == "step1"
+
+    def test_trace_label_matches_generated_kernel_name(self):
+        """The default label and the kernel name must be the same string
+
+        (they were computed independently before, so a retry message could
+        name ``kernel3`` while the trace said ``kernel2``).
+        """
+        executor = HMMExecutor(PARAMS)
+        executor.run_kernel([lambda ctx: None])
+        executor.run_kernel([lambda ctx: None], label="named")
+        executor.run_kernel([lambda ctx: None])
+        assert [t.label for t in executor.traces] == ["kernel0", "named", "kernel2"]
