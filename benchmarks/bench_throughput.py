@@ -16,9 +16,22 @@ Measures the three layers the engine adds and writes them to
    (``prefetch_depth=1``), against a provider whose per-band latency is
    calibrated to the band compute time — the regime where double
    buffering pays, exactly as on a real storage-bound stream.
+4. **Fused backend** — full compute ops/sec with the fused batched
+   kernels (warm cache, ``fast=True, fused=True``) vs the cold counted
+   path and the per-task replay path, per algorithm. This is the ratio
+   the vectorized backend is for; the gate requires fused warm >= 3x
+   counted for 2R1W and >= 2.5x for 1R1W at the standard 256x256 case
+   (margins below the locally measured 4-5x / 3.3x to absorb runner
+   noise).
+5. **Batch frontend** — warm steady-state matrices/sec through a
+   ``BatchSession``: serial in-process vs a 4-worker pool. The >= 2x
+   speedup gate is enforced only where ``os.cpu_count() >= 4``; on
+   smaller hosts (including single-core CI runners) the numbers are
+   still measured and reported with ``gate_enforced: false``.
 
-Runnable standalone (``python benchmarks/bench_throughput.py [--ci]``,
-exits non-zero if a gate fails) and as a pytest benchmark.
+Runnable standalone (``python benchmarks/bench_throughput.py [--quick]``,
+exits non-zero if a gate fails) and as a pytest benchmark. ``--ci`` is a
+kept alias of ``--quick``.
 """
 
 from __future__ import annotations
@@ -124,28 +137,120 @@ def bench_streaming(rows: int, cols: int, band_rows: int) -> Dict[str, float]:
     }
 
 
+#: Per-algorithm fused-over-counted floors for ``check_gates``. 2R1W
+#: carries the ISSUE's headline >= 3x; 1R1W (whose counted path is
+#: already the cheapest of the family, so the fusible overhead is
+#: smaller) gets a 2.5x floor — both comfortably under the locally
+#: measured ratios.
+FUSED_GATES = {"2R1W": 3.0, "1R1W": 2.5}
+
+
+def bench_fused(n: int, params: MachineParams, reps: int) -> Dict[str, object]:
+    """Full-compute ops/sec per algorithm: counted vs fused vs replay."""
+    a = random_matrix(n, seed=0)
+    out: Dict[str, object] = {}
+    for name in FUSED_GATES:
+        algo = make_algorithm(name)
+
+        def cold() -> None:
+            algo.compute(a, params, engine=ExecutionEngine(cache=PlanCache()))
+
+        warm_engine = ExecutionEngine(cache=PlanCache())
+
+        def fused() -> None:
+            algo.compute(a, params, engine=warm_engine, fast=True, fused=True)
+
+        def replay() -> None:
+            algo.compute(a, params, engine=warm_engine, fast=True, fused=False)
+
+        cold_rate = _rate(cold, reps)
+        fused_rate = _rate(fused, reps * 3)
+        replay_rate = _rate(replay, reps * 3)
+        out[name] = {
+            "counted_ops_per_sec": cold_rate,
+            "replay_ops_per_sec": replay_rate,
+            "fused_ops_per_sec": fused_rate,
+            "fused_over_counted": fused_rate / cold_rate,
+            "fused_over_replay": fused_rate / replay_rate,
+        }
+    return out
+
+
+def bench_batch(
+    n: int, batch_size: int, params: MachineParams, workers: int = 4
+) -> Dict[str, object]:
+    """Warm-session batch throughput: serial in-process vs a worker pool.
+
+    Both sides are measured steady-state — pool startup and per-worker
+    plan warm-up happen before the clock starts, matching the serving
+    pattern ``BatchSession`` exists for.
+    """
+    from repro.sat.batch import BatchSession
+
+    rng = np.random.default_rng(11)
+    matrices = [
+        rng.integers(0, 100, size=(n, n)).astype(np.float64)
+        for _ in range(batch_size)
+    ]
+
+    def timed(session) -> float:
+        session.warm((n, n))
+        t0 = time.perf_counter()
+        for _ in session.map(matrices):
+            pass
+        return batch_size / (time.perf_counter() - t0)
+
+    with BatchSession("1R1W", params, workers=1) as session:
+        serial_rate = timed(session)
+    with BatchSession("1R1W", params, workers=workers) as session:
+        pool_rate = timed(session)
+    cpus = os.cpu_count() or 1
+    return {
+        "batch_size": batch_size,
+        "workers": workers,
+        "cpu_count": cpus,
+        "serial_matrices_per_sec": serial_rate,
+        "pool_matrices_per_sec": pool_rate,
+        "pool_over_serial": pool_rate / serial_rate,
+        # A pool cannot beat serial without cores to run on; the speedup
+        # gate only means something where the workers get real CPUs.
+        "gate_enforced": cpus >= workers,
+    }
+
+
 def run_throughput_benchmark(
     *, n: int = 256, reps: int = 5, stream_rows: int = 2048,
-    stream_cols: int = 1024, band_rows: int = 128,
+    stream_cols: int = 1024, band_rows: int = 128, batch_size: int = 32,
+    batch_workers: int = 4,
 ) -> Dict[str, object]:
     params = MachineParams(width=32, latency=512)
     plan = bench_plan_acquisition(n, params, reps)
     e2e = bench_end_to_end(n, params, reps)
     stream = bench_streaming(stream_rows, stream_cols, band_rows)
+    fused = bench_fused(n, params, reps)
+    batch = bench_batch(n, batch_size, params, workers=batch_workers)
     return {
         "config": {
             "n": n, "reps": reps, "width": params.width, "latency": params.latency,
             "stream_shape": [stream_rows, stream_cols], "band_rows": band_rows,
+            "batch_size": batch_size, "batch_workers": batch_workers,
         },
         "plan_acquisition": plan,
         "end_to_end": e2e,
         "streaming": stream,
+        "fused": fused,
+        "batch": batch,
         "summary": {
             "plan_warm_over_cold": plan["warm_ops_per_sec"] / plan["cold_ops_per_sec"],
             "e2e_warm_over_cold": e2e["warm_ops_per_sec"] / e2e["cold_ops_per_sec"],
             "pipelined_over_serial": (
                 stream["pipelined_gib_per_sec"] / stream["serial_gib_per_sec"]
             ),
+            "fused_over_counted": {
+                name: section["fused_over_counted"]
+                for name, section in fused.items()
+            },
+            "batch_pool_over_serial": batch["pool_over_serial"],
         },
     }
 
@@ -168,6 +273,19 @@ def check_gates(results: Dict[str, object]) -> list:
         failures.append(
             "pipelined streaming is not >= 1.3x serial "
             f"({s['pipelined_over_serial']:.2f}x)"
+        )
+    for name, floor in FUSED_GATES.items():
+        ratio = s["fused_over_counted"][name]
+        if ratio < floor:
+            failures.append(
+                f"fused warm {name} compute is not >= {floor}x the counted "
+                f"path ({ratio:.2f}x)"
+            )
+    batch = results["batch"]
+    if batch["gate_enforced"] and batch["pool_over_serial"] < 2.0:
+        failures.append(
+            f"{batch['workers']}-worker batch throughput is not >= 2x serial "
+            f"({batch['pool_over_serial']:.2f}x on {batch['cpu_count']} CPUs)"
         )
     return failures
 
@@ -199,6 +317,20 @@ def summary_text(results: Dict[str, object]) -> str:
             f"pipelined {st['pipelined_gib_per_sec']:.3f} GiB/s "
             f"({s['pipelined_over_serial']:.2f}x)",
         ]
+        + [
+            f"fused {name}:       counted {sec['counted_ops_per_sec']:.2f} ops/s, "
+            f"replay {sec['replay_ops_per_sec']:.2f} ops/s, "
+            f"fused {sec['fused_ops_per_sec']:.2f} ops/s "
+            f"({sec['fused_over_counted']:.2f}x counted)"
+            for name, sec in results["fused"].items()
+        ]
+        + [
+            f"batch:            serial {b['serial_matrices_per_sec']:.1f} mat/s, "
+            f"{b['workers']} workers {b['pool_matrices_per_sec']:.1f} mat/s "
+            f"({b['pool_over_serial']:.2f}x, gate "
+            f"{'enforced' if b['gate_enforced'] else f'skipped: {c} CPUs'})"
+            for b, c in [(results["batch"], results["batch"]["cpu_count"])]
+        ]
     )
 
 
@@ -207,6 +339,7 @@ def test_throughput_benchmark(once, report):
     results = once(
         run_throughput_benchmark,
         n=256, reps=3, stream_rows=1024, stream_cols=512, band_rows=128,
+        batch_size=8,
     )
     write_json(results)
     report("BENCH_throughput", summary_text(results))
@@ -220,23 +353,29 @@ def main(argv=None) -> int:
     ap.add_argument("--stream-rows", type=int, default=2048)
     ap.add_argument("--stream-cols", type=int, default=1024)
     ap.add_argument("--band-rows", type=int, default=128)
+    ap.add_argument("--batch-size", type=int, default=32)
+    ap.add_argument("--batch-workers", type=int, default=4)
     ap.add_argument(
-        "--ci", action="store_true",
+        "--quick", "--ci", dest="quick", action="store_true",
         help="small fixed sizes for the CI smoke job",
     )
     ap.add_argument("--out", default=None, help="results directory override")
     args = ap.parse_args(argv)
-    if args.ci:
-        # n=256 keeps a wide margin on the >= 3x plan-acquisition gate
-        # (compilation is too cheap below that for a robust ratio on a
-        # noisy shared runner).
+    if args.quick:
+        # n=256 keeps a wide margin on the >= 3x plan-acquisition and
+        # fused-backend gates (the fixed costs being amortized are too
+        # cheap below that for a robust ratio on a noisy shared runner);
+        # the batch shrinks to 8 matrices since warm throughput per
+        # matrix is what's measured, not batch-scaling.
         results = run_throughput_benchmark(
-            n=256, reps=3, stream_rows=1024, stream_cols=512, band_rows=128
+            n=256, reps=3, stream_rows=1024, stream_cols=512, band_rows=128,
+            batch_size=8,
         )
     else:
         results = run_throughput_benchmark(
             n=args.n, reps=args.reps, stream_rows=args.stream_rows,
             stream_cols=args.stream_cols, band_rows=args.band_rows,
+            batch_size=args.batch_size, batch_workers=args.batch_workers,
         )
     path = write_json(results, args.out)
     print(summary_text(results))

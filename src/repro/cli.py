@@ -7,6 +7,8 @@ Commands
 ``table2``    calibrated runtime predictions vs the published Table II
 ``tune``      sweep the kR1W mixing parameter at one size
 ``crossover`` locate the 1R1W/2R1W crossover under both runtime models
+``batch``     multi-core batch SAT throughput (warm BatchSession over a
+              ProcessPoolExecutor with shared-memory matrix transport)
 ``chaos``     run every algorithm under a seeded fault plan; assert the
               resilience invariant (correct SAT or typed error, never a
               silently wrong answer)
@@ -177,6 +179,46 @@ def cmd_crossover(args) -> int:
     return 0
 
 
+def cmd_batch(args) -> int:
+    """Compute SATs for a batch of same-shape matrices across cores.
+
+    Measures warm steady-state throughput through a
+    :class:`~repro.sat.batch.BatchSession` (the pool and each worker's
+    plan cache are warmed before timing) and spot-checks one result
+    against the numpy oracle. Exit code 0 on a verified batch.
+    """
+    import time
+
+    from .sat.batch import BatchSession
+    from .sat.reference import sat_reference
+
+    params = _params(args)
+    rng = np.random.default_rng(args.seed)
+    matrices = [
+        rng.integers(0, 100, size=(args.n, args.n)).astype(np.float64)
+        for _ in range(args.count)
+    ]
+    workers = args.workers
+    with BatchSession(
+        args.algorithm, params, workers=workers,
+        **({"p": args.p} if args.algorithm == "kR1W" else {}),
+    ) as session:
+        session.warm((args.n, args.n))
+        start = time.perf_counter()
+        sats = list(session.map(matrices))
+        elapsed = time.perf_counter() - start
+    check = args.count // 2
+    ok = np.array_equal(sats[check], sat_reference(matrices[check]))
+    throughput = args.count / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"{args.algorithm}: {args.count} matrices of {args.n}x{args.n} "
+        f"in {elapsed:.3f}s ({throughput:.1f} matrices/s, "
+        f"{session.workers} worker{'s' if session.workers != 1 else ''}, warm)"
+    )
+    print(f"spot check vs numpy oracle: {'OK' if ok else 'MISMATCH'}")
+    return 0 if ok else 1
+
+
 def cmd_chaos(args) -> int:
     """Run the chaos suite: all algorithms under one seeded fault plan.
 
@@ -272,6 +314,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("crossover", help="locate the 1R1W/2R1W crossover")
     p.set_defaults(fn=cmd_crossover)
+
+    p = sub.add_parser("batch", help="multi-core batch SAT throughput")
+    p.add_argument("-n", type=int, default=256, help="matrix side length")
+    p.add_argument("-k", "--count", type=int, default=32, help="batch size")
+    p.add_argument("--algorithm", default="1R1W", help="Table II name or kR1W")
+    p.add_argument("--p", type=float, default=0.5, help="kR1W mixing parameter")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: all cores; 1 = serial in-process)",
+    )
+    _add_machine_args(p)
+    p.set_defaults(fn=cmd_batch)
 
     p = sub.add_parser("chaos", help="fault-inject every algorithm; check the invariant")
     p.add_argument("-n", type=int, default=64)

@@ -84,6 +84,17 @@ class RetryExhausted(ReproError):
     """
 
 
+class WorkerCrashed(ReproError):
+    """A batch worker process died without delivering its result.
+
+    Raised by :func:`repro.sat.batch.sat_batch` when the process pool
+    reports a broken worker (segfault, ``os._exit``, OOM kill). The batch
+    cannot tell which in-flight matrices were lost, so the whole batch
+    fails loudly rather than returning a partial result set. The pool
+    failure is chained as ``__cause__``.
+    """
+
+
 class IdempotenceViolation(BarrierViolation):
     """A replayed block task diverged from its failed attempt's writes.
 

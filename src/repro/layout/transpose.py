@@ -25,6 +25,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..errors import ShapeError
+from ..machine.engine.fused import TransposeSpec, attach_fused_spec
 from ..machine.macro.executor import BlockContext, HMMExecutor
 from ..machine.params import MachineParams
 from .blocking import BlockGrid
@@ -117,4 +118,5 @@ def hmm_transpose(
             _transpose_block_task(ctx, src, dst, s, d)
 
         tasks.append(task)
+    attach_fused_spec(tasks, TransposeSpec(src, dst))
     executor.run_kernel(tasks, label=label)

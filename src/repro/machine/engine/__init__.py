@@ -74,18 +74,33 @@ class ExecutionEngine:
         return plan
 
     def execute(
-        self, plan: ExecutionPlan, executor: HMMExecutor, *, fast: bool = False
+        self,
+        plan: ExecutionPlan,
+        executor: HMMExecutor,
+        *,
+        fast: bool = False,
+        fused: bool = True,
     ) -> None:
-        execute_plan(plan, executor, fast=fast)
+        """Execute a plan. ``fast=True`` replays memoized traffic tallies;
+        ``fused`` (default on) additionally runs each fast kernel through
+        its batched numpy schedule instead of per-task Python closures."""
+        execute_plan(plan, executor, fast=fast, fused=fused)
 
     def stats(self) -> dict:
         out = self.cache.stats()
         out["compiles"] = self.compiles
         return out
 
+    def cache_stats(self) -> dict:
+        """Plan-cache statistics alone: size, capacity, hits, misses,
+        evictions — the serving-layer health numbers, without the engine's
+        compile counter mixed in."""
+        return self.cache.stats()
+
 
 #: Process-wide engine used by ``SATAlgorithm.compute`` unless overridden.
-_DEFAULT_ENGINE = ExecutionEngine(cache=PlanCache(capacity=64))
+#: Capacity honors ``REPRO_PLAN_CACHE_SIZE`` (read at import).
+_DEFAULT_ENGINE = ExecutionEngine(cache=PlanCache())
 
 
 def default_engine() -> ExecutionEngine:

@@ -13,6 +13,7 @@ consumer thread, can share the default engine safely.
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import OrderedDict
 from typing import Dict, List, Optional
@@ -20,11 +21,42 @@ from typing import Dict, List, Optional
 from ...errors import ConfigurationError
 from .plan import ExecutionPlan, PlanKey
 
+#: Environment variable overriding the default cache capacity.
+CAPACITY_ENV_VAR = "REPRO_PLAN_CACHE_SIZE"
+
+#: Capacity used when neither the constructor nor the env var specifies one.
+DEFAULT_CAPACITY = 64
+
+
+def default_capacity() -> int:
+    """Resolve the default capacity: ``REPRO_PLAN_CACHE_SIZE`` or 64."""
+    raw = os.environ.get(CAPACITY_ENV_VAR)
+    if raw is None:
+        return DEFAULT_CAPACITY
+    try:
+        capacity = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{CAPACITY_ENV_VAR}={raw!r} is not an integer"
+        ) from None
+    if capacity < 1:
+        raise ConfigurationError(
+            f"{CAPACITY_ENV_VAR} must be >= 1, got {capacity}"
+        )
+    return capacity
+
 
 class PlanCache:
-    """LRU-bounded ``PlanKey -> ExecutionPlan`` map with hit/miss stats."""
+    """LRU-bounded ``PlanKey -> ExecutionPlan`` map with hit/miss stats.
 
-    def __init__(self, capacity: int = 64):
+    ``capacity=None`` (the default) resolves through
+    ``REPRO_PLAN_CACHE_SIZE`` so deployments can size the cache without
+    code changes; an explicit constructor argument always wins.
+    """
+
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is None:
+            capacity = default_capacity()
         if capacity < 1:
             raise ConfigurationError(f"cache capacity must be >= 1, got {capacity}")
         self.capacity = capacity

@@ -31,6 +31,7 @@ from ...errors import AccessError, PlanCompileError
 from ..params import MachineParams
 from ..macro.counters import AccessCounters
 from ..macro.executor import BlockTask, HMMExecutor, KernelTrace
+from .fused import build_fused_schedule
 
 
 @dataclasses.dataclass(frozen=True)
@@ -90,11 +91,23 @@ class KernelPlan:
 
     ``counters`` starts ``None`` and is filled in by the first counted
     execution of the plan; after that the fast path can replay it.
+    ``schedule`` is the kernel's *fused* execution schedule — the task
+    list partitioned into :class:`~repro.machine.engine.fused
+    .FusedKernelSpec` groups (batched numpy execution) and leftover
+    per-task entries — built lazily on first fused execution and cached
+    for the plan's lifetime; its index arrays are what "precomputed at
+    compile time" means operationally.
     """
 
     label: str
     tasks: Tuple[BlockTask, ...]
     counters: Optional[AccessCounters] = None
+    schedule: Optional[Tuple] = None
+
+    def fused_schedule(self) -> Tuple:
+        if self.schedule is None:
+            self.schedule = build_fused_schedule(self.tasks)
+        return self.schedule
 
 
 PlanOp = Union[AllocOp, FreeOp, KernelPlan]
@@ -254,6 +267,7 @@ def execute_plan(
     executor: HMMExecutor,
     *,
     fast: bool = False,
+    fused: bool = True,
 ) -> None:
     """Replay a plan against a live executor (input buffer already installed).
 
@@ -262,10 +276,14 @@ def execute_plan(
     bit-identical to direct execution, including the seeded adversarial
     block shuffle — and each kernel's measured traffic diff is memoized
     into the plan. With ``fast=True``, kernels whose diffs are already
-    memoized run through :meth:`run_kernel_replay` (charging disabled,
-    recorded tally applied wholesale); unmeasured kernels fall back to the
-    counted path, so the very first fast run both works and completes the
-    plan's accounting.
+    memoized skip per-access charging and apply the recorded tally
+    wholesale: by default (``fused=True``) through
+    :meth:`~repro.machine.macro.executor.HMMExecutor.run_kernel_fused`,
+    which executes each kernel's task groups as batched numpy
+    gather/compute/scatter over the plan's precomputed index arrays;
+    with ``fused=False`` through the per-task :meth:`run_kernel_replay`
+    path. Unmeasured kernels fall back to the counted path, so the very
+    first fast run both works and completes the plan's accounting.
     """
     use_replay = (
         fast and executor.injector is None and executor.max_task_retries == 0
@@ -277,7 +295,15 @@ def execute_plan(
             executor.gm.free(op.name)
         else:
             if use_replay and op.counters is not None:
-                executor.run_kernel_replay(op.tasks, op.counters, label=op.label)
+                if fused:
+                    executor.run_kernel_fused(
+                        op.fused_schedule(), len(op.tasks), op.counters,
+                        label=op.label,
+                    )
+                else:
+                    executor.run_kernel_replay(
+                        op.tasks, op.counters, label=op.label
+                    )
             else:
                 trace = executor.run_kernel(op.tasks, label=op.label)
                 if op.counters is None:

@@ -46,19 +46,19 @@ class AccessCounters:
 
     def add(self, other: "AccessCounters") -> None:
         """Accumulate another tally into this one (in place)."""
-        for f in dataclasses.fields(self):
-            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        for name in _FIELD_NAMES:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
 
     def copy(self) -> "AccessCounters":
-        return dataclasses.replace(self)
+        return AccessCounters(*(getattr(self, name) for name in _FIELD_NAMES))
 
     def diff(self, earlier: "AccessCounters") -> "AccessCounters":
         """The traffic that occurred after ``earlier`` was snapshotted."""
         return AccessCounters(
-            **{
-                f.name: getattr(self, f.name) - getattr(earlier, f.name)
-                for f in dataclasses.fields(self)
-            }
+            *(
+                getattr(self, name) - getattr(earlier, name)
+                for name in _FIELD_NAMES
+            )
         )
 
     def as_dict(self) -> Dict[str, int]:
@@ -72,3 +72,9 @@ class AccessCounters:
             f"{self.shared_writes}, kernels={self.kernels_launched}, "
             f"blocks={self.blocks_executed})"
         )
+
+
+#: Field names in declaration order, resolved once — ``add``/``copy``/``diff``
+#: run per kernel launch on the fast path, so per-call ``dataclasses.fields``
+#: introspection is measurable overhead.
+_FIELD_NAMES = tuple(f.name for f in dataclasses.fields(AccessCounters))

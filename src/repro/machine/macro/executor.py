@@ -238,6 +238,60 @@ class HMMExecutor:
         self.traces.append(trace)
         return trace
 
+    def run_kernel_fused(
+        self,
+        schedule: Sequence,
+        num_blocks: int,
+        counters: AccessCounters,
+        label: str = "",
+    ) -> KernelTrace:
+        """Fused launch: execute a kernel's precompiled batched schedule.
+
+        ``schedule`` is the kernel's fused schedule from
+        :meth:`~repro.machine.engine.plan.KernelPlan.fused_schedule` —
+        a mix of fused spec objects (recognized by their ``fused_spec``
+        duck-typing marker; each stands for a whole task group and applies
+        it as batched numpy gather/compute/scatter against the raw buffer
+        arrays) and leftover plain block tasks, executed per task exactly
+        as :meth:`run_kernel_replay` would. The accounting contract is the
+        same as replay: ``counters`` is the kernel's memoized traffic diff,
+        applied wholesale; per-access charging is off for the duration.
+        Requires a fault-free configuration (no injector, no retry budget).
+        """
+        if self.injector is not None or self.max_task_retries > 0:
+            raise ValueError(
+                "run_kernel_fused requires a fault-free executor "
+                "(no injector, max_task_retries=0); use run_kernel"
+            )
+        if self.counters.kernels_launched > 0:
+            self.counters.barriers += 1
+        self.counters.kernels_launched += 1
+        kernel_name = label or f"kernel{self.counters.kernels_launched - 1}"
+        scratch = AccessCounters()
+        shared = SharedAllocator(self.params, scratch)
+        self.gm.counting = False
+        try:
+            block_index = 0
+            for item in schedule:
+                if getattr(item, "fused_spec", False):
+                    item.execute(self.gm)
+                    block_index += item.num_tasks
+                else:
+                    item(
+                        BlockContext(
+                            self.gm, shared, self.params, block_index, num_blocks
+                        )
+                    )
+                    shared.reset_all()  # asynchronous-HMM DMM reset
+                    block_index += 1
+        finally:
+            self.gm.counting = True
+        diff = counters.copy()
+        self.counters.add(diff)
+        trace = KernelTrace(label=kernel_name, blocks=num_blocks, counters=diff)
+        self.traces.append(trace)
+        return trace
+
     def _run_task(
         self,
         task: BlockTask,

@@ -74,6 +74,25 @@ class WriteLog:
         self._value_chunks.append(flat_v)
         self.writes_recorded += int(flat_a.size)
 
+    def record_block(
+        self, start_address: int, row_stride: int, values: np.ndarray
+    ) -> None:
+        """Record a 2-D block of writes: row ``r`` starts at
+        ``start_address + r * row_stride``. One numpy address computation
+        replaces a per-row Python loop."""
+        vals = np.array(values, dtype=np.float64)
+        if vals.size == 0:
+            return
+        h, width = vals.shape
+        addresses = (
+            start_address
+            + np.arange(h, dtype=np.int64)[:, None] * row_stride
+            + np.arange(width, dtype=np.int64)[None, :]
+        )
+        self._address_chunks.append(addresses.ravel())
+        self._value_chunks.append(vals.ravel())
+        self.writes_recorded += int(vals.size)
+
     def merge_from(self, other: "WriteLog") -> None:
         """Append another log's writes after this log's own (in write order)."""
         self._address_chunks.extend(other._address_chunks)
@@ -161,6 +180,14 @@ class GlobalMemory:
     def _log_scatter_write(self, addresses, values) -> None:
         if self._write_log is not None:
             self._write_log.record_scatter(addresses, values)
+
+    def _log_block_write(self, name: str, row: int, col: int, values: np.ndarray) -> None:
+        """Log a 2-D block write (one row-strided record, no Python loop)."""
+        if self._write_log is not None and np.asarray(values).size:
+            arr = self._require(name)
+            self._write_log.record_block(
+                self.linear_address(name, row, col), arr.shape[1], values
+            )
 
     # --- allocation --------------------------------------------------------
 
@@ -271,17 +298,38 @@ class GlobalMemory:
         arr[idx] = values
 
     def read_block(self, name: str, row: int, col: int, height: int, width: int) -> np.ndarray:
-        """Coalesced read of a ``height x width`` block (one hrun per row)."""
-        rows = [self.read_hrun(name, row + r, col, width) for r in range(height)]
-        return np.stack(rows) if rows else np.empty((0, width))
+        """Coalesced read of a ``height x width`` block (one hrun per row).
+
+        Equivalent to ``height`` :meth:`read_hrun` calls — identical
+        accounting — but executed as a single 2-D slice.
+        """
+        if height == 0:
+            return np.empty((0, width))
+        if self._require(name).ndim == 1:
+            # 1-D buffers only admit row 0; keep the hrun path for its
+            # exact bounds diagnostics.
+            rows = [self.read_hrun(name, row + r, col, width) for r in range(height)]
+            return np.stack(rows)
+        arr = self._strip_slice(name, row, col, height, width)
+        self._charge_strip_coalesced(name, row, col, height, width)
+        return arr[row : row + height, col : col + width].copy()
 
     def write_block(self, name: str, row: int, col: int, values: np.ndarray) -> None:
-        """Coalesced write of a 2-D block (one hrun per row)."""
+        """Coalesced write of a 2-D block (one hrun per row, vectorized)."""
         values = np.asarray(values)
         if values.ndim != 2:
             raise ShapeError("write_block takes a 2-D value array")
-        for r in range(values.shape[0]):
-            self.write_hrun(name, row + r, col, values[r])
+        if values.shape[0] == 0:
+            return
+        if self._require(name).ndim == 1:
+            for r in range(values.shape[0]):
+                self.write_hrun(name, row + r, col, values[r])
+            return
+        h, wdt = values.shape
+        arr = self._strip_slice(name, row, col, h, wdt)
+        self._charge_strip_coalesced(name, row, col, h, wdt)
+        self._log_block_write(name, row, col, values)
+        arr[row : row + h, col : col + wdt] = values
 
     # --- vectorized 2-D strips (coalesced) ------------------------------------
 
@@ -318,10 +366,12 @@ class GlobalMemory:
                 start, width, w
             )
         else:
-            txn = 0
-            for r in range(row, row + height):
-                txn += transactions_for_run(base + r * ncols, width, w)
-            self.counters.coalesced_transactions += txn
+            # Rows straddle groups differently when ncols is not a
+            # multiple of w; compute every row's transaction count in one
+            # vectorized expression (same formula as transactions_for_run).
+            starts = base + np.arange(row, row + height, dtype=np.int64) * ncols
+            txn = (starts + width - 1) // w - starts // w + 1
+            self.counters.coalesced_transactions += int(txn.sum())
 
     def read_strip(self, name: str, row: int, col: int, height: int, width: int) -> np.ndarray:
         """Coalesced read of a 2-D strip (one horizontal run per row).
@@ -343,9 +393,7 @@ class GlobalMemory:
         h, wdt = values.shape
         arr = self._strip_slice(name, row, col, h, wdt)
         self._charge_strip_coalesced(name, row, col, h, wdt)
-        if self._write_log is not None:
-            for r in range(h):
-                self._log_run_write(name, row + r, col, values[r])
+        self._log_block_write(name, row, col, values)
         arr[row : row + h, col : col + wdt] = values
 
     def read_strip_stride(
@@ -371,9 +419,7 @@ class GlobalMemory:
         arr = self._strip_slice(name, row, col, h, wdt)
         if self._counting:
             self.counters.stride_ops += h * wdt
-        if self._write_log is not None:
-            for r in range(h):
-                self._log_run_write(name, row + r, col, values[r])
+        self._log_block_write(name, row, col, values)
         arr[row : row + h, col : col + wdt] = values
 
     # --- scattered (fancy-indexed) access: always stride ----------------------

@@ -24,6 +24,7 @@ from .algo_4r1w import FourReadOneWrite
 from .algo_4r4w import FourReadFourWrite
 from .algo_kr1w import CombinedKR1W, OnePointTwoFiveR1W
 from .base import MATRIX_BUFFER, SATAlgorithm, SATResult
+from .batch import BatchSession, batch_counters, sat_batch, sat_batch_list
 from .cpu import CPU_ALGORITHMS, cpu_2r2w, cpu_4r1w, cpu_4r1w_strict, cpu_numpy_2r2w
 from .reference import (
     assert_sat_equal,
@@ -39,6 +40,7 @@ from .out_of_core import (
     StreamCheckpoint,
     StreamReport,
     carry_checksum,
+    hmm_band_sat,
     sat_out_of_core,
     sat_out_of_core_resilient,
     sat_streamed,
@@ -51,6 +53,7 @@ __all__ = [
     "ALGORITHM_NAMES",
     "CPU_ALGORITHMS",
     "BandPrefetcher",
+    "BatchSession",
     "CombinedKR1W",
     "FourReadFourWrite",
     "FourReadOneWrite",
@@ -60,7 +63,11 @@ __all__ = [
     "ResilientBandProvider",
     "StreamCheckpoint",
     "StreamReport",
+    "batch_counters",
     "carry_checksum",
+    "hmm_band_sat",
+    "sat_batch",
+    "sat_batch_list",
     "sat_out_of_core",
     "sat_out_of_core_resilient",
     "sat_streamed",

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..layout.blocking import BlockGrid
+from ..machine.engine.fused import BlockStageSpec, attach_fused_spec
 from ..machine.macro.executor import BlockContext, BlockTask, HMMExecutor
 from .base import MATRIX_BUFFER, SATAlgorithm
 from .blockops import (
@@ -94,6 +95,24 @@ def make_block_stage_task(
     return task
 
 
+def block_stage_tasks(buf: str, grid: BlockGrid, blocks) -> List[BlockTask]:
+    """Stage tasks for a set of blocks, fused as one batched group.
+
+    The fused spec precomputes the whole set's gather/scatter index
+    arrays and boundary masks, so a warm plan executes the entire
+    anti-diagonal as a handful of numpy calls.
+    """
+    blocks = list(blocks)
+    tasks = [make_block_stage_task(buf, grid, bi, bj) for bi, bj in blocks]
+    return attach_fused_spec(
+        tasks,
+        BlockStageSpec(
+            buf, grid.w, blocks, grid.block_rows, grid.block_cols,
+            AUX_BOTTOM, AUX_RIGHT,
+        ),
+    )
+
+
 def alloc_aux_buffers(executor: HMMExecutor, rows: int, cols: int = None) -> None:
     """Allocate the boundary buffers (idempotent; kR1W shares them).
 
@@ -134,10 +153,7 @@ class OneReadOneWrite(SATAlgorithm):
         grid = BlockGrid(rows, executor.params.width, cols)
         alloc_aux_buffers(executor, rows, cols)
         for stage in range(grid.num_diagonals):
-            tasks = [
-                make_block_stage_task(MATRIX_BUFFER, grid, bi, bj)
-                for bi, bj in grid.diagonal(stage)
-            ]
+            tasks = block_stage_tasks(MATRIX_BUFFER, grid, grid.diagonal(stage))
             executor.run_kernel(tasks, label=f"stage{stage}")
             if self.snapshot_after_stage is not None and stage == self.snapshot_after_stage:
                 self.snapshot = executor.gm.array(MATRIX_BUFFER).copy()

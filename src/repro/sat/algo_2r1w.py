@@ -29,6 +29,12 @@ from typing import Dict, Iterator, List, Optional, Tuple
 import numpy as np
 
 from ..layout.blocking import BlockGrid
+from ..machine.engine.fused import (
+    SingleBlockSatSpec,
+    Step1Spec,
+    Step3Spec,
+    attach_fused_spec,
+)
 from ..machine.macro.executor import BlockContext, BlockTask, HMMExecutor
 from ..machine.macro.global_memory import GlobalMemory
 from .base import MATRIX_BUFFER, SATAlgorithm
@@ -72,7 +78,7 @@ def _single_block_sat_task(buf: str, side: int) -> BlockTask:
         block_sat_inplace(tile)
         ctx.gm.write_strip(buf, 0, 0, tile.data)
 
-    return task
+    return attach_fused_spec([task], SingleBlockSatSpec(buf, side))[0]
 
 
 class TwoReadOneWrite(SATAlgorithm):
@@ -116,7 +122,9 @@ class TwoReadOneWrite(SATAlgorithm):
                     ctx.gm.write_at(m_buf, bi, bj, block_total(tile))
 
             tasks.append(task)
-        return tasks
+        return attach_fused_spec(
+            tasks, Step1Spec(buf, c_buf, rt_buf, m_buf, m, w)
+        )
 
     def _step3_tasks(
         self, buf: str, grid: BlockGrid, c_buf: str, rt_buf: str, m_buf: str
@@ -138,7 +146,10 @@ class TwoReadOneWrite(SATAlgorithm):
                 ctx.gm.write_strip(buf, r0, c0, tile.data)
 
             tasks.append(task)
-        return tasks
+        return attach_fused_spec(
+            tasks,
+            Step3Spec(buf, c_buf, rt_buf, m_buf, grid.blocks_per_side, w),
+        )
 
     # --- phase generation -----------------------------------------------------
 

@@ -25,6 +25,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..machine.engine.fused import ScatterStageSpec, attach_fused_spec
 from ..machine.macro.executor import BlockContext, HMMExecutor
 from .base import MATRIX_BUFFER, SATAlgorithm
 
@@ -79,11 +80,15 @@ class FourReadOneWrite(SATAlgorithm):
     def _run(self, executor: HMMExecutor, rows: int, cols: int) -> None:
         w = executor.params.width
         for k in range(rows + cols - 1):
-            length = min(k, rows - 1) - max(0, k - (cols - 1)) + 1
+            i_lo = max(0, k - (cols - 1))
+            i_hi = min(k, rows - 1)
+            length = i_hi - i_lo + 1
             tasks = [
                 self._stage_task(rows, cols, k, chunk)
                 for chunk in range(-(-length // w))
             ]
+            i = np.arange(i_lo, i_hi + 1)
+            attach_fused_spec(tasks, ScatterStageSpec(MATRIX_BUFFER, i, k - i))
             executor.run_kernel(tasks, label=f"stage{k}")
             if self.snapshot_after_stage is not None and k == self.snapshot_after_stage:
                 self.snapshot = executor.gm.array(MATRIX_BUFFER).copy()

@@ -27,7 +27,7 @@ import numpy as np
 from ..errors import ShapeError
 from ..layout.blocking import BlockGrid
 from ..machine.macro.executor import HMMExecutor
-from .algo_1r1w import alloc_aux_buffers, make_block_stage_task
+from .algo_1r1w import alloc_aux_buffers, block_stage_tasks
 from .base import MATRIX_BUFFER, SATAlgorithm
 from .triangle2r1w import alloc_triangle_buffers, triangle_phases
 
@@ -82,10 +82,7 @@ class CombinedKR1W(SATAlgorithm):
         m = grid.blocks_per_side
         t = int(round(self.p * (m - 1)))
         for stage in range(t, 2 * (m - 1) - t + 1):
-            tasks = [
-                make_block_stage_task(MATRIX_BUFFER, grid, bi, bj)
-                for bi, bj in grid.diagonal(stage)
-            ]
+            tasks = block_stage_tasks(MATRIX_BUFFER, grid, grid.diagonal(stage))
             executor.run_kernel(tasks, label=f"C:stage{stage}")
 
         # (B) bottom-right triangle, 2R1W-style seeded from the band.

@@ -123,6 +123,7 @@ class SATAlgorithm(abc.ABC):
         engine: Optional[ExecutionEngine] = None,
         use_plan_cache: bool = True,
         fast: bool = False,
+        fused: bool = True,
     ) -> SATResult:
         """Compute the SAT of ``matrix`` on the asynchronous HMM.
 
@@ -155,6 +156,12 @@ class SATAlgorithm(abc.ABC):
             data-independent; asserted bit-identical in the test suite).
             The first fast run at a new shape transparently runs counted
             to populate those tallies. Requires the engine path.
+        fused:
+            With ``fast=True``, execute each kernel through its batched
+            numpy schedule (gather → per-block compute → scatter over the
+            plan's precomputed index arrays) instead of per-task Python
+            closures. On by default; ``fused=False`` selects the per-task
+            replay path (same accounting, useful for isolation).
         """
         if self.supports_rectangular:
             matrix = np.asarray(matrix)
@@ -187,9 +194,12 @@ class SATAlgorithm(abc.ABC):
             )
         if executor.gm.has(MATRIX_BUFFER):
             raise ShapeError(f"executor already holds a {MATRIX_BUFFER!r} buffer")
-        executor.gm.install(MATRIX_BUFFER, matrix.astype(np.float64, copy=True))
+        # install() makes the defensive copy; copy=False avoids a second one.
+        executor.gm.install(MATRIX_BUFFER, matrix.astype(np.float64, copy=False))
         if plan is not None:
-            (engine or default_engine()).execute(plan, executor, fast=fast)
+            (engine or default_engine()).execute(
+                plan, executor, fast=fast, fused=fused
+            )
         else:
             self._run(executor, rows, cols)
         return SATResult(

@@ -1,0 +1,344 @@
+"""Multi-core batch SAT frontend: many same-shape matrices, all cores.
+
+The simulator is single-threaded Python, so one process leaves most of
+the host idle. For the production-serving pattern — a stream of
+same-shape matrices — this module fans batches out over a
+:class:`~concurrent.futures.ProcessPoolExecutor`:
+
+* inputs and outputs live in two :mod:`multiprocessing.shared_memory`
+  blocks per batch, so matrices cross the process boundary by name, not
+  by pickle (task payloads are a few strings and ints);
+* each worker holds ONE warm :class:`~repro.machine.engine.ExecutionEngine`
+  for its whole life, so its first matrix at a shape compiles + measures
+  the plan and every later matrix replays it through the fused backend —
+  the per-worker analogue of the plan-cache serving loop;
+* results come back as an iterator ordered by input position, whatever
+  order the workers finished in.
+
+:class:`BatchSession` is the serving-shaped API: the pool (and each
+worker's plan cache) survives across ``map`` calls, so pool startup and
+per-worker warm-up are one-time costs amortized over the session — the
+same steady-state framing the plan-cache benchmark uses. One-shot
+:func:`sat_batch` wraps a session around a single batch.
+
+Counters are not shipped back per matrix: HMM access patterns are
+data-independent, so every matrix of the batch has the *same* tallies.
+:func:`batch_counters` recomputes them once, in-process.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import shared_memory
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ShapeError, WorkerCrashed
+from ..machine.params import MachineParams
+
+#: Environment knob used by the crash-surfacing test: a worker processing
+#: this batch index dies mid-task (``os._exit``), which is how a segfault
+#: or OOM kill looks to the pool. Never set outside tests.
+CRASH_ENV_VAR = "REPRO_BATCH_CRASH_INDEX"
+
+# Per-worker state, populated by _worker_init and the first task of each
+# batch (module globals are the ProcessPoolExecutor initializer channel).
+_WORKER = {}
+
+
+def _stack_batch(matrices: Sequence[np.ndarray]) -> np.ndarray:
+    """Validate a batch and stack it into one (k, rows, cols) float64 array."""
+    arrays = [np.asarray(m) for m in matrices]
+    if not arrays:
+        return np.empty((0, 0, 0), dtype=np.float64)
+    for i, a in enumerate(arrays):
+        if a.ndim != 2 or 0 in a.shape:
+            raise ShapeError(f"batch[{i}] must be a non-empty 2-D matrix, got {a.shape}")
+        if a.shape != arrays[0].shape:
+            raise ShapeError(
+                f"batch matrices must share one shape (one cached plan, one "
+                f"shared-memory layout): batch[0] is {arrays[0].shape}, "
+                f"batch[{i}] is {a.shape}"
+            )
+    return np.stack(arrays).astype(np.float64, copy=False)
+
+
+def _make_algorithm(algorithm, algo_kwargs):
+    from .registry import make_algorithm
+
+    if isinstance(algorithm, str):
+        return make_algorithm(algorithm, **algo_kwargs)
+    if algo_kwargs:
+        raise TypeError("algorithm kwargs only apply to registry names")
+    return algorithm
+
+
+def _worker_init(algorithm, params, fast, fused, seed):
+    from ..machine.engine import ExecutionEngine, PlanCache
+
+    _WORKER.update(
+        algo=algorithm,
+        params=params,
+        fast=fast,
+        fused=fused,
+        seed=seed,
+        engine=ExecutionEngine(cache=PlanCache()),
+        warm_shapes=set(),
+        batch=None,  # (in_name, inputs, outputs, shm handles) of current batch
+    )
+
+
+def _worker_attach(in_name, out_name, shape):
+    """(Re)attach to the current batch's shared blocks, dropping the last.
+
+    With fork-started workers (the Linux default) the resource tracker
+    process is shared with the parent, so attach-time registration is a
+    harmless duplicate and the parent's ``unlink()`` performs the one
+    unregister — no extra bookkeeping needed here.
+    """
+    batch = _WORKER.get("batch")
+    if batch is not None and batch[0] == in_name:
+        return batch
+    if batch is not None:
+        batch[3].close()
+        batch[4].close()
+    shm_in = shared_memory.SharedMemory(name=in_name)
+    shm_out = shared_memory.SharedMemory(name=out_name)
+    batch = (
+        in_name,
+        np.ndarray(shape, dtype=np.float64, buffer=shm_in.buf),
+        np.ndarray(shape, dtype=np.float64, buffer=shm_out.buf),
+        shm_in,
+        shm_out,
+    )
+    _WORKER["batch"] = batch
+    return batch
+
+
+def _worker_compute(task) -> int:
+    in_name, out_name, shape, index = task
+    crash_at = os.environ.get(CRASH_ENV_VAR)
+    if crash_at is not None and int(crash_at) == index:
+        os._exit(13)
+    w = _WORKER
+    _, inputs, outputs, _, _ = _worker_attach(in_name, out_name, shape)
+    # The first matrix at a shape runs counted (populating the plan's
+    # tallies); everything after replays fused. Outputs are identical
+    # either way — that is the fused backend's tested contract.
+    fast = w["fast"] and shape in w["warm_shapes"]
+    result = w["algo"].compute(
+        inputs[index], w["params"], engine=w["engine"],
+        fast=fast, fused=w["fused"], seed=w["seed"],
+    )
+    w["warm_shapes"].add(shape)
+    outputs[index] = result.sat
+    return index
+
+
+class BatchSession:
+    """A long-lived multi-core SAT server: warm pool, warm plan caches.
+
+    Construction starts the worker pool; every ``map`` call streams one
+    batch through it. Worker state — the process itself and its engine's
+    plan cache — persists across batches, so repeated same-shape batches
+    run entirely on the fused fast path after each worker's first matrix.
+    Use as a context manager, or call :meth:`close`.
+
+    ``workers=1`` (or ``0``) degenerates to an in-process serial loop
+    with one warm engine — same iterator contract, no pool — which is
+    also the measurement baseline for the throughput benchmark.
+    """
+
+    def __init__(
+        self,
+        algorithm="1R1W",
+        params: Optional[MachineParams] = None,
+        *,
+        workers: Optional[int] = None,
+        fast: bool = True,
+        fused: bool = True,
+        seed: int = 0,
+        **algo_kwargs,
+    ):
+        self.algo = _make_algorithm(algorithm, algo_kwargs)
+        self.params = params if params is not None else MachineParams()
+        if workers is None:
+            workers = os.cpu_count() or 1
+        self.workers = max(1, workers)
+        self.fast = fast
+        self.fused = fused
+        self.seed = seed
+        self._pool = None
+        self._engine = None  # serial path's session engine
+        self._warm_shapes = set()
+        if self.workers > 1:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_worker_init,
+                initargs=(self.algo, self.params, fast, fused, seed),
+            )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "BatchSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- batch execution -----------------------------------------------------
+
+    def warm(self, shape: Tuple[int, int]) -> None:
+        """Pre-warm every worker's plan cache for ``shape``.
+
+        Runs one matrix per worker so later batches at this shape start
+        on the fused fast path immediately. Optional — the first batch
+        warms implicitly — but it moves the one-time compile + counted
+        run out of measured steady-state throughput. All-ones probes
+        (not zeros) so the memoized tallies include the corner-offset
+        writes the block code skips for exactly-0.0 corrections.
+        """
+        ones = [np.ones(shape)] * max(1, self.workers)
+        for _ in self.map(ones):
+            pass
+
+    def map(self, matrices: Sequence[np.ndarray]) -> Iterator[np.ndarray]:
+        """SATs for one same-shape batch, as an input-ordered iterator."""
+        stacked = _stack_batch(matrices)
+        if stacked.shape[0] == 0:
+            return iter(())
+        if self._pool is None:
+            return self._map_serial(stacked)
+        return self._map_pool(stacked)
+
+    def _map_serial(self, stacked) -> Iterator[np.ndarray]:
+        from ..machine.engine import ExecutionEngine, PlanCache
+
+        if self._engine is None:
+            self._engine = ExecutionEngine(cache=PlanCache())
+        shape = stacked.shape[1:]
+        for i in range(stacked.shape[0]):
+            result = self.algo.compute(
+                stacked[i], self.params, engine=self._engine,
+                fast=self.fast and shape in self._warm_shapes,
+                fused=self.fused, seed=self.seed,
+            )
+            self._warm_shapes.add(shape)
+            yield result.sat
+
+    def _map_pool(self, stacked) -> Iterator[np.ndarray]:
+        k, rows, cols = stacked.shape
+        chunksize = max(1, k // (4 * self.workers))
+        shm_in = shared_memory.SharedMemory(create=True, size=stacked.nbytes)
+        shm_out = shared_memory.SharedMemory(create=True, size=stacked.nbytes)
+        try:
+            np.ndarray(stacked.shape, dtype=np.float64, buffer=shm_in.buf)[:] = stacked
+            outputs = np.ndarray(stacked.shape, dtype=np.float64, buffer=shm_out.buf)
+            tasks = [(shm_in.name, shm_out.name, stacked.shape, i) for i in range(k)]
+            try:
+                for index in self._pool.map(_worker_compute, tasks, chunksize=chunksize):
+                    yield outputs[index].copy()
+            except BrokenProcessPool as exc:
+                raise WorkerCrashed(
+                    f"a batch worker died while computing {self.algo.name} on "
+                    f"a {k}x{rows}x{cols} batch"
+                ) from exc
+        finally:
+            shm_in.close()
+            shm_out.close()
+            shm_in.unlink()
+            shm_out.unlink()
+
+
+def sat_batch(
+    matrices: Sequence[np.ndarray],
+    algorithm="1R1W",
+    params: Optional[MachineParams] = None,
+    *,
+    workers: Optional[int] = None,
+    fast: bool = True,
+    fused: bool = True,
+    seed: int = 0,
+    **algo_kwargs,
+) -> Iterator[np.ndarray]:
+    """Compute the SAT of every matrix in a same-shape batch, in parallel.
+
+    One-shot wrapper over :class:`BatchSession`: returns an iterator
+    yielding one float64 SAT per input matrix, in input order (delivery
+    is ordered even when workers finish out of order, so downstream
+    consumers see a deterministic stream). The session — pool included —
+    is torn down when the iterator is exhausted; amortize pool startup
+    across batches by using :class:`BatchSession` directly.
+
+    Parameters
+    ----------
+    matrices:
+        Same-shape 2-D matrices. Mixed shapes raise
+        :class:`~repro.errors.ShapeError` — a batch is one plan, one
+        shared-memory layout.
+    algorithm:
+        Registry name (kwargs like kR1W's ``p`` forwarded) or an
+        algorithm instance.
+    workers:
+        Process count; defaults to ``os.cpu_count()`` capped by the batch
+        size. ``workers <= 1`` (or a single-matrix batch) runs serially
+        in-process — same iterator contract, no pool.
+    fast / fused:
+        Forwarded to :meth:`~repro.sat.base.SATAlgorithm.compute` for
+        warm runs; each worker's first matrix at a shape always runs
+        counted to populate its plan tallies.
+    seed:
+        Block-ordering seed used for every matrix (results are
+        order-independent; this keeps traces reproducible).
+
+    Raises
+    ------
+    WorkerCrashed
+        When a worker process dies without returning (the pool breaks).
+    """
+    stacked = _stack_batch(matrices)
+    k = stacked.shape[0]
+    if workers is None:
+        workers = os.cpu_count() or 1
+    workers = max(1, min(workers, k or 1))
+
+    def run() -> Iterator[np.ndarray]:
+        with BatchSession(
+            algorithm, params, workers=workers, fast=fast, fused=fused,
+            seed=seed, **algo_kwargs,
+        ) as session:
+            yield from session.map(stacked)
+
+    return run()
+
+
+def batch_counters(shape: Tuple[int, int], algorithm="1R1W",
+                   params: Optional[MachineParams] = None, **algo_kwargs):
+    """The per-matrix access counters a batch of this shape incurs.
+
+    One counted run on an all-ones matrix — exact for the whole batch
+    because HMM access patterns are data-independent. (All-ones, not
+    zeros: the one value-sensitive micro-optimization in the block code
+    skips the corner-offset write when the correction is exactly 0.0,
+    which an all-zeros probe would hit everywhere.)
+    """
+    algo = _make_algorithm(algorithm, algo_kwargs)
+    if params is None:
+        params = MachineParams()
+    result = algo.compute(np.ones(shape), params, use_plan_cache=False)
+    return result.counters
+
+
+def sat_batch_list(matrices: Sequence[np.ndarray], algorithm="1R1W",
+                   params: Optional[MachineParams] = None,
+                   **kwargs) -> List[np.ndarray]:
+    """Eager convenience wrapper: the batch's SATs as a list."""
+    return list(sat_batch(matrices, algorithm, params, **kwargs))

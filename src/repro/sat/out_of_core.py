@@ -103,6 +103,52 @@ class BandPrefetcher:
         self._pool.shutdown(wait=False, cancel_futures=True)
 
 
+def hmm_band_sat(
+    algorithm="1R1W",
+    params=None,
+    *,
+    engine=None,
+    fast: bool = True,
+    **algo_kwargs,
+) -> Callable[[np.ndarray], np.ndarray]:
+    """Build a ``band_sat`` that runs every band through ONE session engine.
+
+    Previously the documented recipe for HMM-computed bands —
+    ``lambda b: compute_sat(b, ...).sat`` — hit whatever engine the call
+    defaulted to, and a caller wiring up a private engine per band
+    recompiled the same plan for every band of the stream. This factory
+    fixes the session wiring: it owns a single
+    :class:`~repro.machine.engine.ExecutionEngine` for the stream's
+    lifetime, so every band of the same height resolves to one cached
+    plan (bands of a regular stream all share ``(rows, cols)`` except
+    possibly the last), and ``fast=True`` (default) executes warm bands
+    through the fused batched backend.
+
+    ``algorithm`` is a registry name (kwargs forwarded, e.g. ``p=`` for
+    kR1W) or an algorithm instance. The returned callable exposes the
+    engine as ``.engine`` so callers can assert cache behavior.
+    """
+    from ..machine.engine import ExecutionEngine, PlanCache
+    from ..machine.params import MachineParams
+    from .registry import make_algorithm
+
+    algo = (
+        make_algorithm(algorithm, **algo_kwargs)
+        if isinstance(algorithm, str)
+        else algorithm
+    )
+    if params is None:
+        params = MachineParams()
+    if engine is None:
+        engine = ExecutionEngine(cache=PlanCache())
+
+    def band_sat(band: np.ndarray) -> np.ndarray:
+        return algo.compute(band, params, engine=engine, fast=fast).sat
+
+    band_sat.engine = engine
+    return band_sat
+
+
 def sat_streamed(
     provider: BandProvider,
     shape: Tuple[int, int],
@@ -127,8 +173,10 @@ def sat_streamed(
         Rows per band (the memory budget).
     band_sat:
         In-core SAT kernel applied to each band; defaults to the numpy
-        oracle. Pass e.g. ``lambda b: compute_sat(b, ...).sat`` to run the
-        bands on the simulated HMM (bands must then be square-compatible).
+        oracle. Pass :func:`hmm_band_sat` to run the bands on the
+        simulated HMM through one session engine (every same-height band
+        reuses one cached plan; band shapes must satisfy the chosen
+        algorithm's block-multiple/rectangular requirements).
     copy_bands:
         By default every band is defensively copied, because providers
         commonly return views of backing storage and a ``band_sat`` that

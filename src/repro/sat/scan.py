@@ -24,6 +24,11 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from ..machine.macro.executor import BlockContext, BlockTask
+from ..machine.engine.fused import (
+    ColumnScanSpec,
+    RowScanStrideSpec,
+    attach_fused_spec,
+)
 
 
 def column_scan_tasks(
@@ -55,7 +60,10 @@ def column_scan_tasks(
 
         return task
 
-    return [make(k) for k in range(n_cols // width)]
+    return attach_fused_spec(
+        [make(k) for k in range(n_cols // width)],
+        ColumnScanSpec(buf, row0, col0, n_rows, n_cols),
+    )
 
 
 def row_scan_tasks_stride(
@@ -84,7 +92,10 @@ def row_scan_tasks_stride(
 
         return task
 
-    return [make(k) for k in range(n_rows // width)]
+    return attach_fused_spec(
+        [make(k) for k in range(n_rows // width)],
+        RowScanStrideSpec(buf, n_rows, n_cols),
+    )
 
 
 def seeded_column_scan_tasks(

@@ -39,6 +39,11 @@ import numpy as np
 
 from ..errors import ShapeError
 from ..layout.blocking import BlockGrid
+from ..machine.engine.fused import (
+    TriangleFixSpec,
+    TriangleSumsSpec,
+    attach_fused_spec,
+)
 from ..machine.macro.executor import BlockContext, BlockTask
 from ..machine.macro.global_memory import GlobalMemory
 from .algo_1r1w import AUX_BOTTOM, AUX_RIGHT
@@ -126,7 +131,10 @@ def triangle_phases(
 
         return task
 
-    yield f"{label}:sums", [make_sums_task(bi, bj) for bi, bj in blocks]
+    yield f"{label}:sums", attach_fused_spec(
+        [make_sums_task(bi, bj) for bi, bj in blocks],
+        TriangleSumsSpec(buf, CS_BUF, RS_BUF, w, blocks),
+    )
 
     # --- phase 2: seeded exclusive scans ------------------------------------
     def make_col_scan_task(bj: int, run: range) -> BlockTask:
@@ -233,4 +241,10 @@ def triangle_phases(
 
         return task
 
-    yield f"{label}:fix", [make_fix_task(bi, bj) for bi, bj in blocks]
+    yield f"{label}:fix", attach_fused_spec(
+        [make_fix_task(bi, bj) for bi, bj in blocks],
+        TriangleFixSpec(
+            buf, COL_ABOVE_BUF, ROW_LEFT_BUF, G_BUF,
+            AUX_BOTTOM, AUX_RIGHT, w, m, blocks,
+        ),
+    )

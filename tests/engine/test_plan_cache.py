@@ -63,6 +63,62 @@ class TestPlanCache:
             PlanCache(capacity=0)
 
 
+class TestCapacityConfiguration:
+    def test_default_capacity_without_env(self, monkeypatch):
+        from repro.machine.engine.cache import CAPACITY_ENV_VAR, DEFAULT_CAPACITY
+
+        monkeypatch.delenv(CAPACITY_ENV_VAR, raising=False)
+        assert PlanCache().capacity == DEFAULT_CAPACITY
+
+    def test_env_var_sets_default_capacity(self, monkeypatch):
+        from repro.machine.engine.cache import CAPACITY_ENV_VAR
+
+        monkeypatch.setenv(CAPACITY_ENV_VAR, "3")
+        assert PlanCache().capacity == 3
+
+    def test_constructor_argument_beats_env_var(self, monkeypatch):
+        from repro.machine.engine.cache import CAPACITY_ENV_VAR
+
+        monkeypatch.setenv(CAPACITY_ENV_VAR, "3")
+        assert PlanCache(capacity=7).capacity == 7
+
+    @pytest.mark.parametrize("bad", ["zero", "1.5", "", "0", "-2"])
+    def test_invalid_env_values_are_typed_errors(self, monkeypatch, bad):
+        from repro.machine.engine.cache import CAPACITY_ENV_VAR
+
+        monkeypatch.setenv(CAPACITY_ENV_VAR, bad)
+        with pytest.raises(ConfigurationError):
+            PlanCache()
+
+    def test_env_sized_cache_evicts_at_its_bound(self, monkeypatch, rng):
+        """End to end: a 1-entry cache (via env) recompiles on alternation."""
+        from repro.machine.engine.cache import CAPACITY_ENV_VAR
+
+        monkeypatch.setenv(CAPACITY_ENV_VAR, "1")
+        engine = ExecutionEngine()  # default PlanCache() -> env capacity
+        algo = make_algorithm("1R1W")
+        a16 = rng.integers(0, 9, size=(16, 16)).astype(np.float64)
+        a24 = rng.integers(0, 9, size=(24, 24)).astype(np.float64)
+        algo.compute(a16, PARAMS, engine=engine)
+        algo.compute(a24, PARAMS, engine=engine)  # evicts the 16x16 plan
+        algo.compute(a16, PARAMS, engine=engine)  # miss -> recompile
+        stats = engine.cache_stats()
+        assert stats["capacity"] == 1
+        assert stats["size"] == 1
+        assert stats["evictions"] == 2
+        assert engine.compiles == 3
+
+    def test_engine_cache_stats_excludes_compiles(self, rng):
+        engine = fresh_engine()
+        algo = make_algorithm("1R1W")
+        a = rng.integers(0, 9, size=(16, 16)).astype(np.float64)
+        algo.compute(a, PARAMS, engine=engine)
+        algo.compute(a, PARAMS, engine=engine)
+        assert "compiles" not in engine.cache_stats()
+        assert engine.cache_stats()["hits"] == 1
+        assert engine.stats()["compiles"] == 1
+
+
 class TestPlanKeys:
     def test_distinct_shapes_get_distinct_keys(self):
         engine = fresh_engine()

@@ -59,6 +59,31 @@ class TestHMMBands:
         out = sat_out_of_core(a, 8, band_sat=hmm_band_sat)
         assert np.allclose(out, sat_reference(a))
 
+    def test_hmm_band_sat_reuses_one_session_plan(self, rng):
+        """The hmm_band_sat factory holds ONE engine for the stream, so
+        every same-height band is a plan-cache hit, not a recompile."""
+        from repro.sat.out_of_core import hmm_band_sat
+
+        params = MachineParams(width=8, latency=3)
+        a = rng.random((64, 32))
+        band_sat = hmm_band_sat("1R1W", params)
+        out = sat_out_of_core(a, 8, band_sat=band_sat)
+        assert np.allclose(out, sat_reference(a))
+        stats = band_sat.engine.stats()
+        assert stats["compiles"] == 1  # 8 bands, one shape, one plan
+        assert stats["hits"] == 7
+
+    def test_hmm_band_sat_accepts_algorithm_instances(self, rng):
+        from repro.sat.algo_1r1w import OneReadOneWrite
+        from repro.sat.out_of_core import hmm_band_sat
+
+        params = MachineParams(width=8, latency=3)
+        a = rng.random((32, 32))
+        out1 = sat_out_of_core(a, 16, band_sat=hmm_band_sat("1R1W", params))
+        out2 = sat_out_of_core(a, 16, band_sat=hmm_band_sat(OneReadOneWrite(), params))
+        assert np.array_equal(out1, out2)
+        assert np.allclose(out1, sat_reference(a))
+
 
 class TestValidation:
     def test_bad_band_rows(self, rng):
