@@ -12,6 +12,9 @@ Commands
 ``chaos``     run every algorithm under a seeded fault plan; assert the
               resilience invariant (correct SAT or typed error, never a
               silently wrong answer)
+``stats``     run a small instrumented workload with observability on and
+              export the collected metrics (JSON / Prometheus text), plus
+              the cost-model audit across all six algorithms
 """
 
 from __future__ import annotations
@@ -273,6 +276,60 @@ def cmd_chaos(args) -> int:
     return 1 if violations else 0
 
 
+def cmd_stats(args) -> int:
+    """Run an instrumented workload and export the observability state.
+
+    Exercises every instrumented layer with observability forced on for
+    the run — a cold compile + counted execution, warm fused replays, a
+    serial :class:`~repro.sat.batch.BatchSession` batch, and a prefetched
+    band stream — then prints the collected metrics as JSON and/or
+    Prometheus text exposition. Also runs the
+    :class:`~repro.obs.CostAudit` sweep (predicted ``C/w + S + (B+1)l``
+    vs counted accesses) across all six algorithms; any divergence sets
+    exit code 1. The human-readable audit summary goes to stderr so
+    stdout stays machine-parseable.
+    """
+    from .machine.engine import ExecutionEngine, PlanCache
+    from .obs import CostAudit
+    from .obs import runtime as obs_runtime
+    from .obs.export import to_json, to_prometheus
+    from .sat.batch import BatchSession
+    from .sat.out_of_core import sat_streamed
+
+    params = _params(args)
+    obs_runtime.reset()
+    with obs_runtime.enabled_scope(True):
+        a = random_matrix(args.n, seed=args.seed)
+        algo = make_algorithm(
+            args.algorithm, **({"p": args.p} if args.algorithm == "kR1W" else {})
+        )
+        engine = ExecutionEngine(cache=PlanCache())
+        algo.compute(a, params, engine=engine)
+        for _ in range(max(0, args.repeat - 1)):
+            algo.compute(a, params, engine=engine, fast=True)
+        with BatchSession(
+            args.algorithm, params, workers=1,
+            **({"p": args.p} if args.algorithm == "kR1W" else {}),
+        ) as session:
+            for _ in session.map([a] * 4):
+                pass
+        streamed = random_matrix(args.n, seed=args.seed + 1)
+        band_rows = max(1, args.n // 4)
+        for _ in sat_streamed(
+            lambda r0, r1: streamed[r0:r1], streamed.shape, band_rows,
+            prefetch_depth=1,
+        ):
+            pass
+        audit = CostAudit()
+        audit.sweep(args.n, params, p=args.p, seed=args.seed)
+    if args.format in ("json", "both"):
+        print(to_json(extra={"cost_audit": audit.as_dict()}))
+    if args.format in ("prom", "both"):
+        print(to_prometheus(), end="")
+    print(audit.summary(), file=sys.stderr)
+    return 1 if audit.divergences else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -338,6 +395,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_machine_args(p)
     p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser(
+        "stats", help="instrumented workload; export metrics + cost audit"
+    )
+    p.add_argument("-n", type=int, default=64, help="matrix side length")
+    p.add_argument("--algorithm", default="1R1W", help="Table II name or kR1W")
+    p.add_argument(
+        "--p", type=float, default=0.5,
+        help="kR1W mixing parameter (also used for the audit's kR1W run)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--repeat", type=int, default=3,
+        help="same-shape runs (first cold/counted, the rest warm fused)",
+    )
+    p.add_argument(
+        "--format", choices=["json", "prom", "both"], default="both",
+        help="export format(s) printed to stdout",
+    )
+    p.add_argument(
+        "--width", type=int, default=8,
+        help="machine width w (default 8 keeps the workload quick)",
+    )
+    p.add_argument("--latency", type=int, default=32, help="latency l in units")
+    p.set_defaults(fn=cmd_stats)
     return parser
 
 

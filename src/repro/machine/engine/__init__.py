@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ...obs import runtime as obs
 from ..params import MachineParams
 from ..macro.executor import HMMExecutor
 from .cache import PlanCache
@@ -66,10 +67,14 @@ class ExecutionEngine:
         key = self.key_for(algorithm, rows, cols, params)
         plan = self.cache.get(key)
         if plan is None:
-            plan = compile_plan(
-                algorithm, rows, cols, params, input_buffer=input_buffer
-            )
+            with obs.span(
+                "plan_compile", algorithm=algorithm.name, rows=rows, cols=cols
+            ):
+                plan = compile_plan(
+                    algorithm, rows, cols, params, input_buffer=input_buffer
+                )
             self.compiles += 1
+            obs.inc("plan_compiles_total", algorithm=algorithm.name)
             self.cache.put(key, plan)
         return plan
 

@@ -19,6 +19,7 @@ from collections import OrderedDict
 from typing import Dict, List, Optional
 
 from ...errors import ConfigurationError
+from ...obs import runtime as obs
 from .plan import ExecutionPlan, PlanKey
 
 #: Environment variable overriding the default cache capacity.
@@ -79,10 +80,14 @@ class PlanCache:
             plan = self._plans.get(key)
             if plan is None:
                 self.misses += 1
-                return None
-            self._plans.move_to_end(key)
-            self.hits += 1
-            return plan
+            else:
+                self._plans.move_to_end(key)
+                self.hits += 1
+        if plan is None:
+            obs.inc("plan_cache_misses_total")
+        else:
+            obs.inc("plan_cache_hits_total")
+        return plan
 
     def put(self, key: PlanKey, plan: ExecutionPlan) -> None:
         """Insert (or refresh) a plan, evicting the least recently used."""
@@ -90,9 +95,15 @@ class PlanCache:
             if key in self._plans:
                 self._plans.move_to_end(key)
             self._plans[key] = plan
+            evicted = 0
             while len(self._plans) > self.capacity:
                 self._plans.popitem(last=False)
                 self.evictions += 1
+                evicted += 1
+            size = len(self._plans)
+        if evicted:
+            obs.inc("plan_cache_evictions_total", evicted)
+        obs.set_gauge("plan_cache_size", size)
 
     def keys(self) -> List[PlanKey]:
         """Current keys, least recently used first."""

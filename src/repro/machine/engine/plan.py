@@ -28,6 +28,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ...errors import AccessError, PlanCompileError
+from ...obs import runtime as obs
 from ..params import MachineParams
 from ..macro.counters import AccessCounters
 from ..macro.executor import BlockTask, HMMExecutor, KernelTrace
@@ -106,7 +107,9 @@ class KernelPlan:
 
     def fused_schedule(self) -> Tuple:
         if self.schedule is None:
-            self.schedule = build_fused_schedule(self.tasks)
+            with obs.span("fused_build", label=self.label, tasks=len(self.tasks)):
+                self.schedule = build_fused_schedule(self.tasks)
+            obs.inc("fused_schedule_builds_total")
         return self.schedule
 
 

@@ -24,12 +24,14 @@ The executor enforces exactly those semantics:
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional, Sequence
 
 import numpy as np
 
 from ...errors import IdempotenceViolation, RetryExhausted, TransientFault
+from ...obs import runtime as obs
 from ..params import MachineParams
 from .counters import AccessCounters
 from .global_memory import GlobalMemory, WriteLog
@@ -184,6 +186,8 @@ class HMMExecutor:
         before = self.counters.copy()
         kernel_index = self.counters.kernels_launched - 1
         kernel_name = label or f"kernel{kernel_index}"
+        recording = obs.is_enabled()
+        t0 = time.perf_counter() if recording else 0.0
         for i in order:
             self._run_task(tasks[i], i, len(tasks), kernel_index, kernel_name)
             self.counters.blocks_executed += 1
@@ -193,6 +197,11 @@ class HMMExecutor:
             counters=self.counters.diff(before),
         )
         self.traces.append(trace)
+        if recording:
+            obs.record_kernel(
+                kernel_name, "counted", len(tasks),
+                time.perf_counter() - t0, trace.counters,
+            )
         return trace
 
     def run_kernel_replay(
@@ -224,6 +233,8 @@ class HMMExecutor:
         kernel_name = label or f"kernel{self.counters.kernels_launched - 1}"
         scratch = AccessCounters()
         shared = SharedAllocator(self.params, scratch)
+        recording = obs.is_enabled()
+        t0 = time.perf_counter() if recording else 0.0
         self.gm.counting = False
         try:
             num_blocks = len(tasks)
@@ -236,6 +247,10 @@ class HMMExecutor:
         self.counters.add(diff)
         trace = KernelTrace(label=kernel_name, blocks=len(tasks), counters=diff)
         self.traces.append(trace)
+        if recording:
+            obs.record_kernel(
+                kernel_name, "replay", len(tasks), time.perf_counter() - t0, diff
+            )
         return trace
 
     def run_kernel_fused(
@@ -269,6 +284,8 @@ class HMMExecutor:
         kernel_name = label or f"kernel{self.counters.kernels_launched - 1}"
         scratch = AccessCounters()
         shared = SharedAllocator(self.params, scratch)
+        recording = obs.is_enabled()
+        t0 = time.perf_counter() if recording else 0.0
         self.gm.counting = False
         try:
             block_index = 0
@@ -290,6 +307,10 @@ class HMMExecutor:
         self.counters.add(diff)
         trace = KernelTrace(label=kernel_name, blocks=num_blocks, counters=diff)
         self.traces.append(trace)
+        if recording:
+            obs.record_kernel(
+                kernel_name, "fused", num_blocks, time.perf_counter() - t0, diff
+            )
         return trace
 
     def _run_task(

@@ -1,0 +1,121 @@
+"""Exporters: the observability state as JSON or Prometheus text.
+
+Two formats, one snapshot:
+
+* :func:`snapshot` / :func:`to_json` — a JSON document with every metric
+  series, histogram summaries, and the most recent spans. This is what
+  ``python -m repro stats --format json`` prints and what dashboards or
+  tests consume programmatically.
+* :func:`to_prometheus` — the Prometheus text exposition format
+  (``# TYPE`` headers, ``name{label="value"} 1.0`` samples). Metric names
+  get a ``repro_`` namespace prefix; histograms are rendered as
+  ``_count``/``_sum`` samples plus ``quantile``-labelled summary samples,
+  which is the convention for client-side quantiles.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from .metrics import MetricsRegistry
+from .spans import SpanRecorder
+from . import runtime
+
+__all__ = ["snapshot", "to_json", "to_prometheus"]
+
+#: Namespace prefix applied to every exported Prometheus metric name.
+PREFIX = "repro_"
+
+
+def snapshot(
+    registry: Optional[MetricsRegistry] = None,
+    spans: Optional[SpanRecorder] = None,
+    *,
+    span_tail: int = 50,
+) -> Dict[str, object]:
+    """A JSON-ready dict of the registry plus the last ``span_tail`` spans."""
+    registry = registry if registry is not None else runtime.registry()
+    spans = spans if spans is not None else runtime.spans()
+    doc: Dict[str, object] = {"metrics": registry.snapshot()}
+    doc["spans"] = {
+        "recorded": spans.recorded,
+        "retained": len(spans),
+        "tail": [s.as_dict() for s in spans.tail(span_tail)],
+    }
+    return doc
+
+
+def to_json(
+    registry: Optional[MetricsRegistry] = None,
+    spans: Optional[SpanRecorder] = None,
+    *,
+    span_tail: int = 50,
+    indent: int = 2,
+    extra: Optional[Dict[str, object]] = None,
+) -> str:
+    """The snapshot serialized as JSON; ``extra`` merges top-level keys
+    (the stats CLI adds its cost-audit section this way)."""
+    doc = snapshot(registry, spans, span_tail=span_tail)
+    if extra:
+        doc.update(extra)
+    return json.dumps(doc, indent=indent, sort_keys=True)
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labels: Dict[str, str], extra: Optional[Dict[str, str]] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape(str(v))}"' for k, v in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def to_prometheus(
+    registry: Optional[MetricsRegistry] = None,
+    spans: Optional[SpanRecorder] = None,
+) -> str:
+    """The registry in Prometheus text exposition format.
+
+    ``spans`` is accepted for signature symmetry with :func:`to_json`;
+    individual spans have no Prometheus representation (their aggregate
+    lives in the ``span_duration_seconds`` histogram).
+    """
+    registry = registry if registry is not None else runtime.registry()
+    snap = registry.snapshot()
+    lines: List[str] = []
+
+    def emit_header(name: str, kind: str, seen: set) -> None:
+        if name not in seen:
+            lines.append(f"# TYPE {PREFIX}{name} {kind}")
+            seen.add(name)
+
+    seen: set = set()
+    for row in snap["counters"]:
+        emit_header(row["name"], "counter", seen)
+        lines.append(
+            f"{PREFIX}{row['name']}{_render_labels(row['labels'])} {row['value']:g}"
+        )
+    for row in snap["gauges"]:
+        emit_header(row["name"], "gauge", seen)
+        lines.append(
+            f"{PREFIX}{row['name']}{_render_labels(row['labels'])} {row['value']:g}"
+        )
+    for row in snap["histograms"]:
+        name, labels = row["name"], row["labels"]
+        emit_header(name, "summary", seen)
+        lines.append(f"{PREFIX}{name}_count{_render_labels(labels)} {row['count']:g}")
+        lines.append(f"{PREFIX}{name}_sum{_render_labels(labels)} {row['sum']:g}")
+        for q, field in (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99")):
+            lines.append(
+                f"{PREFIX}{name}{_render_labels(labels, {'quantile': q})} "
+                f"{row[field]:g}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")

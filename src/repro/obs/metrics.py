@@ -1,0 +1,273 @@
+"""Metric primitives: counters, gauges, histograms with bounded reservoirs.
+
+The registry is the process-local store every instrumented layer writes
+into when observability is enabled (see :mod:`repro.obs.runtime`). Three
+metric kinds cover everything the engine, executor, batch frontend, and
+streaming layer need:
+
+* **counters** — monotonically increasing totals (kernel launches, cache
+  hits, bands streamed). Names end in ``_total`` by convention so the
+  Prometheus export needs no renaming.
+* **gauges** — last-written values (plan-cache size).
+* **histograms** — bounded-memory distributions (kernel durations, batch
+  worker round trips). Each histogram keeps exact ``count``/``sum``/
+  ``min``/``max`` plus a fixed-size reservoir for quantiles, filled by
+  Vitter's algorithm R with a *seeded* per-histogram RNG so quantile
+  summaries are deterministic for a deterministic workload — the same
+  reproducibility contract the fault plans and block shuffles follow.
+
+Every metric may carry labels (``mode="fused"``); a metric series is the
+``(name, sorted labels)`` pair, exactly as a Prometheus scrape would see
+it. All mutation is guarded by one lock: the streaming prefetcher and the
+pipelined out-of-core consumer share the registry across threads.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import threading
+import zlib
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["Histogram", "MetricsRegistry", "SeriesKey"]
+
+#: A metric series identity: name plus sorted ``(label, value)`` pairs.
+SeriesKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _series_key(name: str, labels: Dict[str, object]) -> SeriesKey:
+    return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+
+
+class Histogram:
+    """Streaming distribution with exact moments and a bounded reservoir.
+
+    ``reservoir_size`` bounds memory per series no matter how many
+    observations arrive; quantiles are computed from the reservoir (exact
+    until it overflows, uniformly sampled after). The RNG is seeded from
+    the series name so two identical runs report identical quantiles.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "_samples", "_cap", "_rng")
+
+    def __init__(self, seed_name: str = "", reservoir_size: int = 256):
+        if reservoir_size < 1:
+            raise ValueError(f"reservoir_size must be >= 1, got {reservoir_size}")
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._samples: List[float] = []
+        self._cap = reservoir_size
+        self._rng = random.Random(zlib.crc32(seed_name.encode()))
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._samples) < self._cap:
+            self._samples.append(value)
+        else:
+            # Vitter's algorithm R: keep each of the first `count`
+            # observations in the reservoir with probability cap/count.
+            # int(random()*count) instead of randrange(count): same
+            # distribution to within float rounding, but stays in C —
+            # this runs on the kernel-launch hot path once the reservoir
+            # is full.
+            j = int(self._rng.random() * self.count)
+            if j < self._cap:
+                self._samples[j] = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Reservoir quantile (nearest-rank); 0.0 when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe store of counter, gauge, and histogram series."""
+
+    #: Bound on the memoized key table — a backstop against unbounded
+    #: growth under accidental high-cardinality labels (the instrumented
+    #: call sites use a handful of static label sets).
+    _KEY_CACHE_MAX = 4096
+
+    def __init__(self, reservoir_size: int = 256):
+        self._lock = threading.Lock()
+        self._reservoir_size = reservoir_size
+        self._counters: Dict[SeriesKey, float] = {}
+        self._gauges: Dict[SeriesKey, float] = {}
+        self._histograms: Dict[SeriesKey, Histogram] = {}
+        self._key_cache: Dict[tuple, SeriesKey] = {}
+        #: Bumped on every :meth:`reset` so hot-path caches holding
+        #: pre-resolved series handles know to re-resolve.
+        self.generation = 0
+        #: Optional zero-arg callable invoked before every read method —
+        #: the runtime layer installs its staging-buffer drain here so
+        #: hot-path events batched outside the registry become visible
+        #: to any reader, no matter how the registry reference was
+        #: obtained. Must not call back into registry reads.
+        self.pre_read_hook = None
+
+    def _key(self, name: str, labels: Dict[str, object]) -> SeriesKey:
+        # Hot path: call sites pass the same static label kwargs on every
+        # call, so the (name, insertion-ordered items) probe memoizes the
+        # sort + stringify of the canonical key. Unhashable label values
+        # fall back to the slow path.
+        if not labels:
+            return (name, ())
+        try:
+            probe = (name, tuple(labels.items()))
+            key = self._key_cache.get(probe)
+        except TypeError:
+            return _series_key(name, labels)
+        if key is None:
+            key = _series_key(name, labels)
+            if len(self._key_cache) < self._KEY_CACHE_MAX:
+                self._key_cache[probe] = key
+        return key
+
+    # -- mutation ------------------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1.0, **labels) -> None:
+        key = self._key(name, labels)
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0.0) + amount
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        key = self._key(name, labels)
+        with self._lock:
+            self._gauges[key] = float(value)
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        key = self._key(name, labels)
+        with self._lock:
+            hist = self._histograms.get(key)
+            if hist is None:
+                hist = Histogram(
+                    seed_name=f"{key[0]}{key[1]}",
+                    reservoir_size=self._reservoir_size,
+                )
+                self._histograms[key] = hist
+            hist.observe(value)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self.generation += 1
+
+    def kernel_event(self, launch_key: SeriesKey, blocks_key: SeriesKey,
+                     hist: Histogram, blocks: float, duration_s: float) -> None:
+        """Hot-path composite update for one kernel launch.
+
+        Applies both counter increments and the duration observation under
+        a single lock acquisition, against pre-resolved series handles
+        (see :func:`repro.obs.runtime.record_kernel`, which caches them
+        per execution mode and re-resolves when :attr:`generation`
+        changes). Equivalent to two :meth:`inc` plus one :meth:`observe`,
+        at a fraction of the per-kernel cost.
+        """
+        with self._lock:
+            counters = self._counters
+            counters[launch_key] = counters.get(launch_key, 0.0) + 1.0
+            counters[blocks_key] = counters.get(blocks_key, 0.0) + blocks
+            hist.observe(duration_s)
+
+    def histogram_handle(self, name: str, **labels) -> Histogram:
+        """Get-or-create a histogram series and return it directly."""
+        key = self._key(name, labels)
+        with self._lock:
+            hist = self._histograms.get(key)
+            if hist is None:
+                hist = Histogram(
+                    seed_name=f"{key[0]}{key[1]}",
+                    reservoir_size=self._reservoir_size,
+                )
+                self._histograms[key] = hist
+            return hist
+
+    # -- reads ---------------------------------------------------------------
+
+    def counter_value(self, name: str, **labels) -> float:
+        """Current value of one counter series (0.0 if never incremented)."""
+        if self.pre_read_hook is not None:
+            self.pre_read_hook()
+        with self._lock:
+            return self._counters.get(self._key(name, labels), 0.0)
+
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter across all of its label combinations."""
+        if self.pre_read_hook is not None:
+            self.pre_read_hook()
+        with self._lock:
+            return sum(v for (n, _), v in self._counters.items() if n == name)
+
+    def gauge_value(self, name: str, **labels) -> Optional[float]:
+        if self.pre_read_hook is not None:
+            self.pre_read_hook()
+        with self._lock:
+            return self._gauges.get(self._key(name, labels))
+
+    def histogram(self, name: str, **labels) -> Optional[Histogram]:
+        if self.pre_read_hook is not None:
+            self.pre_read_hook()
+        with self._lock:
+            return self._histograms.get(self._key(name, labels))
+
+    def series_names(self) -> List[str]:
+        """Distinct metric names across all three kinds, sorted."""
+        if self.pre_read_hook is not None:
+            self.pre_read_hook()
+        with self._lock:
+            names = {n for n, _ in self._counters}
+            names.update(n for n, _ in self._gauges)
+            names.update(n for n, _ in self._histograms)
+        return sorted(names)
+
+    def snapshot(self) -> Dict[str, List[Dict[str, object]]]:
+        """A JSON-ready copy: each series as ``{name, labels, ...values}``."""
+        if self.pre_read_hook is not None:
+            self.pre_read_hook()
+
+        def rows(items: Iterable[Tuple[SeriesKey, object]], render) -> List[Dict]:
+            return [
+                {"name": name, "labels": dict(labels), **render(value)}
+                for (name, labels), value in sorted(items, key=lambda kv: kv[0])
+            ]
+
+        with self._lock:
+            counters = list(self._counters.items())
+            gauges = list(self._gauges.items())
+            histograms = list(self._histograms.items())
+        return {
+            "counters": rows(counters, lambda v: {"value": v}),
+            "gauges": rows(gauges, lambda v: {"value": v}),
+            "histograms": rows(histograms, lambda h: h.snapshot()),
+        }

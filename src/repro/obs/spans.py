@@ -1,0 +1,117 @@
+"""Lightweight span tracing: what happened, in order, and how long it took.
+
+A :class:`Span` is one timed event — a kernel launch, a plan compilation,
+a band prefetch wait, a batch worker round trip — with free-form
+attributes. Spans land in a bounded ring (:class:`SpanRecorder`), newest
+kept, so a long-lived serving process can stay instrumented indefinitely
+without growing; aggregate history belongs to the metrics registry, the
+span ring is for inspecting *recent* behavior (the `python -m repro
+stats` trace section, tests asserting instrumentation points fired).
+
+Durations use :func:`time.perf_counter`; the recorder stamps each span
+with a monotonically increasing sequence number so tests and exports can
+reason about ordering without wall-clock timestamps.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, List, NamedTuple, Optional
+
+__all__ = ["Span", "SpanRecorder"]
+
+#: Shared empty-attrs default; never mutated (``as_dict`` copies).
+_NO_ATTRS: Dict[str, object] = {}
+
+
+class Span(NamedTuple):
+    """One completed timed event.
+
+    A NamedTuple rather than a dataclass: spans are minted on the
+    instrumented hot path (one per kernel launch), and tuple construction
+    is severalfold cheaper than frozen-dataclass ``__init__``.
+    """
+
+    name: str
+    duration_s: float
+    seq: int
+    attrs: Dict[str, object] = _NO_ATTRS
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "duration_s": self.duration_s,
+            "seq": self.seq,
+            "attrs": dict(self.attrs),
+        }
+
+
+class SpanRecorder:
+    """Bounded, thread-safe ring of recent spans."""
+
+    def __init__(self, capacity: int = 2048):
+        if capacity < 1:
+            raise ValueError(f"span capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._spans: Deque[Span] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._recorded = 0  # total ever recorded, including evicted
+        #: Optional zero-arg drain callable run before reads; see
+        #: :attr:`repro.obs.metrics.MetricsRegistry.pre_read_hook`.
+        self.pre_read_hook = None
+
+    @property
+    def recorded(self) -> int:
+        """Total spans ever recorded, including ones evicted from the ring."""
+        if self.pre_read_hook is not None:
+            self.pre_read_hook()
+        return self._recorded
+
+    def record(self, name: str, duration_s: float, **attrs) -> Span:
+        return self.record_span(name, float(duration_s), attrs)
+
+    def record_span(self, name: str, duration_s: float,
+                    attrs: Dict[str, object]) -> Span:
+        """Hot-path variant of :meth:`record`: takes the attrs dict by
+        reference (caller hands over ownership) instead of repacking
+        keyword arguments — one dict allocation fewer per kernel launch."""
+        with self._lock:
+            span = Span(name, duration_s, self._seq, attrs)
+            self._seq += 1
+            self._recorded += 1
+            self._spans.append(span)
+        return span
+
+    def __len__(self) -> int:
+        if self.pre_read_hook is not None:
+            self.pre_read_hook()
+        with self._lock:
+            return len(self._spans)
+
+    def tail(self, count: Optional[int] = None, name: Optional[str] = None) -> List[Span]:
+        """The most recent ``count`` spans (all by default), oldest first;
+        ``name`` filters to one span kind."""
+        if self.pre_read_hook is not None:
+            self.pre_read_hook()
+        with self._lock:
+            spans = list(self._spans)
+        if name is not None:
+            spans = [s for s in spans if s.name == name]
+        if count is not None:
+            spans = spans[-count:]
+        return spans
+
+    def names(self) -> List[str]:
+        """Distinct span names currently in the ring, sorted."""
+        if self.pre_read_hook is not None:
+            self.pre_read_hook()
+        with self._lock:
+            return sorted({s.name for s in self._spans})
+
+    def reset(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self._seq = 0
+            self._recorded = 0

@@ -11,12 +11,14 @@ and packaging the measured counters into a :class:`SATResult`.
 from __future__ import annotations
 
 import abc
+import contextlib
 import dataclasses
 from typing import Dict, Hashable, List, Optional
 
 import numpy as np
 
 from ..errors import ConfigurationError, PlanCompileError, ShapeError
+from ..obs import runtime as obs_runtime
 from ..machine.cost import CostBreakdown, access_cost, breakdown, transaction_cost
 from ..machine.engine import ExecutionEngine, default_engine
 from ..machine.macro.counters import AccessCounters
@@ -124,6 +126,7 @@ class SATAlgorithm(abc.ABC):
         use_plan_cache: bool = True,
         fast: bool = False,
         fused: bool = True,
+        obs: Optional[bool] = None,
     ) -> SATResult:
         """Compute the SAT of ``matrix`` on the asynchronous HMM.
 
@@ -162,6 +165,12 @@ class SATAlgorithm(abc.ABC):
             plan's precomputed index arrays) instead of per-task Python
             closures. On by default; ``fused=False`` selects the per-task
             replay path (same accounting, useful for isolation).
+        obs:
+            Per-run observability toggle. ``True`` records this run's
+            metrics and spans into :mod:`repro.obs` even when the
+            process-wide flag (``REPRO_OBS`` / :func:`repro.obs.enable`)
+            is off; ``False`` silences this run; ``None`` (default)
+            inherits the process-wide setting. See :mod:`repro.obs`.
         """
         if self.supports_rectangular:
             matrix = np.asarray(matrix)
@@ -175,41 +184,56 @@ class SATAlgorithm(abc.ABC):
         if self.requires_block_multiple:
             require_multiple(rows, params.width, what="row count")
             require_multiple(cols, params.width, what="column count")
-        plan = None
-        if executor is None:
-            if use_plan_cache and self.plan_safe:
-                try:
-                    plan = (engine or default_engine()).plan_for(
-                        self, rows, cols, params, input_buffer=MATRIX_BUFFER
-                    )
-                except PlanCompileError:
-                    plan = None
-            executor = HMMExecutor(params, seed=seed)
-        elif executor.params is not params:
-            raise ShapeError("executor was built with different MachineParams")
-        if fast and plan is None:
-            raise ConfigurationError(
-                "fast=True requires the plan-cached engine path (no custom "
-                "executor, plan-safe algorithm, use_plan_cache=True)"
-            )
-        if executor.gm.has(MATRIX_BUFFER):
-            raise ShapeError(f"executor already holds a {MATRIX_BUFFER!r} buffer")
-        # install() makes the defensive copy; copy=False avoids a second one.
-        executor.gm.install(MATRIX_BUFFER, matrix.astype(np.float64, copy=False))
-        if plan is not None:
-            (engine or default_engine()).execute(
-                plan, executor, fast=fast, fused=fused
-            )
-        else:
-            self._run(executor, rows, cols)
-        return SATResult(
-            sat=executor.gm.array(MATRIX_BUFFER).copy(),
-            algorithm=self.name,
-            n=rows,
-            params=params,
-            counters=executor.counters.copy(),
-            traces=list(executor.traces),
+        scope = (
+            obs_runtime.enabled_scope(obs) if obs is not None
+            else contextlib.nullcontext()
         )
+        with scope:
+            plan = None
+            if executor is None:
+                if use_plan_cache and self.plan_safe:
+                    try:
+                        plan = (engine or default_engine()).plan_for(
+                            self, rows, cols, params, input_buffer=MATRIX_BUFFER
+                        )
+                    except PlanCompileError:
+                        plan = None
+                executor = HMMExecutor(params, seed=seed)
+            elif executor.params is not params:
+                raise ShapeError("executor was built with different MachineParams")
+            if fast and plan is None:
+                raise ConfigurationError(
+                    "fast=True requires the plan-cached engine path (no custom "
+                    "executor, plan-safe algorithm, use_plan_cache=True)"
+                )
+            if executor.gm.has(MATRIX_BUFFER):
+                raise ShapeError(f"executor already holds a {MATRIX_BUFFER!r} buffer")
+            if plan is None:
+                mode = "direct"
+            elif fast:
+                mode = "fused" if fused else "replay"
+            else:
+                mode = "counted"
+            # install() makes the defensive copy; copy=False avoids a second one.
+            executor.gm.install(MATRIX_BUFFER, matrix.astype(np.float64, copy=False))
+            with obs_runtime.span(
+                "sat_compute", algorithm=self.name, rows=rows, cols=cols, mode=mode
+            ):
+                if plan is not None:
+                    (engine or default_engine()).execute(
+                        plan, executor, fast=fast, fused=fused
+                    )
+                else:
+                    self._run(executor, rows, cols)
+            obs_runtime.inc("sat_computes_total", algorithm=self.name, mode=mode)
+            return SATResult(
+                sat=executor.gm.array(MATRIX_BUFFER).copy(),
+                algorithm=self.name,
+                n=rows,
+                params=params,
+                counters=executor.counters.copy(),
+                traces=list(executor.traces),
+            )
 
     def __repr__(self) -> str:
         return f"<SATAlgorithm {self.name}>"

@@ -29,6 +29,7 @@ data-independent, so every matrix of the batch has the *same* tallies.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import shared_memory
@@ -38,6 +39,7 @@ import numpy as np
 
 from ..errors import ShapeError, WorkerCrashed
 from ..machine.params import MachineParams
+from ..obs import runtime as obs
 
 #: Environment knob used by the crash-surfacing test: a worker processing
 #: this batch index dies mid-task (``os._exit``), which is how a segfault
@@ -215,6 +217,9 @@ class BatchSession:
         stacked = _stack_batch(matrices)
         if stacked.shape[0] == 0:
             return iter(())
+        mode = "serial" if self._pool is None else "pool"
+        obs.inc("batch_batches_total", mode=mode)
+        obs.inc("batch_matrices_total", stacked.shape[0], mode=mode)
         if self._pool is None:
             return self._map_serial(stacked)
         return self._map_pool(stacked)
@@ -225,32 +230,53 @@ class BatchSession:
         if self._engine is None:
             self._engine = ExecutionEngine(cache=PlanCache())
         shape = stacked.shape[1:]
-        for i in range(stacked.shape[0]):
-            result = self.algo.compute(
-                stacked[i], self.params, engine=self._engine,
-                fast=self.fast and shape in self._warm_shapes,
-                fused=self.fused, seed=self.seed,
-            )
-            self._warm_shapes.add(shape)
-            yield result.sat
+        recording = obs.is_enabled()
+        with obs.span("batch_map", mode="serial", matrices=stacked.shape[0]):
+            for i in range(stacked.shape[0]):
+                t0 = time.perf_counter() if recording else 0.0
+                result = self.algo.compute(
+                    stacked[i], self.params, engine=self._engine,
+                    fast=self.fast and shape in self._warm_shapes,
+                    fused=self.fused, seed=self.seed,
+                )
+                if recording:
+                    obs.observe(
+                        "batch_roundtrip_seconds",
+                        time.perf_counter() - t0,
+                        mode="serial",
+                    )
+                self._warm_shapes.add(shape)
+                yield result.sat
 
     def _map_pool(self, stacked) -> Iterator[np.ndarray]:
         k, rows, cols = stacked.shape
         chunksize = max(1, k // (4 * self.workers))
+        recording = obs.is_enabled()
         shm_in = shared_memory.SharedMemory(create=True, size=stacked.nbytes)
         shm_out = shared_memory.SharedMemory(create=True, size=stacked.nbytes)
         try:
-            np.ndarray(stacked.shape, dtype=np.float64, buffer=shm_in.buf)[:] = stacked
-            outputs = np.ndarray(stacked.shape, dtype=np.float64, buffer=shm_out.buf)
-            tasks = [(shm_in.name, shm_out.name, stacked.shape, i) for i in range(k)]
-            try:
-                for index in self._pool.map(_worker_compute, tasks, chunksize=chunksize):
-                    yield outputs[index].copy()
-            except BrokenProcessPool as exc:
-                raise WorkerCrashed(
-                    f"a batch worker died while computing {self.algo.name} on "
-                    f"a {k}x{rows}x{cols} batch"
-                ) from exc
+            with obs.span("batch_map", mode="pool", matrices=k):
+                np.ndarray(stacked.shape, dtype=np.float64, buffer=shm_in.buf)[:] = stacked
+                outputs = np.ndarray(stacked.shape, dtype=np.float64, buffer=shm_out.buf)
+                tasks = [(shm_in.name, shm_out.name, stacked.shape, i) for i in range(k)]
+                try:
+                    last = time.perf_counter() if recording else 0.0
+                    for index in self._pool.map(
+                        _worker_compute, tasks, chunksize=chunksize
+                    ):
+                        if recording:
+                            now = time.perf_counter()
+                            obs.observe(
+                                "batch_roundtrip_seconds", now - last, mode="pool"
+                            )
+                            last = now
+                        yield outputs[index].copy()
+                except BrokenProcessPool as exc:
+                    obs.inc("batch_worker_crashes_total")
+                    raise WorkerCrashed(
+                        f"a batch worker died while computing {self.algo.name} on "
+                        f"a {k}x{rows}x{cols} batch"
+                    ) from exc
         finally:
             shm_in.close()
             shm_out.close()

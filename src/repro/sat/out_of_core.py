@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 import logging
+import time
 import zlib
 from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -26,6 +27,7 @@ from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import CorruptionDetected, RetryExhausted, ReproError, ShapeError, TransientFault
+from ..obs import runtime as obs
 from ..util.backoff import Clock, ExponentialBackoff, FakeClock
 from ..util.validation import require_finite
 from .reference import sat_reference
@@ -81,6 +83,7 @@ class BandPrefetcher:
         row0, row1 = self._spans[self._next]
         self._pending.append(self._pool.submit(self._provider, row0, row1))
         self._next += 1
+        obs.inc("band_prefetches_total")
 
     def fetch(self, row0: int, row1: int) -> np.ndarray:
         """Return the band for the next span (must be called in order)."""
@@ -93,6 +96,13 @@ class BandPrefetcher:
         future = self._pending.popleft()
         if self._next < len(self._spans):
             self._submit()
+        if obs.is_enabled():
+            # How long the consumer blocks here is the part of fetch
+            # latency prefetching failed to hide behind compute.
+            t0 = time.perf_counter()
+            band = future.result()
+            obs.observe("band_fetch_wait_seconds", time.perf_counter() - t0)
+            return band
         return future.result()
 
     def close(self) -> None:
@@ -219,7 +229,8 @@ def sat_streamed(
                     f"[{row0}, {row1}) of a {shape} matrix"
                 )
             require_finite(band, what=f"provider band rows [{row0}, {row1})")
-            sat_band = np.asarray(band_sat(band), dtype=np.float64)
+            with obs.span("band_compute", row0=row0, rows=row1 - row0):
+                sat_band = np.asarray(band_sat(band), dtype=np.float64)
             if sat_band.shape != band.shape:
                 raise ShapeError("band_sat must preserve the band's shape")
             sat_band = sat_band + carry[None, :]
@@ -227,6 +238,7 @@ def sat_streamed(
             # last row.
             require_finite(sat_band, what=f"SAT band rows [{row0}, {row1})")
             carry = sat_band[-1].copy()
+            obs.inc("stream_bands_total", resilient="false")
             yield row0, sat_band
     finally:
         if prefetcher is not None:
@@ -517,7 +529,12 @@ def sat_streamed_resilient(
             last_fault: Optional[ReproError] = None
             for attempt in range(max_band_attempts):
                 try:
-                    candidate = np.asarray(band_sat(band.copy()), dtype=np.float64)
+                    with obs.span(
+                        "band_compute", row0=row0, rows=row1 - row0, attempt=attempt
+                    ):
+                        candidate = np.asarray(
+                            band_sat(band.copy()), dtype=np.float64
+                        )
                     if candidate.shape != band.shape:
                         raise ShapeError("band_sat must preserve the band's shape")
                     require_finite(
@@ -529,6 +546,7 @@ def sat_streamed_resilient(
                     last_fault = fault
                     if attempt + 1 < max_band_attempts:
                         report.band_sat_retries += 1
+                        obs.inc("stream_band_retries_total")
                         delay = backoff.pause(clock, attempt)
                         report.note(
                             f"band [{row0}, {row1}) attempt {attempt} failed "
@@ -537,6 +555,7 @@ def sat_streamed_resilient(
             if sat_band is None:
                 if oracle_fallback:
                     report.degraded_bands.append(row0)
+                    obs.inc("stream_degraded_bands_total")
                     report.note(
                         f"band [{row0}, {row1}) failed {max_band_attempts} attempts "
                         f"({type(last_fault).__name__}); degrading to numpy oracle"
@@ -552,9 +571,11 @@ def sat_streamed_resilient(
             require_finite(sat_band, what=f"SAT band rows [{row0}, {row1})")
             carry = sat_band[-1].copy()
             report.bands_completed += 1
+            obs.inc("stream_bands_total", resilient="true")
             if on_checkpoint is not None:
                 on_checkpoint(StreamCheckpoint.at(row1, carry))
                 report.checkpoints_written += 1
+                obs.inc("stream_checkpoints_total")
             yield row0, sat_band
     finally:
         if prefetcher is not None:

@@ -1,0 +1,118 @@
+"""Property-based invariants of the Section III cost model.
+
+These are the tested oracle behind :class:`repro.obs.CostAudit`: for every
+algorithm, over a hypothesis-drawn grid of machine parameters and sizes,
+the analytic predictors (:func:`repro.analysis.formulas.predicted_counters`)
+must agree **exactly** with a counted run — per term (C, S, B) and on the
+evaluated cost ``C/w + S + (B+1)l`` — and the counted run itself must obey
+the model's structural invariants (transactions bound, barrier/kernel
+relation).
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.formulas import predicted_counters
+from repro.machine.cost import access_cost, cost_formula
+from repro.machine.params import MachineParams
+from repro.sat import make_algorithm
+
+#: (width, side multiplier, latency) — every valid point, kept small so a
+#: counted simulator run per example stays cheap.
+MACHINE = st.tuples(
+    st.sampled_from([2, 4, 8]), st.integers(1, 4), st.integers(1, 64)
+)
+
+SETTINGS = settings(max_examples=12, deadline=None)
+
+
+def _run(name, n, params, **kwargs):
+    rng = np.random.default_rng(n + params.width)
+    a = rng.integers(0, 20, size=(n, n)).astype(np.float64)
+    return make_algorithm(name, **kwargs).compute(a, params, use_plan_cache=False)
+
+
+class TestPredictorsMatchMeasurement:
+    @pytest.mark.parametrize("name", ["2R2W", "4R4W", "4R1W", "2R1W", "1R1W"])
+    @SETTINGS
+    @given(machine=MACHINE)
+    def test_table1_terms_and_cost_are_exact(self, name, machine):
+        w, m, latency = machine
+        n = w * m
+        params = MachineParams(width=w, latency=latency)
+        pred = predicted_counters(name, n, params)
+        c = _run(name, n, params).counters
+        assert c.coalesced_elements == pred.coalesced
+        assert c.stride_ops == pred.stride
+        assert c.barriers == pred.barriers
+        assert access_cost(c, params) == pred.cost(params)
+
+    @SETTINGS
+    @given(machine=MACHINE, p=st.floats(0.0, 1.0, allow_nan=False))
+    def test_kr1w_is_exact_across_its_mixing_range(self, machine, p):
+        w, m, latency = machine
+        n = w * m
+        params = MachineParams(width=w, latency=latency)
+        pred = predicted_counters("kR1W", n, params, p=p)
+        c = _run("kR1W", n, params, p=p).counters
+        assert c.coalesced_elements == pred.coalesced
+        assert c.stride_ops == pred.stride
+        assert c.barriers == pred.barriers
+        assert access_cost(c, params) == pred.cost(params)
+
+    @SETTINGS
+    @given(machine=MACHINE)
+    def test_alias_125r1w_is_kr1w_at_half(self, machine):
+        w, m, latency = machine
+        params = MachineParams(width=w, latency=latency)
+        assert predicted_counters("1.25R1W", w * m, params) == predicted_counters(
+            "kR1W", w * m, params, p=0.5
+        )
+
+
+class TestStructuralInvariants:
+    @pytest.mark.parametrize("name", ["2R2W", "4R4W", "4R1W", "2R1W", "1R1W"])
+    @SETTINGS
+    @given(machine=MACHINE)
+    def test_barriers_are_kernels_minus_one(self, name, machine):
+        w, m, latency = machine
+        c = _run(name, w * m, MachineParams(width=w, latency=latency)).counters
+        assert c.barriers == c.kernels_launched - 1
+
+    @pytest.mark.parametrize("name", ["2R2W", "4R4W", "2R1W", "1R1W"])
+    @SETTINGS
+    @given(machine=MACHINE)
+    def test_transactions_at_least_perfectly_coalesced(self, name, machine):
+        """Exact transactions can never beat ceil(C/w): ``C/w`` is the
+        model's perfect-coalescing lower bound (Section III)."""
+        w, m, latency = machine
+        params = MachineParams(width=w, latency=latency)
+        c = _run(name, w * m, params).counters
+        assert c.coalesced_transactions >= math.ceil(c.coalesced_elements / w)
+
+    @given(
+        c=st.integers(0, 10**9),
+        s=st.integers(0, 10**9),
+        b=st.integers(0, 10**4),
+        machine=MACHINE,
+    )
+    def test_cost_formula_is_the_paper_identity(self, c, s, b, machine):
+        w, _, latency = machine
+        params = MachineParams(width=w, latency=latency)
+        assert cost_formula(c, s, b, params) == c / w + s + (b + 1) * latency
+
+    @SETTINGS
+    @given(machine=MACHINE)
+    def test_predicted_cost_decomposes(self, machine):
+        w, m, latency = machine
+        params = MachineParams(width=w, latency=latency)
+        pred = predicted_counters("1R1W", w * m, params)
+        assert pred.cost(params) == (
+            pred.coalesced / w + pred.stride + (pred.barriers + 1) * latency
+        )
+        assert pred.global_accesses == pred.coalesced + pred.stride
+        assert pred.barriers == max(0, pred.kernels - 1)

@@ -108,6 +108,62 @@ class TestCapacityConfiguration:
         assert stats["evictions"] == 2
         assert engine.compiles == 3
 
+    def test_stats_under_eviction_pressure(self, rng):
+        """Three shapes round-robined through a 2-slot cache: every lookup
+        misses, every insertion past the second evicts, and the hit/miss/
+        eviction tallies are mirrored into the observability registry."""
+        from repro.obs import runtime as obs_runtime
+
+        engine = fresh_engine(capacity=2)
+        algo = make_algorithm("1R1W")
+        mats = {
+            n: rng.integers(0, 9, size=(n, n)).astype(np.float64)
+            for n in (16, 24, 32)
+        }
+        obs_runtime.reset()
+        try:
+            with obs_runtime.enabled_scope(True):
+                for _round in range(3):
+                    for a in mats.values():
+                        algo.compute(a, PARAMS, engine=engine)
+            stats = engine.cache_stats()
+            assert stats == {
+                "size": 2,
+                "capacity": 2,
+                "hits": 0,
+                "misses": 9,
+                "evictions": 7,  # 9 insertions, 2 still resident
+            }
+            assert engine.stats()["compiles"] == 9
+            reg = obs_runtime.registry()
+            assert reg.counter_value("plan_cache_misses_total") == 9.0
+            assert reg.counter_value("plan_cache_hits_total") == 0.0
+            assert reg.counter_value("plan_cache_evictions_total") == 7.0
+            assert reg.gauge_value("plan_cache_size") == 2.0
+        finally:
+            obs_runtime.reset()
+
+    def test_stats_mix_hits_and_evictions_when_working_set_fits_partly(self, rng):
+        """Two hot shapes fit a 2-slot cache; a third cold shape cycling
+        through evicts one hot plan per pass — hits and misses interleave."""
+        engine = fresh_engine(capacity=2)
+        algo = make_algorithm("1R1W")
+        hot_a = rng.integers(0, 9, size=(16, 16)).astype(np.float64)
+        hot_b = rng.integers(0, 9, size=(24, 24)).astype(np.float64)
+        cold = rng.integers(0, 9, size=(32, 32)).astype(np.float64)
+        algo.compute(hot_a, PARAMS, engine=engine)  # miss
+        algo.compute(hot_b, PARAMS, engine=engine)  # miss
+        algo.compute(hot_a, PARAMS, engine=engine)  # hit
+        algo.compute(hot_b, PARAMS, engine=engine)  # hit
+        algo.compute(cold, PARAMS, engine=engine)  # miss, evicts hot_a
+        algo.compute(hot_a, PARAMS, engine=engine)  # miss, evicts hot_b
+        algo.compute(hot_a, PARAMS, engine=engine)  # hit
+        stats = engine.cache_stats()
+        assert stats["hits"] == 3
+        assert stats["misses"] == 4
+        assert stats["evictions"] == 2
+        assert stats["size"] == 2
+
     def test_engine_cache_stats_excludes_compiles(self, rng):
         engine = fresh_engine()
         algo = make_algorithm("1R1W")

@@ -57,3 +57,53 @@ class TestCommands:
         out = capsys.readouterr().out
         assert rc == 0
         assert "overtakes" in out
+
+
+class TestStats:
+    def test_stats_defaults(self):
+        args = build_parser().parse_args(["stats"])
+        assert args.n == 64
+        assert args.width == 8
+        assert args.format == "both"
+
+    def test_stats_json_reports_real_metrics_and_clean_audit(self, capsys):
+        import json
+
+        rc = main(["stats", "-n", "32", "--format", "json"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        doc = json.loads(captured.out)
+        counters = {r["name"] for r in doc["metrics"]["counters"]}
+        # Kernel, cache, batch, and streaming layers all reported in.
+        assert {
+            "kernel_launches_total",
+            "plan_cache_hits_total",
+            "plan_compiles_total",
+            "sat_computes_total",
+            "batch_matrices_total",
+            "stream_bands_total",
+            "band_prefetches_total",
+        } <= counters
+        hists = {r["name"] for r in doc["metrics"]["histograms"]}
+        assert "kernel_duration_seconds" in hists
+        assert doc["spans"]["recorded"] > 0
+        audit = doc["cost_audit"]
+        assert audit["checks"] == 6
+        assert audit["audited"] == 6
+        assert audit["divergences"] == 0
+        assert "0 divergent" in captured.err
+
+    def test_stats_prometheus_text(self, capsys):
+        rc = main(["stats", "-n", "32", "--format", "prom"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "# TYPE repro_kernel_launches_total counter" in out
+        assert 'repro_kernel_launches_total{mode="counted"}' in out
+        assert 'repro_cost_audit_checks_total{algorithm="1R1W"} 1' in out
+        assert 'quantile="0.99"' in out
+
+    def test_stats_leaves_observability_off_afterwards(self):
+        from repro.obs import runtime as obs_runtime
+
+        assert main(["stats", "-n", "32", "--format", "json"]) == 0
+        assert not obs_runtime.is_enabled()

@@ -1,0 +1,15 @@
+"""Observability tests share the process-wide registry: isolate them."""
+
+import pytest
+
+from repro.obs import runtime
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Every test starts and ends disabled with empty metrics/spans."""
+    runtime.disable()
+    runtime.reset()
+    yield
+    runtime.disable()
+    runtime.reset()

@@ -1,0 +1,117 @@
+"""CostAudit: the runtime predicted-vs-counted cost checker."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.machine.params import MachineParams
+from repro.obs import SIX_ALGORITHMS, CostAudit, runtime
+from repro.sat import make_algorithm
+from repro.util.matrices import random_matrix
+
+PARAMS = MachineParams(width=8, latency=16)
+
+
+def one_result(name="1R1W", n=16, **kwargs):
+    algo = make_algorithm(name, **kwargs)
+    return algo.compute(random_matrix(n, seed=3), PARAMS, use_plan_cache=False)
+
+
+class TestCheck:
+    def test_clean_run_is_supported_and_not_divergent(self):
+        audit = CostAudit()
+        record = audit.check(one_result())
+        assert record.supported
+        assert not record.divergent
+        assert record.predicted_cost == record.measured_cost
+        assert audit.divergences == []
+
+    def test_tampered_counters_are_flagged(self):
+        result = one_result()
+        result.counters.coalesced_elements += 1  # simulate lost accounting
+        record = CostAudit().check(result)
+        assert record.divergent
+        assert "DIVERGENT" in record.summary()
+
+    def test_tampered_barriers_are_flagged(self):
+        result = one_result("2R1W")
+        result.counters.barriers += 1
+        assert CostAudit().check(result).divergent
+
+    def test_rectangular_results_are_unsupported_not_divergent(self):
+        algo = make_algorithm("1R1W")
+        result = algo.compute(
+            random_matrix(16, seed=3)[:8, :], PARAMS, use_plan_cache=False
+        )
+        record = CostAudit().check(result)
+        assert not record.supported
+        assert "rectangular" in record.reason
+        assert not record.divergent
+        assert "unaudited" in record.summary()
+
+    def test_kr1w_without_p_is_unsupported(self):
+        record = CostAudit().check(one_result("kR1W", p=0.5))
+        assert not record.supported
+        assert "mixing parameter" in record.reason
+
+    def test_kr1w_with_p_is_audited(self):
+        record = CostAudit().check(one_result("kR1W", p=0.5), p=0.5)
+        assert record.supported
+        assert not record.divergent
+
+    def test_check_mirrors_into_metrics_when_enabled(self):
+        runtime.enable()
+        audit = CostAudit()
+        audit.check(one_result())
+        bad = one_result()
+        bad.counters.stride_ops += 5
+        audit.check(bad)
+        reg = runtime.registry()
+        assert reg.counter_value("cost_audit_checks_total", algorithm="1R1W") == 2.0
+        assert (
+            reg.counter_value("cost_audit_divergences_total", algorithm="1R1W")
+            == 1.0
+        )
+
+    def test_as_dict_is_json_ready(self):
+        audit = CostAudit()
+        audit.check(one_result())
+        doc = audit.as_dict()
+        assert doc["checks"] == 1
+        assert doc["audited"] == 1
+        assert doc["divergences"] == 0
+        assert doc["records"][0]["algorithm"] == "1R1W"
+        assert doc["records"][0]["divergent"] is False
+
+
+class TestSweep:
+    def test_sweep_covers_all_six_with_zero_divergence(self):
+        audit = CostAudit()
+        records = audit.sweep(16, PARAMS, p=0.5)
+        assert [r.algorithm for r in records] == list(SIX_ALGORITHMS)
+        assert all(r.supported for r in records)
+        assert audit.divergences == []
+        assert "6/6 runs audited, 0 divergent" in audit.summary()
+
+    def test_sweep_subset_and_empty_summary(self):
+        audit = CostAudit()
+        audit.sweep(16, PARAMS, algorithms=["1R1W"])
+        assert len(audit.records) == 1
+        assert CostAudit().summary() == "cost audit: no runs checked"
+
+    def test_record_fields_match_a_direct_prediction(self):
+        from repro.analysis.formulas import predicted_counters
+
+        (record,) = CostAudit().sweep(16, PARAMS, algorithms=["2R2W"])
+        pred = predicted_counters("2R2W", 16, PARAMS)
+        assert record.predicted_coalesced == pred.coalesced
+        assert record.predicted_stride == pred.stride
+        assert record.predicted_barriers == pred.barriers
+        assert record.measured_cost == pytest.approx(pred.cost(PARAMS))
+
+
+def test_records_are_frozen():
+    record = CostAudit().check(one_result())
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        record.predicted_cost = 0.0

@@ -1,0 +1,86 @@
+"""Exporters: JSON snapshot shape and Prometheus text exposition format."""
+
+import json
+
+from repro.obs.export import PREFIX, snapshot, to_json, to_prometheus
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanRecorder
+
+
+def filled():
+    reg = MetricsRegistry()
+    reg.inc("kernels_total", 3.0, mode="fused")
+    reg.inc("hits_total")
+    reg.set_gauge("cache_size", 7.0)
+    reg.observe("dur_seconds", 0.5)
+    reg.observe("dur_seconds", 1.5)
+    spans = SpanRecorder()
+    spans.record("kernel", 0.01, label="scan")
+    spans.record("plan_compile", 0.02)
+    return reg, spans
+
+
+class TestJson:
+    def test_snapshot_carries_metrics_and_span_tail(self):
+        reg, spans = filled()
+        doc = snapshot(reg, spans)
+        assert {r["name"] for r in doc["metrics"]["counters"]} == {
+            "kernels_total", "hits_total",
+        }
+        assert doc["spans"]["recorded"] == 2
+        assert doc["spans"]["retained"] == 2
+        assert [s["name"] for s in doc["spans"]["tail"]] == [
+            "kernel", "plan_compile",
+        ]
+
+    def test_span_tail_is_bounded(self):
+        reg, spans = filled()
+        for i in range(100):
+            spans.record("k", float(i))
+        doc = snapshot(reg, spans, span_tail=5)
+        assert len(doc["spans"]["tail"]) == 5
+        assert doc["spans"]["recorded"] == 102
+
+    def test_to_json_parses_and_merges_extra(self):
+        reg, spans = filled()
+        doc = json.loads(to_json(reg, spans, extra={"cost_audit": {"checks": 6}}))
+        assert doc["cost_audit"] == {"checks": 6}
+        assert doc["metrics"]["gauges"][0]["value"] == 7.0
+
+
+class TestPrometheus:
+    def test_counters_gauges_and_type_headers(self):
+        reg, spans = filled()
+        text = to_prometheus(reg, spans)
+        assert f"# TYPE {PREFIX}kernels_total counter" in text
+        assert f'{PREFIX}kernels_total{{mode="fused"}} 3' in text
+        assert f"{PREFIX}hits_total 1" in text
+        assert f"# TYPE {PREFIX}cache_size gauge" in text
+        assert f"{PREFIX}cache_size 7" in text
+        assert text.endswith("\n")
+
+    def test_histograms_render_as_summaries(self):
+        reg, spans = filled()
+        text = to_prometheus(reg, spans)
+        assert f"# TYPE {PREFIX}dur_seconds summary" in text
+        assert f"{PREFIX}dur_seconds_count 2" in text
+        assert f"{PREFIX}dur_seconds_sum 2" in text
+        assert f'{PREFIX}dur_seconds{{quantile="0.5"}}' in text
+        assert f'{PREFIX}dur_seconds{{quantile="0.99"}}' in text
+
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.inc("weird_total", label='a"b\\c\nd')
+        text = to_prometheus(reg, SpanRecorder())
+        assert '{label="a\\"b\\\\c\\nd"}' in text
+
+    def test_empty_registry_exports_empty_text(self):
+        assert to_prometheus(MetricsRegistry(), SpanRecorder()) == ""
+
+    def test_one_type_header_per_name_across_label_sets(self):
+        reg = MetricsRegistry()
+        reg.inc("x_total", mode="a")
+        reg.inc("x_total", mode="b")
+        text = to_prometheus(reg, SpanRecorder())
+        assert text.count("# TYPE") == 1
+        assert text.count(f"{PREFIX}x_total{{") == 2

@@ -1,0 +1,163 @@
+"""Metric primitives: counters, gauges, bounded-reservoir histograms, spans."""
+
+import pytest
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.spans import SpanRecorder
+
+
+class TestHistogram:
+    def test_exact_moments(self):
+        h = Histogram("t")
+        for v in (3.0, 1.0, 2.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == 6.0
+        assert snap["min"] == 1.0
+        assert snap["max"] == 3.0
+        assert snap["mean"] == 2.0
+
+    def test_empty_snapshot_is_zeroed(self):
+        snap = Histogram("t").snapshot()
+        assert snap == {
+            "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+            "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0,
+        }
+
+    def test_quantiles_nearest_rank(self):
+        h = Histogram("t")
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 100.0
+        assert h.quantile(0.5) == 51.0  # nearest-rank: index 50 of 0..99
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Histogram("t").quantile(1.5)
+
+    def test_reservoir_is_bounded_while_moments_stay_exact(self):
+        h = Histogram("t", reservoir_size=32)
+        for v in range(10_000):
+            h.observe(float(v))
+        assert len(h._samples) == 32
+        assert h.count == 10_000
+        assert h.total == sum(range(10_000))
+        assert h.min == 0.0 and h.max == 9999.0
+        # Reservoir values are genuine observations, roughly spread.
+        assert all(0.0 <= s <= 9999.0 for s in h._samples)
+
+    def test_quantiles_are_deterministic_for_a_seeded_name(self):
+        def fill(name):
+            h = Histogram(name, reservoir_size=16)
+            for v in range(1000):
+                h.observe(float(v * 7 % 1000))
+            return h.snapshot()
+
+        assert fill("same") == fill("same")
+
+    def test_reservoir_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Histogram("t", reservoir_size=0)
+
+
+class TestMetricsRegistry:
+    def test_counters_accumulate_per_label_set(self):
+        reg = MetricsRegistry()
+        reg.inc("kernels_total", mode="counted")
+        reg.inc("kernels_total", 2.0, mode="counted")
+        reg.inc("kernels_total", mode="fused")
+        assert reg.counter_value("kernels_total", mode="counted") == 3.0
+        assert reg.counter_value("kernels_total", mode="fused") == 1.0
+        assert reg.counter_total("kernels_total") == 4.0
+        assert reg.counter_value("kernels_total", mode="absent") == 0.0
+
+    def test_label_order_does_not_split_series(self):
+        reg = MetricsRegistry()
+        reg.inc("x_total", a="1", b="2")
+        reg.inc("x_total", b="2", a="1")
+        assert reg.counter_value("x_total", a="1", b="2") == 2.0
+
+    def test_gauges_keep_the_last_value(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("cache_size", 3)
+        reg.set_gauge("cache_size", 5)
+        assert reg.gauge_value("cache_size") == 5.0
+        assert reg.gauge_value("missing") is None
+
+    def test_observe_creates_one_histogram_per_series(self):
+        reg = MetricsRegistry()
+        reg.observe("dur_seconds", 0.5, mode="a")
+        reg.observe("dur_seconds", 1.5, mode="a")
+        reg.observe("dur_seconds", 9.0, mode="b")
+        assert reg.histogram("dur_seconds", mode="a").count == 2
+        assert reg.histogram("dur_seconds", mode="b").count == 1
+        assert reg.histogram("dur_seconds", mode="zzz") is None
+
+    def test_snapshot_rows_are_sorted_and_json_ready(self):
+        reg = MetricsRegistry()
+        reg.inc("b_total")
+        reg.inc("a_total", mode="x")
+        reg.set_gauge("g", 1.0)
+        reg.observe("h_seconds", 2.0)
+        snap = reg.snapshot()
+        assert [r["name"] for r in snap["counters"]] == ["a_total", "b_total"]
+        assert snap["counters"][0]["labels"] == {"mode": "x"}
+        assert snap["gauges"][0] == {"name": "g", "labels": {}, "value": 1.0}
+        assert snap["histograms"][0]["count"] == 1
+
+    def test_series_names_and_reset(self):
+        reg = MetricsRegistry()
+        reg.inc("a_total")
+        reg.set_gauge("g", 0)
+        reg.observe("h", 1.0)
+        assert reg.series_names() == ["a_total", "g", "h"]
+        reg.reset()
+        assert reg.series_names() == []
+        assert reg.counter_total("a_total") == 0.0
+
+
+class TestSpanRecorder:
+    def test_records_are_sequenced_oldest_first(self):
+        rec = SpanRecorder()
+        rec.record("a", 0.1)
+        rec.record("b", 0.2, row0=4)
+        spans = rec.tail()
+        assert [s.name for s in spans] == ["a", "b"]
+        assert [s.seq for s in spans] == [0, 1]
+        assert spans[1].attrs == {"row0": 4}
+
+    def test_ring_is_bounded_but_counts_everything(self):
+        rec = SpanRecorder(capacity=4)
+        for i in range(10):
+            rec.record("k", float(i))
+        assert len(rec) == 4
+        assert rec.recorded == 10
+        assert [s.duration_s for s in rec.tail()] == [6.0, 7.0, 8.0, 9.0]
+
+    def test_tail_filters_by_name_and_count(self):
+        rec = SpanRecorder()
+        for i in range(6):
+            rec.record("a" if i % 2 else "b", float(i))
+        assert [s.duration_s for s in rec.tail(name="a")] == [1.0, 3.0, 5.0]
+        assert [s.duration_s for s in rec.tail(2, name="a")] == [3.0, 5.0]
+        assert rec.names() == ["a", "b"]
+
+    def test_as_dict_round_trips(self):
+        span = SpanRecorder().record("k", 0.25, label="x")
+        assert span.as_dict() == {
+            "name": "k", "duration_s": 0.25, "seq": 0, "attrs": {"label": "x"},
+        }
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SpanRecorder(capacity=0)
+
+    def test_reset_clears_ring_and_sequence(self):
+        rec = SpanRecorder()
+        rec.record("a", 0.1)
+        rec.reset()
+        assert len(rec) == 0
+        assert rec.recorded == 0
+        assert rec.record("b", 0.1).seq == 0

@@ -1,0 +1,112 @@
+"""The runtime switchboard: default-off gating, scopes, env, spans."""
+
+import threading
+
+from repro.obs import runtime
+
+
+class TestFlag:
+    def test_off_by_default(self):
+        assert not runtime.is_enabled()
+
+    def test_enable_disable(self):
+        runtime.enable()
+        assert runtime.is_enabled()
+        runtime.disable()
+        assert not runtime.is_enabled()
+
+    def test_env_var_truthy_values(self, monkeypatch):
+        for raw, expected in [
+            ("1", True), ("true", True), ("YES", True), (" on ", True),
+            ("0", False), ("off", False), ("", False),
+        ]:
+            monkeypatch.setenv(runtime.ENV_VAR, raw)
+            assert runtime.refresh_from_env() is expected, raw
+        monkeypatch.delenv(runtime.ENV_VAR)
+        assert runtime.refresh_from_env() is False
+
+    def test_enabled_scope_overrides_process_flag(self):
+        with runtime.enabled_scope(True):
+            assert runtime.is_enabled()
+        assert not runtime.is_enabled()
+        runtime.enable()
+        with runtime.enabled_scope(False):
+            assert not runtime.is_enabled()
+        assert runtime.is_enabled()
+
+    def test_enabled_scope_nests_innermost_wins(self):
+        with runtime.enabled_scope(True):
+            with runtime.enabled_scope(False):
+                assert not runtime.is_enabled()
+            assert runtime.is_enabled()
+        assert not runtime.is_enabled()
+
+    def test_scope_is_thread_local(self):
+        seen = {}
+
+        def other_thread():
+            seen["enabled"] = runtime.is_enabled()
+
+        with runtime.enabled_scope(True):
+            t = threading.Thread(target=other_thread)
+            t.start()
+            t.join()
+        assert seen["enabled"] is False
+
+
+class TestGatedHelpers:
+    def test_disabled_helpers_record_nothing(self):
+        runtime.inc("x_total")
+        runtime.observe("h", 1.0)
+        runtime.set_gauge("g", 1.0)
+        assert runtime.registry().series_names() == []
+
+    def test_enabled_helpers_record(self):
+        runtime.enable()
+        runtime.inc("x_total", 2.0, mode="a")
+        runtime.observe("h", 1.0)
+        runtime.set_gauge("g", 3.0)
+        reg = runtime.registry()
+        assert reg.counter_value("x_total", mode="a") == 2.0
+        assert reg.histogram("h").count == 1
+        assert reg.gauge_value("g") == 3.0
+
+    def test_span_noop_when_disabled(self):
+        with runtime.span("work", k=1):
+            pass
+        assert len(runtime.spans()) == 0
+        assert runtime.registry().series_names() == []
+
+    def test_span_records_duration_and_histogram_when_enabled(self):
+        runtime.enable()
+        with runtime.span("work", k=1):
+            pass
+        (span,) = runtime.spans().tail()
+        assert span.name == "work"
+        assert span.attrs == {"k": 1}
+        assert span.duration_s >= 0.0
+        hist = runtime.registry().histogram("span_duration_seconds", span="work")
+        assert hist.count == 1
+
+    def test_record_kernel_writes_metrics_and_span(self):
+        from repro.machine.macro.counters import AccessCounters
+
+        runtime.enable()
+        counters = AccessCounters(coalesced_elements=10, stride_ops=3)
+        runtime.record_kernel("scan", "fused", 4, 0.01, counters)
+        reg = runtime.registry()
+        assert reg.counter_value("kernel_launches_total", mode="fused") == 1.0
+        assert reg.counter_value("kernel_blocks_total", mode="fused") == 4.0
+        assert reg.histogram("kernel_duration_seconds", mode="fused").count == 1
+        (span,) = runtime.spans().tail(name="kernel")
+        assert span.attrs["label"] == "scan"
+        assert span.attrs["coalesced"] == 10
+        assert span.attrs["stride"] == 3
+
+    def test_reset_keeps_the_enabled_flag(self):
+        runtime.enable()
+        runtime.inc("x_total")
+        runtime.reset()
+        assert runtime.is_enabled()
+        assert runtime.registry().series_names() == []
+        assert len(runtime.spans()) == 0

@@ -131,6 +131,63 @@ def test_worker_crash_surfaces_as_typed_error(rng, monkeypatch):
     assert excinfo.value.__cause__ is not None
 
 
+def test_session_map_crash_poisons_batch_but_not_session_teardown(rng, monkeypatch):
+    """The poison task kills the batch promptly (no deadlock) and the
+    session still closes cleanly afterwards."""
+    monkeypatch.setenv(CRASH_ENV_VAR, "1")
+    mats = _random_batch(rng, 4, shape=(8, 8))
+    session = BatchSession("1R1W", PARAMS, workers=2)
+    try:
+        with pytest.raises(WorkerCrashed, match="batch worker died"):
+            list(session.map(mats))
+    finally:
+        session.close()  # must return, not hang on a broken pool
+    assert session._pool is None
+
+
+def _tracking_shared_memory(monkeypatch):
+    """Patch the batch module's SharedMemory to record created block names."""
+    import repro.sat.batch as batch_mod
+    from multiprocessing import shared_memory as shm_mod
+
+    real = shm_mod.SharedMemory
+    created = []
+
+    def tracking(*args, **kwargs):
+        block = real(*args, **kwargs)
+        if kwargs.get("create"):
+            created.append(block.name)
+        return block
+
+    monkeypatch.setattr(batch_mod.shared_memory, "SharedMemory", tracking)
+    return created, real
+
+
+def test_crash_releases_shared_memory_blocks(rng, monkeypatch):
+    """Both shared blocks of a crashed batch are unlinked — a worker death
+    must not leak /dev/shm segments."""
+    created, real = _tracking_shared_memory(monkeypatch)
+    monkeypatch.setenv(CRASH_ENV_VAR, "0")
+    mats = _random_batch(rng, 4, shape=(8, 8))
+    with pytest.raises(WorkerCrashed):
+        sat_batch_list(mats, "1R1W", PARAMS, workers=2)
+    assert len(created) == 2  # one input block, one output block
+    for name in created:
+        with pytest.raises(FileNotFoundError):
+            real(name=name)
+
+
+def test_successful_batch_releases_shared_memory_blocks(rng, monkeypatch):
+    created, real = _tracking_shared_memory(monkeypatch)
+    mats = _random_batch(rng, 4, shape=(8, 8))
+    sats = sat_batch_list(mats, "1R1W", PARAMS, workers=2)
+    assert len(sats) == 4
+    assert len(created) == 2
+    for name in created:
+        with pytest.raises(FileNotFoundError):
+            real(name=name)
+
+
 # --- counters ----------------------------------------------------------------
 
 
