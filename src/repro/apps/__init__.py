@@ -14,7 +14,9 @@ from .filters import (
     adaptive_threshold,
     box_filter,
     box_sum,
+    clamped_window_bounds,
     local_mean_variance,
+    padded_sat,
 )
 from .integral_image import IntegralImage
 from .shadows import VarianceShadowMap, shade, synthetic_scene
@@ -27,11 +29,13 @@ __all__ = [
     "adaptive_threshold",
     "box_filter",
     "box_sum",
+    "clamped_window_bounds",
     "dense_feature_grid",
     "evaluate_features",
     "find_matches",
     "match_template",
     "local_mean_variance",
+    "padded_sat",
     "shade",
     "synthetic_scene",
 ]

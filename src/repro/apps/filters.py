@@ -6,9 +6,19 @@ SATs fast. Local variance (mean of squares minus square of mean, via two
 SATs) is the core of adaptive thresholding and of variance shadow maps.
 All filters use clamped (truncated-at-border) windows so the window area
 is exact near edges.
+
+Every filter accepts an optional precomputed SAT (``sat=`` — either the
+plain SAT of the image, shape ``(h, w)``, or the zero-guarded padded
+form, shape ``(h+1, w+1)``), so repeated filters over one image — and the
+serving layer's :mod:`repro.service.queries`, which keeps tiled SATs
+resident — stop paying an ``O(n^2)`` recompute per call. Without it, the
+SAT is built fresh via :func:`~repro.sat.reference.sat_reference` as
+before.
 """
 
 from __future__ import annotations
+
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -16,29 +26,63 @@ from ..errors import ShapeError
 from ..sat.reference import sat_reference
 
 
-def _padded_sat(image: np.ndarray) -> np.ndarray:
-    """SAT with a zero guard row/column so index -1 is addressable."""
-    sat = sat_reference(image)
-    out = np.zeros((sat.shape[0] + 1, sat.shape[1] + 1), dtype=sat.dtype)
+def padded_sat(image: np.ndarray, sat: Optional[np.ndarray] = None) -> np.ndarray:
+    """SAT with a zero guard row/column so index -1 is addressable.
+
+    ``sat``, if given, is used instead of recomputing: either the plain
+    SAT (same shape as ``image``) or an already-padded SAT (one row and
+    column larger), which is returned as-is.
+    """
+    h, w = image.shape
+    if sat is not None:
+        sat = np.asarray(sat)
+        if sat.shape == (h + 1, w + 1):
+            return sat
+        if sat.shape != (h, w):
+            raise ShapeError(
+                f"precomputed SAT shape {sat.shape} matches neither the image "
+                f"shape {(h, w)} nor its padded form {(h + 1, w + 1)}"
+            )
+    else:
+        sat = sat_reference(image)
+    out = np.zeros((h + 1, w + 1), dtype=sat.dtype)
     out[1:, 1:] = sat
     return out
 
 
-def _window_sums(image: np.ndarray, radius: int):
-    """Per-pixel clamped-window sums and window areas via one SAT."""
-    image = np.asarray(image, dtype=np.float64)
-    if image.ndim != 2:
-        raise ShapeError(f"image must be 2-D, got ndim={image.ndim}")
+def clamped_window_bounds(
+    shape: Tuple[int, int], rows: np.ndarray, cols: np.ndarray, radius: int
+):
+    """Inclusive clamped-window bounds ``(top, bottom, left, right)``.
+
+    The window of ``radius`` around each ``(rows[k], cols[k])`` is
+    truncated at the image border, the convention every filter here (and
+    the serving layer's local-stats queries) shares so window areas stay
+    exact near edges.
+    """
     if radius < 0:
         raise ShapeError(f"radius must be >= 0, got {radius}")
-    h, w = image.shape
-    ps = _padded_sat(image)
-    rows = np.arange(h)
-    cols = np.arange(w)
+    h, w = shape
+    rows = np.asarray(rows)
+    cols = np.asarray(cols)
     top = np.clip(rows - radius, 0, h - 1)
     bottom = np.clip(rows + radius, 0, h - 1)
     left = np.clip(cols - radius, 0, w - 1)
     right = np.clip(cols + radius, 0, w - 1)
+    return top, bottom, left, right
+
+
+def _window_sums(image: np.ndarray, radius: int,
+                 sat: Optional[np.ndarray] = None):
+    """Per-pixel clamped-window sums and window areas via one SAT."""
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 2:
+        raise ShapeError(f"image must be 2-D, got ndim={image.ndim}")
+    h, w = image.shape
+    ps = padded_sat(image, sat)
+    top, bottom, left, right = clamped_window_bounds(
+        (h, w), np.arange(h), np.arange(w), radius
+    )
     t = top[:, None]
     b = bottom[:, None]
     lf = left[None, :]
@@ -48,34 +92,43 @@ def _window_sums(image: np.ndarray, radius: int):
     return sums, areas.astype(np.float64)
 
 
-def box_filter(image: np.ndarray, radius: int) -> np.ndarray:
+def box_filter(image: np.ndarray, radius: int, *,
+               sat: Optional[np.ndarray] = None) -> np.ndarray:
     """Mean filter with a ``(2 radius + 1)``-square clamped window."""
-    sums, areas = _window_sums(image, radius)
+    sums, areas = _window_sums(image, radius, sat)
     return sums / areas
 
 
-def box_sum(image: np.ndarray, radius: int) -> np.ndarray:
+def box_sum(image: np.ndarray, radius: int, *,
+            sat: Optional[np.ndarray] = None) -> np.ndarray:
     """Windowed sums (unnormalized box filter)."""
-    return _window_sums(image, radius)[0]
+    return _window_sums(image, radius, sat)[0]
 
 
-def local_mean_variance(image: np.ndarray, radius: int):
+def local_mean_variance(image: np.ndarray, radius: int, *,
+                        sat: Optional[np.ndarray] = None,
+                        sat_sq: Optional[np.ndarray] = None):
     """Per-pixel windowed mean and variance from two SATs.
 
     ``var = E[x^2] - E[x]^2``, clipped at zero against rounding.
+    ``sat`` / ``sat_sq`` are optional precomputed SATs of the image and
+    of its elementwise square; passing both makes repeated calls (and
+    the two internal passes) share the same tables instead of building
+    two fresh padded SATs per call.
     """
     image = np.asarray(image, dtype=np.float64)
-    mean = box_filter(image, radius)
-    mean_sq = box_filter(image * image, radius)
+    mean = box_filter(image, radius, sat=sat)
+    mean_sq = box_filter(image * image, radius, sat=sat_sq)
     var = np.maximum(mean_sq - mean * mean, 0.0)
     return mean, var
 
 
-def adaptive_threshold(image: np.ndarray, radius: int, offset: float = 0.0) -> np.ndarray:
+def adaptive_threshold(image: np.ndarray, radius: int, offset: float = 0.0, *,
+                       sat: Optional[np.ndarray] = None) -> np.ndarray:
     """Binary mask of pixels brighter than their local mean plus ``offset``.
 
     Bradley-style adaptive thresholding with the local mean supplied by
     the SAT-backed box filter; positive ``offset`` suppresses flat regions.
     """
-    mean = box_filter(image, radius)
+    mean = box_filter(image, radius, sat=sat)
     return np.asarray(image, dtype=np.float64) > (mean + offset)

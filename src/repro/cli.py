@@ -15,6 +15,13 @@ Commands
 ``stats``     run a small instrumented workload with observability on and
               export the collected metrics (JSON / Prometheus text), plus
               the cost-model audit across all six algorithms
+``serve``     in-process demo of the tiled SAT serving layer: ingest
+              datasets into the bounded store, apply incremental updates
+              (timed against full recompute), answer queries, print the
+              server/store stats
+``loadgen``   drive the async server with a seeded, oracle-verified load
+              mix; exit non-zero on any lost/misordered/mismatched
+              response (the CI smoke gate)
 """
 
 from __future__ import annotations
@@ -320,6 +327,22 @@ def cmd_stats(args) -> int:
             prefetch_depth=1,
         ):
             pass
+        if args.serving:
+            # Serving layer: a miniature oracle-verified loadgen run so the
+            # queue-depth gauge, shed counters, and per-kind latency
+            # histograms appear in the export. The process-wide flag is
+            # raised for this section because ingest folding runs in a
+            # worker thread, outside the scope's thread-local override.
+            from .service import run_loadgen
+
+            obs_runtime.enable()
+            try:
+                run_loadgen(
+                    n=64, tile=16, rounds=2, burst=16, max_queue=24,
+                    max_batch=8, seed=args.seed,
+                )
+            finally:
+                obs_runtime.refresh_from_env()
         audit = CostAudit()
         audit.sweep(args.n, params, p=args.p, seed=args.seed)
     if args.format in ("json", "both"):
@@ -328,6 +351,155 @@ def cmd_stats(args) -> int:
         print(to_prometheus(), end="")
     print(audit.summary(), file=sys.stderr)
     return 1 if audit.divergences else 0
+
+
+def _serving_session(args):
+    """An optional BatchSession for ingest offload, validated up front.
+
+    A typo'd algorithm name must fail before any store or pool is built,
+    with the valid choices (and their kwargs) in the message — that is
+    what :func:`repro.sat.registry.describe` is for.
+    """
+    from .sat.registry import describe
+
+    if not getattr(args, "session_algorithm", None):
+        return None
+    info = describe(args.session_algorithm)[args.session_algorithm]
+    from .sat.batch import BatchSession
+
+    kwargs = {"p": args.p} if "p" in info["kwargs"] else {}
+    return BatchSession(
+        args.session_algorithm, _params(args), workers=args.workers, **kwargs
+    )
+
+
+def cmd_serve(args) -> int:
+    """Demonstrate the serving layer end to end, in process.
+
+    Ingests ``--datasets`` matrices into a byte-bounded
+    :class:`~repro.service.TiledSATStore` through a running
+    :class:`~repro.service.SATServer`, applies ``--updates`` incremental
+    point updates (timing them against ``sat_reference`` full
+    recomputes), answers region/local-stats queries, and prints the
+    store/server statistics. Exit code 0 iff every answer matches the
+    numpy oracle.
+    """
+    import asyncio
+    import time
+
+    from .sat.reference import sat_reference
+    from .service import SATServer, TiledSATStore
+
+    session = _serving_session(args)
+    rng = np.random.default_rng(args.seed)
+    store = TiledSATStore(
+        capacity_bytes=args.capacity_mb * 1024 * 1024, default_tile=args.tile
+    )
+    matrices = {
+        f"dataset-{i}": rng.integers(0, 100, size=(args.n, args.n)).astype(np.float64)
+        for i in range(args.datasets)
+    }
+
+    async def drive():
+        ok = True
+        async with SATServer(
+            store, max_queue=args.queue, max_batch=args.max_batch,
+            session=session,
+        ) as server:
+            for name, m in matrices.items():
+                await server.ingest(name, m, tile=args.tile, track_squares=True)
+            # Update/query the last-ingested dataset: under a tight
+            # --capacity-mb the earlier ones are the LRU eviction victims.
+            name = list(matrices)[-1]
+            shadow = matrices[name]
+            t0 = time.perf_counter()
+            for _ in range(args.updates):
+                r, c = (int(v) for v in rng.integers(0, args.n, size=2))
+                delta = float(rng.integers(1, 10))
+                await server.update_point(name, r, c, delta=delta)
+                shadow[r, c] += delta
+            incremental = (time.perf_counter() - t0) / max(1, args.updates)
+            t0 = time.perf_counter()
+            sat_reference(shadow)
+            recompute = time.perf_counter() - t0
+            for _ in range(args.queries):
+                r0, r1 = np.sort(rng.integers(0, args.n, size=2))
+                c0, c1 = np.sort(rng.integers(0, args.n, size=2))
+                resp = await server.region_sum(
+                    name, int(r0), int(c0), int(r1), int(c1)
+                )
+                ok &= resp.value == shadow[r0 : r1 + 1, c0 : c1 + 1].sum()
+            mean, var = (
+                await server.local_stats(name, args.n // 2, args.n // 2, 4)
+            ).value
+            win = shadow[
+                args.n // 2 - 4 : args.n // 2 + 5, args.n // 2 - 4 : args.n // 2 + 5
+            ]
+            ok &= bool(np.isclose(mean, win.mean()) and np.isclose(var, win.var()))
+            stats = server.stats.as_dict()
+        return ok, incremental, recompute, stats
+
+    try:
+        ok, incremental, recompute, server_stats = asyncio.run(drive())
+    finally:
+        if session is not None:
+            session.close()
+    s = store.stats()
+    print(
+        f"served {args.datasets} dataset(s) of {args.n}x{args.n} "
+        f"(tile={args.tile}): {int(s['datasets'])} resident, "
+        f"{s['bytes'] / 1e6:.1f}/{s['capacity_bytes'] / 1e6:.1f} MB, "
+        f"{int(s['evictions'])} eviction(s)"
+    )
+    print(
+        f"incremental point update: {incremental * 1e6:.0f} us vs full "
+        f"recompute {recompute * 1e6:.0f} us "
+        f"({recompute / incremental:.1f}x)" if incremental > 0 else ""
+    )
+    print(
+        f"requests: {server_stats['admitted']} admitted, "
+        f"{server_stats['completed']} completed, {server_stats['shed']} shed, "
+        f"{server_stats['batches']} executor batches "
+        f"(max queue depth {server_stats['max_queue_depth']})"
+        + (f", ingest via BatchSession[{args.session_algorithm}]" if session else "")
+    )
+    print(f"all query responses vs numpy oracle: {'OK' if ok else 'MISMATCH'}")
+    return 0 if ok else 1
+
+
+def cmd_loadgen(args) -> int:
+    """Run the oracle-verified load generator against an in-process server.
+
+    Exit code 0 iff zero responses were lost, misordered, or wrong, the
+    overload volley shed (rather than deadlocked), and the expired-
+    deadline volley resolved as typed errors.
+    """
+    from .service import run_loadgen
+
+    session = _serving_session(args)
+    try:
+        if args.quick:
+            report = run_loadgen(
+                n=128, tile=32, rounds=4, burst=24, max_queue=32,
+                max_batch=16, seed=args.seed, session=session,
+            )
+        else:
+            report = run_loadgen(
+                n=args.n, tile=args.tile, rounds=args.rounds, burst=args.burst,
+                max_queue=args.queue, max_batch=args.max_batch,
+                update_frac=args.update_frac, seed=args.seed, session=session,
+            )
+    finally:
+        if session is not None:
+            session.close()
+    print(report.summary())
+    shed_ok = report.shed > 0  # the overload volley must actually shed
+    deadline_ok = report.deadline_missed > 0
+    if not shed_ok:
+        print("FAIL: overload volley did not shed", file=sys.stderr)
+    if not deadline_ok:
+        print("FAIL: expired deadlines were not reported", file=sys.stderr)
+    return 0 if (report.ok and shed_ok and deadline_ok) else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -415,11 +587,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="export format(s) printed to stdout",
     )
     p.add_argument(
+        "--no-serving", dest="serving", action="store_false",
+        help="skip the serving-layer workload section",
+    )
+    p.add_argument(
         "--width", type=int, default=8,
         help="machine width w (default 8 keeps the workload quick)",
     )
     p.add_argument("--latency", type=int, default=32, help="latency l in units")
     p.set_defaults(fn=cmd_stats)
+
+    def _add_serving_args(p, *, queue_default):
+        p.add_argument("--tile", type=int, default=64, help="tile side t")
+        p.add_argument(
+            "--queue", type=int, default=queue_default,
+            help="ingest queue bound (admission control)",
+        )
+        p.add_argument("--max-batch", type=int, default=32,
+                       help="micro-batch size cap")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--session-algorithm", default="",
+            help="offload ingest tile SATs through a BatchSession running "
+                 "this Table II algorithm (validated via the registry)",
+        )
+        p.add_argument("--p", type=float, default=0.5,
+                       help="kR1W mixing parameter for --session-algorithm")
+        p.add_argument(
+            "--workers", type=int, default=None,
+            help="BatchSession worker processes for --session-algorithm",
+        )
+        _add_machine_args(p)
+
+    p = sub.add_parser("serve", help="in-process tiled SAT serving demo")
+    p.add_argument("-n", type=int, default=512, help="dataset side length")
+    p.add_argument("--datasets", type=int, default=2)
+    p.add_argument("--updates", type=int, default=64,
+                   help="incremental point updates to apply (and time)")
+    p.add_argument("--queries", type=int, default=256)
+    p.add_argument("--capacity-mb", type=int, default=256,
+                   help="store LRU capacity in MiB")
+    _add_serving_args(p, queue_default=256)
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("loadgen", help="oracle-verified serving load generator")
+    p.add_argument("-n", type=int, default=256, help="dataset side length")
+    p.add_argument("--rounds", type=int, default=8,
+                   help="steady-phase submission rounds")
+    p.add_argument("--burst", type=int, default=48,
+                   help="requests per steady round (kept under --queue)")
+    p.add_argument("--update-frac", type=float, default=0.25,
+                   help="fraction of requests that are point updates")
+    p.add_argument(
+        "--quick", action="store_true",
+        help="small fixed workload for the CI smoke step",
+    )
+    _add_serving_args(p, queue_default=64)
+    p.set_defaults(fn=cmd_loadgen)
     return parser
 
 

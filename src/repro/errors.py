@@ -95,6 +95,39 @@ class WorkerCrashed(ReproError):
     """
 
 
+class Overloaded(ReproError):
+    """The serving layer refused a request because a capacity bound was hit.
+
+    Raised *synchronously* at submission time by
+    :class:`~repro.service.server.SATServer` when the bounded ingest queue
+    is full (or the server is draining). Shedding at admission — instead
+    of queueing unboundedly or blocking the caller — is what keeps the
+    serving layer's latency bounded and deadlock-free under overload;
+    callers are expected to retry with backoff or route elsewhere.
+    """
+
+
+class DeadlineExceeded(ReproError):
+    """A request's deadline expired before the server could execute it.
+
+    The scheduler checks the deadline when it dequeues the request: work
+    whose answer can no longer be used is dropped *before* compute is
+    spent on it (deadlines bound queue-wait, the dominant latency term
+    under load). The request's future receives this error, so the
+    response stream stays complete — expired is an answer, lost is a bug.
+    """
+
+
+class UnknownDataset(ReproError):
+    """A serving request named a dataset the store does not (or no longer)
+    hold.
+
+    Datasets live behind a bounded LRU (:class:`~repro.service.TiledSATStore`),
+    so a name that was valid earlier may have been evicted since; callers
+    must be prepared to re-ingest.
+    """
+
+
 class IdempotenceViolation(BarrierViolation):
     """A replayed block task diverged from its failed attempt's writes.
 

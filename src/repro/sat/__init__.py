@@ -46,7 +46,7 @@ from .out_of_core import (
     sat_streamed,
     sat_streamed_resilient,
 )
-from .registry import ALGORITHM_NAMES, make_algorithm
+from .registry import ALGORITHM_NAMES, describe, list_algorithms, make_algorithm
 from .tuning import TuningResult, candidate_ps, tune_analytic, tune_measured
 
 __all__ = [
@@ -84,6 +84,8 @@ __all__ = [
     "cpu_4r1w",
     "cpu_4r1w_strict",
     "cpu_numpy_2r2w",
+    "describe",
+    "list_algorithms",
     "make_algorithm",
     "recursion_depth",
     "rectangle_sum",

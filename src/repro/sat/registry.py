@@ -28,6 +28,59 @@ _FACTORIES: Dict[str, Callable[[], SATAlgorithm]] = {
 ALGORITHM_NAMES: List[str] = list(_FACTORIES)
 
 
+def list_algorithms(include_parametric: bool = True) -> List[str]:
+    """Every name :func:`make_algorithm` accepts, in Table II order.
+
+    ``include_parametric`` appends ``"kR1W"`` (the ``p``-parameterized
+    family) after the fixed Table II rows.
+    """
+    names = list(ALGORITHM_NAMES)
+    if include_parametric:
+        names.append("kR1W")
+    return names
+
+
+def _accepted_kwargs(factory: Callable[..., SATAlgorithm]) -> List[str]:
+    """Keyword arguments a factory's signature accepts (sorted)."""
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):
+        return []
+    return sorted(
+        p.name
+        for p in signature.parameters.values()
+        if p.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD, inspect.Parameter.KEYWORD_ONLY)
+    )
+
+
+def describe(name: str = None) -> Dict[str, Dict[str, object]]:
+    """Structured metadata for one algorithm (or all of them).
+
+    Maps each registry name to ``{"summary": <first docstring line>,
+    "kwargs": [<accepted keyword arguments>]}`` — what a serving CLI
+    needs to validate an algorithm choice (and explain the alternatives)
+    up front, before a worker pool or a store is built. Unknown names
+    raise :class:`~repro.errors.ConfigurationError` listing the valid
+    choices, like :func:`make_algorithm`.
+    """
+    factories: Dict[str, Callable[..., SATAlgorithm]] = dict(_FACTORIES)
+    factories["kR1W"] = CombinedKR1W
+    if name is not None:
+        if name not in factories:
+            raise ConfigurationError(
+                f"unknown SAT algorithm {name!r}; choose from {list_algorithms()}"
+            )
+        factories = {name: factories[name]}
+    out: Dict[str, Dict[str, object]] = {}
+    for algo_name, factory in factories.items():
+        doc = inspect.getdoc(factory) or ""
+        out[algo_name] = {
+            "summary": doc.splitlines()[0] if doc else "",
+            "kwargs": _accepted_kwargs(factory),
+        }
+    return out
+
+
 def make_algorithm(name: str, **kwargs) -> SATAlgorithm:
     """Instantiate an algorithm by its Table II name.
 
@@ -50,7 +103,8 @@ def make_algorithm(name: str, **kwargs) -> SATAlgorithm:
         # Anything signature-shaped that slipped past the explicit check
         # (e.g. a missing required argument) is still a config problem.
         raise ConfigurationError(
-            f"invalid arguments for SAT algorithm {name!r}: {exc}"
+            f"invalid arguments for SAT algorithm {name!r}: {exc}; "
+            f"accepted: {_accepted_kwargs(factory) or 'none'}"
         ) from exc
 
 

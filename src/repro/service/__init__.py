@@ -1,0 +1,58 @@
+"""repro.service — the tiled SAT serving layer.
+
+The compute side of the repo answers "how fast can one SAT be built";
+this package answers "how do you *serve* SAT workloads": state that
+stays resident, updates that cost what they dirty, queries that cost
+what they touch, and a front end that degrades predictably under load.
+
+* :mod:`~repro.service.store` — :class:`TiledSATStore`: named datasets
+  decomposed into ``t x t`` tiles (per-tile local SATs + edge prefixes +
+  corner aggregates, the repo's 2R1W block structure made resident)
+  behind a bounded LRU with byte accounting;
+* :mod:`~repro.service.update` — incremental point/region updates that
+  re-fold only the dirty tile and its downstream aggregate suffixes,
+  bit-identical to a full rebuild;
+* :mod:`~repro.service.queries` — region sums, box filters, and local
+  statistics from tile aggregates (at most four corner-tile lookups per
+  rectangle);
+* :mod:`~repro.service.server` — :class:`SATServer`: asyncio scheduler
+  with bounded admission (:class:`~repro.errors.Overloaded` shedding),
+  FIFO micro-batching, per-request deadlines, graceful drain, optional
+  :class:`~repro.sat.batch.BatchSession` ingest offload, and
+  :mod:`repro.obs` instrumentation;
+* :mod:`~repro.service.loadgen` — a seeded, oracle-verified load driver
+  (``python -m repro loadgen``).
+"""
+
+from .loadgen import LoadgenReport, run_loadgen
+from .queries import (
+    box_filter,
+    local_stats,
+    local_stats_many,
+    region_mean,
+    region_sum,
+    region_sums,
+)
+from .server import Request, Response, SATServer
+from .store import Dataset, TileAggregates, TiledSATStore
+from .update import point_update, region_add, region_update
+
+__all__ = [
+    "Dataset",
+    "LoadgenReport",
+    "Request",
+    "Response",
+    "SATServer",
+    "TileAggregates",
+    "TiledSATStore",
+    "box_filter",
+    "local_stats",
+    "local_stats_many",
+    "point_update",
+    "region_add",
+    "region_mean",
+    "region_sum",
+    "region_sums",
+    "region_update",
+    "run_loadgen",
+]

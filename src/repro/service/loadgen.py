@@ -1,0 +1,224 @@
+"""Deterministic load generator for the serving layer, with an oracle.
+
+Drives a :class:`~repro.service.server.SATServer` with a seeded mix of
+updates and queries and *verifies every response* against a shadow copy
+of the dataset:
+
+* the shadow matrix is updated at submission time (only for updates that
+  were actually admitted), and each query's expected value is computed
+  from the shadow at submission — correct because the server executes
+  same-dataset requests in FIFO submission order, which is exactly the
+  contract under test: any lost, reordered, or double-applied request
+  makes some later region sum disagree with the oracle;
+* all payloads are integer-valued, so sums are exact in float64 and the
+  comparison is bit-strict, not approximate;
+* ``completed_index`` monotonicity across the submission sequence is
+  checked independently, so a reorder is caught even where values happen
+  to collide.
+
+Three phases: **steady** bounded-depth rounds (micro-batching visible),
+one **overload** volley past the queue bound (sheds exactly the excess,
+serves the rest — never deadlocks), and an optional **deadline** volley
+with an already-expired deadline (every request resolves to
+``DeadlineExceeded``; expired is an answer, lost is a bug).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import DeadlineExceeded, Overloaded
+from .server import SATServer
+from .store import TiledSATStore
+
+__all__ = ["LoadgenReport", "run_loadgen"]
+
+
+@dataclass
+class LoadgenReport:
+    """Everything the CLI prints and CI gates on."""
+
+    n: int
+    tile: int
+    submitted: int = 0
+    admitted: int = 0
+    completed: int = 0
+    shed: int = 0
+    deadline_missed: int = 0
+    lost: int = 0
+    mismatches: int = 0
+    misordered: int = 0
+    updates: int = 0
+    queries: int = 0
+    elapsed: float = 0.0
+    latencies: List[float] = field(default_factory=list)
+    server_stats: Dict = field(default_factory=dict)
+    store_stats: Dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.lost == 0 and self.mismatches == 0 and self.misordered == 0
+
+    @property
+    def throughput(self) -> float:
+        return self.completed / self.elapsed if self.elapsed > 0 else float("inf")
+
+    def quantile(self, fraction: float) -> float:
+        if not self.latencies:
+            return 0.0
+        return float(np.quantile(np.array(self.latencies), fraction))
+
+    def summary(self) -> str:
+        lines = [
+            f"loadgen: n={self.n} tile={self.tile} "
+            f"submitted={self.submitted} admitted={self.admitted} "
+            f"completed={self.completed} shed={self.shed} "
+            f"deadline_missed={self.deadline_missed}",
+            f"  {self.queries} queries / {self.updates} updates in "
+            f"{self.elapsed:.3f}s ({self.throughput:.0f} responses/s), "
+            f"latency p50={self.quantile(0.5) * 1e3:.2f}ms "
+            f"p99={self.quantile(0.99) * 1e3:.2f}ms, "
+            f"max queue depth {self.server_stats.get('max_queue_depth', 0)}",
+            f"  verification: lost={self.lost} mismatches={self.mismatches} "
+            f"misordered={self.misordered} -> "
+            f"{'OK' if self.ok else 'FAILED'}",
+        ]
+        return "\n".join(lines)
+
+
+def _expected_region_sum(shadow: np.ndarray, rect) -> float:
+    top, left, bottom, right = rect
+    return float(shadow[top : bottom + 1, left : right + 1].sum())
+
+
+async def _drive(report: LoadgenReport, *, n, tile, rounds, burst, max_queue,
+                 max_batch, update_frac, seed, overload, deadline_volley,
+                 session) -> None:
+    rng = np.random.default_rng(seed)
+    matrix = rng.integers(-50, 50, size=(n, n)).astype(np.float64)
+    shadow = matrix.copy()
+    store = TiledSATStore(default_tile=tile)
+    async with SATServer(
+        store, max_queue=max_queue, max_batch=max_batch, session=session,
+    ) as server:
+        await server.ingest("img", matrix, tile=tile, track_squares=True)
+
+        def random_rect():
+            r0, r1 = np.sort(rng.integers(0, n, size=2))
+            c0, c1 = np.sort(rng.integers(0, n, size=2))
+            return int(r0), int(c0), int(r1), int(c1)
+
+        pending = []  # (future, expected value or None, is_update)
+
+        def submit_one():
+            report.submitted += 1
+            if rng.random() < update_frac:
+                r, c = (int(v) for v in rng.integers(0, n, size=2))
+                delta = float(rng.integers(-20, 20))
+                try:
+                    fut = server.submit(
+                        "update_point", "img",
+                        {"r": r, "c": c, "delta": delta, "value": None},
+                    )
+                except Overloaded:
+                    report.shed += 1
+                    return
+                shadow[r, c] += delta  # only after admission
+                report.updates += 1
+                pending.append((fut, None))
+            else:
+                rect = random_rect()
+                try:
+                    fut = server.submit("region_sum", "img", rect)
+                except Overloaded:
+                    report.shed += 1
+                    return
+                report.queries += 1
+                pending.append((fut, _expected_region_sum(shadow, rect)))
+            report.admitted += 1
+
+        async def settle():
+            nonlocal pending
+            batch, pending = pending, []
+            results = await asyncio.gather(
+                *(fut for fut, _ in batch), return_exceptions=True
+            )
+            order = []
+            for (fut, expected), outcome in zip(batch, results):
+                if isinstance(outcome, DeadlineExceeded):
+                    report.deadline_missed += 1
+                    continue
+                if isinstance(outcome, BaseException):
+                    report.lost += 1
+                    continue
+                report.completed += 1
+                report.latencies.append(outcome.latency)
+                order.append(outcome.completed_index)
+                if expected is not None and outcome.value != expected:
+                    report.mismatches += 1
+            # FIFO contract: completion indices of one submission sequence
+            # must come back strictly increasing.
+            report.misordered += sum(
+                1 for a, b in zip(order, order[1:]) if b <= a
+            )
+
+        t0 = time.perf_counter()
+        # Phase 1: steady rounds under the queue bound.
+        for _ in range(rounds):
+            for _ in range(burst):
+                submit_one()
+            await settle()
+        # Phase 2: one volley past the bound — the excess sheds, the rest
+        # serves, and nothing deadlocks.
+        if overload:
+            for _ in range(2 * max_queue):
+                submit_one()
+            await settle()
+        # Phase 3: already-expired deadlines resolve as DeadlineExceeded.
+        if deadline_volley:
+            for _ in range(deadline_volley):
+                rect = random_rect()
+                report.submitted += 1
+                try:
+                    fut = server.submit("region_sum", "img", rect, timeout=-1.0)
+                except Overloaded:
+                    report.shed += 1
+                    continue
+                report.admitted += 1
+                report.queries += 1
+                pending.append((fut, _expected_region_sum(shadow, rect)))
+            await settle()
+        report.elapsed = time.perf_counter() - t0
+
+        # Final end-to-end check: the served state equals the shadow the
+        # oracle accumulated (catches a lost-but-acked update).
+        final = await server.region_sum("img", 0, 0, n - 1, n - 1)
+        if final.value != float(shadow.sum()):
+            report.mismatches += 1
+        report.server_stats = server.stats.as_dict()
+    report.store_stats = store.stats()
+
+
+def run_loadgen(*, n: int = 256, tile: int = 64, rounds: int = 8,
+                burst: int = 48, max_queue: int = 64, max_batch: int = 32,
+                update_frac: float = 0.25, seed: int = 0,
+                overload: bool = True, deadline_volley: int = 8,
+                session=None) -> LoadgenReport:
+    """Run the seeded load-generation workload; see the module docstring.
+
+    A ``session`` (a :class:`~repro.sat.batch.BatchSession`) routes the
+    initial ingest's tile SATs through the multi-core HMM backend.
+    """
+    report = LoadgenReport(n=n, tile=tile)
+    asyncio.run(_drive(
+        report, n=n, tile=tile, rounds=rounds, burst=burst,
+        max_queue=max_queue, max_batch=max_batch, update_frac=update_frac,
+        seed=seed, overload=overload, deadline_volley=deadline_volley,
+        session=session,
+    ))
+    return report

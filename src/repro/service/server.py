@@ -1,0 +1,420 @@
+"""Asyncio serving front end: admission control, micro-batching, deadlines.
+
+:class:`SATServer` is the request plane over a
+:class:`~repro.service.store.TiledSATStore`:
+
+* **bounded ingest queue with admission control** — :meth:`submit` never
+  blocks and never queues past ``max_queue``: over the bound it raises
+  :class:`~repro.errors.Overloaded` *synchronously*, so overload sheds at
+  the door instead of growing latency (and the scheduler can never
+  deadlock on a full queue it is itself draining);
+* **FIFO scheduling with micro-batching** — the scheduler drains the
+  queue in submission order and coalesces each maximal contiguous run of
+  compatible requests (same dataset, batchable kind) into one vectorized
+  call (:func:`~repro.service.queries.region_sums`,
+  :func:`~repro.service.queries.local_stats_many`). Batching only
+  contiguous runs preserves global FIFO order, so same-dataset updates
+  and queries interleave exactly as submitted — the property the loadgen
+  oracle checks;
+* **per-request deadlines** — a request whose deadline passed while it
+  queued resolves to :class:`~repro.errors.DeadlineExceeded` instead of
+  burning compute on an answer nobody is waiting for;
+* **graceful drain** — :meth:`drain` stops admission (late submits shed
+  as ``Overloaded``) and runs the queue dry before stopping the
+  scheduler; nothing already admitted is lost;
+* **compute offload** — ingest tile SATs can be computed through the
+  multi-core :class:`~repro.sat.batch.BatchSession` (tiles are exactly a
+  same-shape batch), and any blocking compute runs in a worker thread so
+  the event loop keeps admitting and shedding;
+* **observability** — queue-depth gauge, per-kind latency histograms,
+  shed/deadline counters, and update/query spans through
+  :mod:`repro.obs`.
+
+Every response carries the request's sequence number and a server-side
+completion index, so clients can verify the zero-lost / zero-misordered
+contract end to end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError, DeadlineExceeded, Overloaded
+from ..obs import runtime as obs
+from . import queries as q
+from .store import TiledSATStore, TileSATFn
+
+__all__ = ["Request", "Response", "SATServer"]
+
+#: Kinds the micro-batcher may coalesce (vectorized execution exists and
+#: the results are independent per request).
+BATCHABLE = frozenset({"region_sum", "local_stats"})
+
+
+@dataclass
+class Request:
+    """One admitted unit of work."""
+
+    kind: str
+    dataset: str
+    payload: Any
+    seq: int
+    enqueued_at: float
+    deadline: Optional[float]  # absolute, on the server clock
+    future: "asyncio.Future[Response]"
+
+
+@dataclass
+class Response:
+    """The result envelope every request future resolves to."""
+
+    seq: int
+    value: Any
+    completed_index: int
+    latency: float
+    batch_size: int = 1
+
+
+@dataclass
+class ServerStats:
+    """Monotonic counters mirrored to ``repro.obs`` (readable without it)."""
+
+    admitted: int = 0
+    completed: int = 0
+    shed: int = 0
+    deadline_missed: int = 0
+    batches: int = 0
+    max_queue_depth: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "shed": self.shed,
+            "deadline_missed": self.deadline_missed,
+            "batches": self.batches,
+            "max_queue_depth": self.max_queue_depth,
+            "by_kind": dict(self.by_kind),
+        }
+
+
+class SATServer:
+    """Async request scheduler over a :class:`TiledSATStore`.
+
+    Use as an async context manager, or pair :meth:`start` with
+    :meth:`drain`. ``clock`` is injectable for deterministic deadline
+    tests.
+    """
+
+    def __init__(
+        self,
+        store: Optional[TiledSATStore] = None,
+        *,
+        max_queue: int = 256,
+        max_batch: int = 64,
+        session=None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_queue < 1:
+            raise ConfigurationError(f"max_queue must be >= 1, got {max_queue}")
+        if max_batch < 1:
+            raise ConfigurationError(f"max_batch must be >= 1, got {max_batch}")
+        self.store = store if store is not None else TiledSATStore()
+        self.max_queue = max_queue
+        self.max_batch = max_batch
+        self.session = session  # optional BatchSession for ingest offload
+        self.clock = clock
+        self.stats = ServerStats()
+        self._queue: "asyncio.Queue[Request]" = asyncio.Queue()
+        self._held: Optional[Request] = None  # incompatible head, runs next
+        self._accepting = False
+        self._busy = False  # a dequeued batch is executing
+        self._scheduler: Optional[asyncio.Task] = None
+        self._seq = 0
+        self._completed = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> "SATServer":
+        if self._scheduler is not None:
+            raise ConfigurationError("server already started")
+        self._accepting = True
+        self._scheduler = asyncio.ensure_future(self._run())
+        return self
+
+    async def drain(self) -> None:
+        """Stop admission, run the queue dry, stop the scheduler."""
+        self._accepting = False
+        while self._held is not None or not self._queue.empty() or self._busy:
+            await asyncio.sleep(0.001)
+        # Nothing queued, held, or in flight, and admission is closed: the
+        # scheduler can only be parked on queue.get(), so cancelling here
+        # cannot lose an admitted request.
+        if self._scheduler is not None:
+            self._scheduler.cancel()
+            try:
+                await self._scheduler
+            except asyncio.CancelledError:
+                pass
+            self._scheduler = None
+
+    async def __aenter__(self) -> "SATServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.drain()
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize() + (1 if self._held is not None else 0)
+
+    # -- admission -----------------------------------------------------------
+
+    def submit(self, kind: str, dataset: str, payload: Any = None, *,
+               timeout: Optional[float] = None) -> "asyncio.Future[Response]":
+        """Admit one request, or shed it with :class:`Overloaded`.
+
+        Non-blocking by construction: either the request fits under the
+        queue bound and a future is returned, or ``Overloaded`` raises
+        immediately. ``timeout`` (seconds) sets the request's deadline
+        relative to now.
+        """
+        if not self._accepting:
+            obs.inc("serving_shed_total", reason="draining")
+            self.stats.shed += 1
+            raise Overloaded(
+                "server is not accepting requests (not started, or draining)"
+            )
+        if self.queue_depth >= self.max_queue:
+            obs.inc("serving_shed_total", reason="queue_full")
+            self.stats.shed += 1
+            raise Overloaded(
+                f"ingest queue is full ({self.max_queue} requests); retry "
+                f"with backoff"
+            )
+        now = self.clock()
+        self._seq += 1
+        request = Request(
+            kind=kind,
+            dataset=dataset,
+            payload=payload,
+            seq=self._seq,
+            enqueued_at=now,
+            deadline=None if timeout is None else now + timeout,
+            future=asyncio.get_running_loop().create_future(),
+        )
+        self._queue.put_nowait(request)
+        self.stats.admitted += 1
+        self.stats.by_kind[kind] = self.stats.by_kind.get(kind, 0) + 1
+        depth = self.queue_depth
+        if depth > self.stats.max_queue_depth:
+            self.stats.max_queue_depth = depth
+        obs.inc("serving_requests_total", kind=kind)
+        obs.set_gauge("serving_queue_depth", depth)
+        return request.future
+
+    # Typed conveniences — each returns the resolved Response.
+
+    async def ingest(self, name: str, matrix: np.ndarray, *,
+                     tile: Optional[int] = None, track_squares: bool = False,
+                     timeout: Optional[float] = None) -> Response:
+        payload = {"matrix": matrix, "tile": tile, "track_squares": track_squares}
+        return await self.submit("ingest", name, payload, timeout=timeout)
+
+    async def region_sum(self, name: str, top: int, left: int, bottom: int,
+                         right: int, *, timeout: Optional[float] = None) -> Response:
+        return await self.submit(
+            "region_sum", name, (top, left, bottom, right), timeout=timeout
+        )
+
+    async def local_stats(self, name: str, r: int, c: int, radius: int, *,
+                          timeout: Optional[float] = None) -> Response:
+        return await self.submit("local_stats", name, (r, c, radius), timeout=timeout)
+
+    async def box_filter(self, name: str, radius: int, *,
+                         timeout: Optional[float] = None) -> Response:
+        return await self.submit("box_filter", name, radius, timeout=timeout)
+
+    async def update_point(self, name: str, r: int, c: int, *,
+                           delta=None, value=None,
+                           timeout: Optional[float] = None) -> Response:
+        return await self.submit(
+            "update_point", name,
+            {"r": r, "c": c, "delta": delta, "value": value}, timeout=timeout,
+        )
+
+    async def update_region(self, name: str, top: int, left: int,
+                            values: np.ndarray, *, add: bool = False,
+                            timeout: Optional[float] = None) -> Response:
+        return await self.submit(
+            "update_region", name,
+            {"top": top, "left": left, "values": values, "add": add},
+            timeout=timeout,
+        )
+
+    # -- scheduling ----------------------------------------------------------
+
+    async def _next_request(self) -> Request:
+        if self._held is not None:
+            request, self._held = self._held, None
+            return request
+        return await self._queue.get()
+
+    def _take_compatible(self, head: Request) -> List[Request]:
+        """The maximal contiguous batchable run starting at ``head``."""
+        batch = [head]
+        if head.kind not in BATCHABLE:
+            return batch
+        while len(batch) < self.max_batch:
+            try:
+                nxt = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if nxt.kind == head.kind and nxt.dataset == head.dataset:
+                batch.append(nxt)
+            else:
+                self._held = nxt  # preserve FIFO: run it next, alone or as
+                break             # the head of its own batch
+        return batch
+
+    async def _run(self) -> None:
+        while True:
+            head = await self._next_request()
+            # _busy flips synchronously with the dequeue (no await between),
+            # so drain() can never observe "queue empty, nothing in flight"
+            # while a batch is actually executing.
+            self._busy = True
+            try:
+                batch = self._take_compatible(head)
+                obs.set_gauge("serving_queue_depth", self.queue_depth)
+                try:
+                    await self._execute(batch)
+                except asyncio.CancelledError:
+                    raise
+                except BaseException as exc:  # defensive: never kill the loop
+                    for request in batch:
+                        if not request.future.done():
+                            request.future.set_exception(exc)
+            finally:
+                self._busy = False
+
+    async def _execute(self, batch: List[Request]) -> None:
+        now = self.clock()
+        live: List[Request] = []
+        for request in batch:
+            if request.deadline is not None and now > request.deadline:
+                self.stats.deadline_missed += 1
+                obs.inc("serving_deadline_missed_total", kind=request.kind)
+                self._resolve_exc(
+                    request,
+                    DeadlineExceeded(
+                        f"request {request.seq} ({request.kind}) queued "
+                        f"{now - request.enqueued_at:.3f}s, past its deadline"
+                    ),
+                )
+            else:
+                live.append(request)
+        if not live:
+            return
+        self.stats.batches += 1
+        obs.inc("serving_batches_total", kind=live[0].kind)
+        obs.observe("serving_batch_size", len(live), kind=live[0].kind)
+        try:
+            values = await self._dispatch(live)
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:
+            for request in live:
+                self._resolve_exc(request, exc)
+            return
+        done = self.clock()
+        for request, value in zip(live, values):
+            self._completed += 1
+            self.stats.completed += 1
+            latency = done - request.enqueued_at
+            obs.observe("serving_request_seconds", latency, kind=request.kind)
+            if not request.future.done():
+                request.future.set_result(Response(
+                    seq=request.seq, value=value,
+                    completed_index=self._completed, latency=latency,
+                    batch_size=len(live),
+                ))
+
+    def _resolve_exc(self, request: Request, exc: BaseException) -> None:
+        self._completed += 1
+        if not request.future.done():
+            request.future.set_exception(exc)
+
+    async def _dispatch(self, live: List[Request]) -> List[Any]:
+        """Execute one compatible batch and return one value per request."""
+        kind = live[0].kind
+        if kind == "region_sum":
+            ds = self.store.get(live[0].dataset)
+            rects = np.array([r.payload for r in live], dtype=np.int64)
+            sums = q.region_sums(ds, rects)
+            return [s.item() for s in sums]
+        if kind == "local_stats":
+            ds = self.store.get(live[0].dataset)
+            radius = live[0].payload[2]
+            if any(r.payload[2] != radius for r in live):
+                # Mixed radii still vectorize per distinct radius.
+                out = []
+                for r in live:
+                    mean, var = q.local_stats(ds, r.payload[0], r.payload[1],
+                                              r.payload[2])
+                    out.append((mean, var))
+                return out
+            points = np.array([r.payload[:2] for r in live], dtype=np.int64)
+            mean, var = q.local_stats_many(ds, points, radius)
+            return list(zip(mean.tolist(), var.tolist()))
+        request = live[0]
+        if kind == "box_filter":
+            ds = self.store.get(request.dataset)
+            return [q.box_filter(ds, request.payload)]
+        if kind == "update_point":
+            ds = self.store.get(request.dataset)
+            p = request.payload
+            ds.update_point(p["r"], p["c"], delta=p["delta"], value=p["value"])
+            return [ds.version]
+        if kind == "update_region":
+            ds = self.store.get(request.dataset)
+            p = request.payload
+            if p["add"]:
+                ds.add_region(p["top"], p["left"], p["values"])
+            else:
+                ds.update_region(p["top"], p["left"], p["values"])
+            return [ds.version]
+        if kind == "ingest":
+            p = request.payload
+            with obs.span("serving_ingest", dataset=request.dataset):
+                tile_sats = self._session_tile_sats()
+                # Decomposition + folding is blocking numpy work (and may
+                # fan out through the BatchSession's process pool); keep
+                # the event loop free to admit and shed meanwhile.
+                ds = await asyncio.to_thread(
+                    self.store.put, request.dataset, p["matrix"],
+                    tile=p["tile"], track_squares=p["track_squares"],
+                    tile_sats=tile_sats,
+                )
+            return [ds.shape]
+        raise ConfigurationError(f"unknown request kind {kind!r}")
+
+    def _session_tile_sats(self) -> Optional[TileSATFn]:
+        if self.session is None:
+            return None
+        session = self.session
+
+        def tile_sats(tiles: np.ndarray) -> np.ndarray:
+            # Tiles are a same-shape batch — exactly what BatchSession
+            # serves; its SATs are bit-identical to the numpy chains (the
+            # conformance suite's contract), so offloaded ingest preserves
+            # the store's bit-identity guarantee.
+            return np.stack(list(session.map(list(tiles))))
+
+        return tile_sats

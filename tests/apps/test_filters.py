@@ -7,9 +7,12 @@ from repro.apps.filters import (
     adaptive_threshold,
     box_filter,
     box_sum,
+    clamped_window_bounds,
     local_mean_variance,
+    padded_sat,
 )
 from repro.errors import ShapeError
+from repro.sat.reference import sat_reference
 
 
 def brute_box_mean(img, radius, r, c):
@@ -72,6 +75,67 @@ class TestLocalStatistics:
         _, var = local_mean_variance(img, 1)
         # interior 3x3 windows contain 4 or 5 ones out of 9
         assert var[4, 4] == pytest.approx(img[3:6, 3:6].var())
+
+
+class TestPrecomputedSAT:
+    """The ``sat=`` fast path must be indistinguishable from recomputing."""
+
+    def test_box_filter_with_plain_sat(self, rng):
+        img = rng.random((11, 14))
+        sat = sat_reference(img)
+        assert np.array_equal(box_filter(img, 2, sat=sat), box_filter(img, 2))
+
+    def test_box_filter_with_padded_sat(self, rng):
+        img = rng.random((9, 9))
+        ps = padded_sat(img)
+        assert np.array_equal(box_filter(img, 3, sat=ps), box_filter(img, 3))
+
+    def test_box_sum_and_threshold_accept_sat(self, rng):
+        img = rng.random((10, 10))
+        sat = sat_reference(img)
+        assert np.array_equal(box_sum(img, 1, sat=sat), box_sum(img, 1))
+        assert np.array_equal(
+            adaptive_threshold(img, 2, offset=0.01, sat=sat),
+            adaptive_threshold(img, 2, offset=0.01),
+        )
+
+    def test_local_mean_variance_with_both_sats(self, rng):
+        img = rng.random((12, 8))
+        mean0, var0 = local_mean_variance(img, 2)
+        mean1, var1 = local_mean_variance(
+            img, 2, sat=sat_reference(img), sat_sq=sat_reference(img * img)
+        )
+        assert np.array_equal(mean0, mean1)
+        assert np.array_equal(var0, var1)
+
+    def test_padded_sat_forms(self, rng):
+        img = rng.random((5, 7))
+        ps = padded_sat(img)
+        assert ps.shape == (6, 8)
+        assert (ps[0, :] == 0).all() and (ps[:, 0] == 0).all()
+        assert np.array_equal(ps[1:, 1:], sat_reference(img))
+        # already-padded input passes through untouched
+        assert padded_sat(img, sat=ps) is ps
+        # plain-SAT input gets padded
+        assert np.array_equal(padded_sat(img, sat=sat_reference(img)), ps)
+
+    def test_mismatched_sat_shape_rejected(self, rng):
+        img = rng.random((6, 6))
+        with pytest.raises(ShapeError):
+            box_filter(img, 1, sat=np.zeros((4, 4)))
+
+    def test_clamped_window_bounds_vectorized(self):
+        top, bottom, left, right = clamped_window_bounds(
+            (8, 8), np.array([0, 4, 7]), np.array([0, 4, 7]), 2
+        )
+        assert top.tolist() == [0, 2, 5]
+        assert bottom.tolist() == [2, 6, 7]
+        assert left.tolist() == [0, 2, 5]
+        assert right.tolist() == [2, 6, 7]
+
+    def test_negative_radius_rejected_in_bounds(self):
+        with pytest.raises(ShapeError):
+            clamped_window_bounds((4, 4), np.array([0]), np.array([0]), -1)
 
 
 class TestAdaptiveThreshold:

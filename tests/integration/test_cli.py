@@ -107,3 +107,92 @@ class TestStats:
 
         assert main(["stats", "-n", "32", "--format", "json"]) == 0
         assert not obs_runtime.is_enabled()
+
+
+class TestServingCLI:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.n == 512
+        assert args.datasets == 2
+        assert args.tile == 64
+        assert args.queue == 256
+
+    def test_loadgen_defaults(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert args.n == 256
+        assert args.update_frac == 0.25
+        assert not args.quick
+
+    def test_serve_small_run_verifies(self, capsys):
+        rc = main([
+            "serve", "-n", "48", "--tile", "16", "--datasets", "2",
+            "--updates", "8", "--queries", "16",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "all query responses vs numpy oracle: OK" in out
+        assert "incremental point update" in out
+        assert "2 resident" in out
+
+    def test_serve_eviction_under_tight_capacity(self, capsys):
+        # Three ~70 KB datasets against a 1 MB... use capacity in MB floor:
+        # the flag is MB-granular, so force eviction with more datasets.
+        rc = main([
+            "serve", "-n", "128", "--tile", "32", "--datasets", "4",
+            "--updates", "2", "--queries", "4", "--capacity-mb", "1",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "eviction(s)" in out
+
+    def test_loadgen_small_run_passes_gates(self, capsys):
+        rc = main([
+            "loadgen", "-n", "48", "--tile", "16", "--rounds", "2",
+            "--burst", "12", "--queue", "16", "--max-batch", "8",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "verification: lost=0 mismatches=0 misordered=0 -> OK" in out
+
+    def test_loadgen_with_session_offload(self, capsys):
+        rc = main([
+            "loadgen", "-n", "32", "--tile", "16", "--rounds", "1",
+            "--burst", "8", "--queue", "12", "--max-batch", "4",
+            "--session-algorithm", "1R1W", "--workers", "1",
+            "--width", "8", "--latency", "4",
+        ])
+        assert rc == 0
+
+    def test_bad_session_algorithm_fails_fast(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="choose from"):
+            main(["loadgen", "--quick", "--session-algorithm", "9R9W"])
+
+    def test_stats_serving_section(self, capsys):
+        import json
+
+        rc = main(["stats", "-n", "32", "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        counters = {r["name"] for r in doc["metrics"]["counters"]}
+        assert {
+            "serving_requests_total",
+            "serving_queries_total",
+            "serving_updates_total",
+            "serving_shed_total",
+            "serving_batches_total",
+        } <= counters
+        gauges = {r["name"] for r in doc["metrics"]["gauges"]}
+        assert "serving_queue_depth" in gauges
+        hists = {r["name"] for r in doc["metrics"]["histograms"]}
+        assert "serving_request_seconds" in hists
+
+    def test_stats_no_serving_flag(self, capsys):
+        import json
+
+        rc = main(["stats", "-n", "32", "--format", "json", "--no-serving"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        counters = {r["name"] for r in doc["metrics"]["counters"]}
+        assert "serving_requests_total" not in counters

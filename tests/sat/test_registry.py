@@ -3,7 +3,12 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.sat.registry import ALGORITHM_NAMES, make_algorithm
+from repro.sat.registry import (
+    ALGORITHM_NAMES,
+    describe,
+    list_algorithms,
+    make_algorithm,
+)
 
 
 class TestUnknownAlgorithm:
@@ -38,6 +43,42 @@ class TestUnexpectedKwargs:
         """Callers catch ReproError; a bare TypeError must never escape."""
         with pytest.raises(ConfigurationError):
             make_algorithm("2R2W", nonsense=True)
+
+
+class TestIntrospection:
+    def test_list_algorithms_table_order_plus_parametric(self):
+        names = list_algorithms()
+        assert names[: len(ALGORITHM_NAMES)] == ALGORITHM_NAMES
+        assert names[-1] == "kR1W"
+
+    def test_list_algorithms_fixed_only(self):
+        assert list_algorithms(include_parametric=False) == ALGORITHM_NAMES
+
+    def test_describe_all_have_summary_and_kwargs(self):
+        info = describe()
+        assert set(info) == set(list_algorithms())
+        for name, meta in info.items():
+            assert meta["summary"], f"{name} has no docstring summary"
+            assert isinstance(meta["kwargs"], list)
+
+    def test_describe_kr1w_advertises_p(self):
+        assert "p" in describe("kR1W")["kR1W"]["kwargs"]
+
+    def test_describe_single_name(self):
+        info = describe("2R1W")
+        assert list(info) == ["2R1W"]
+
+    def test_describe_unknown_lists_choices(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            describe("9R9W")
+        msg = str(excinfo.value)
+        assert "9R9W" in msg and "kR1W" in msg
+        for name in ALGORITHM_NAMES:
+            assert name in msg
+
+    def test_every_described_algorithm_constructs(self):
+        for name in list_algorithms(include_parametric=False):
+            assert make_algorithm(name).name == name
 
 
 class TestValidKwargsStillWork:

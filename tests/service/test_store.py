@@ -1,0 +1,150 @@
+"""TileAggregates construction and the bounded LRU store."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError, UnknownDataset
+from repro.sat.reference import sat_reference
+from repro.service.store import Dataset, TileAggregates, TiledSATStore
+
+
+class TestTileAggregates:
+    @pytest.mark.parametrize("shape,tile", [
+        ((8, 8), 4), ((7, 11), 3), ((1, 9), 4), ((9, 1), 2),
+        ((16, 16), 16), ((5, 5), 8), ((1, 1), 1), ((12, 4), 5),
+    ])
+    def test_materialize_matches_reference(self, rng, shape, tile):
+        a = rng.integers(-99, 99, size=shape).astype(np.float64)
+        agg = TileAggregates(a, tile)
+        assert np.array_equal(agg.materialize(), sat_reference(a))
+
+    def test_materialize_float_close(self, rng):
+        a = rng.standard_normal((17, 23))
+        agg = TileAggregates(a, 4)
+        assert np.allclose(agg.materialize(), sat_reference(a))
+
+    def test_matrix_roundtrip(self, rng):
+        a = rng.standard_normal((10, 13))
+        agg = TileAggregates(a, 4)
+        assert np.array_equal(agg.matrix(), a)
+
+    def test_sat_at_is_reference_value(self, rng):
+        a = rng.integers(0, 50, size=(14, 9)).astype(np.float64)
+        agg = TileAggregates(a, 4)
+        ref = sat_reference(a)
+        for r, c in [(0, 0), (3, 3), (13, 8), (4, 7), (7, 0)]:
+            assert agg.sat_at(r, c) == ref[r, c]
+
+    def test_sat_at_many_negative_indices_are_zero(self, rng):
+        a = rng.integers(0, 9, size=(6, 6)).astype(np.float64)
+        agg = TileAggregates(a, 4)
+        vals = agg.sat_at_many(np.array([-1, 0, 5]), np.array([2, -1, 5]))
+        assert vals[0] == 0 and vals[1] == 0 and vals[2] == a.sum()
+
+    def test_dtype_follows_cumsum_promotion(self):
+        agg = TileAggregates(np.ones((4, 4), dtype=np.int32), 2)
+        assert agg.dtype == np.cumsum(np.ones(1, dtype=np.int32)).dtype
+        assert TileAggregates(np.ones((4, 4), dtype=np.float32), 2).dtype == np.float32
+
+    def test_rejects_bad_shapes_and_tiles(self):
+        with pytest.raises(ShapeError):
+            TileAggregates(np.ones(3), 2)
+        with pytest.raises(ShapeError):
+            TileAggregates(np.ones((0, 4)), 2)
+        with pytest.raises(ConfigurationError):
+            TileAggregates(np.ones((4, 4)), 0)
+
+    def test_pluggable_tile_sats_backend(self, rng):
+        a = rng.integers(0, 9, size=(8, 8)).astype(np.float64)
+        calls = []
+
+        def backend(tiles):
+            calls.append(tiles.shape)
+            return np.cumsum(np.cumsum(tiles, axis=1), axis=2)
+
+        agg = TileAggregates(a, 4, backend)
+        assert calls == [(4, 4, 4)]
+        assert np.array_equal(agg.materialize(), sat_reference(a))
+
+
+class TestDataset:
+    def test_padded_sat_cached_until_update(self, rng):
+        a = rng.integers(0, 9, size=(9, 9)).astype(np.float64)
+        ds = Dataset("d", a, 4)
+        first = ds.padded_sat()
+        assert ds.padded_sat() is first  # same epoch: cached object
+        ds.update_point(2, 2, delta=1.0)
+        second = ds.padded_sat()
+        assert second is not first
+        assert np.array_equal(second[1:, 1:], sat_reference(ds.values.matrix()))
+
+    def test_nbytes_counts_squares_and_cache(self, rng):
+        a = rng.integers(0, 9, size=(8, 8)).astype(np.float64)
+        plain = Dataset("d", a, 4)
+        squares = Dataset("d", a, 4, track_squares=True)
+        assert squares.nbytes > plain.nbytes
+        before = squares.nbytes
+        squares.padded_sat()
+        assert squares.nbytes > before
+
+
+class TestTiledSATStore:
+    def test_get_unknown_raises_typed_error(self):
+        store = TiledSATStore()
+        with pytest.raises(UnknownDataset, match="no dataset named 'ghost'"):
+            store.get("ghost")
+
+    def test_put_get_roundtrip_marks_mru(self, rng):
+        store = TiledSATStore()
+        store.put("a", rng.integers(0, 9, size=(8, 8)), tile=4)
+        store.put("b", rng.integers(0, 9, size=(8, 8)), tile=4)
+        assert store.names() == ["a", "b"]
+        store.get("a")
+        assert store.names() == ["b", "a"]
+
+    def test_lru_eviction_under_byte_pressure(self, rng):
+        one = Dataset("x", rng.integers(0, 9, size=(16, 16)), 4)
+        store = TiledSATStore(capacity_bytes=int(one.nbytes * 2.5))
+        for name in ("a", "b", "c"):
+            store.put(name, rng.integers(0, 9, size=(16, 16)), tile=4)
+        assert store.names() == ["b", "c"]  # oldest evicted
+        assert store.evictions == 1
+        assert store.nbytes <= store.capacity_bytes
+        with pytest.raises(UnknownDataset):
+            store.get("a")
+
+    def test_get_refreshes_lru_order_for_eviction(self, rng):
+        one = Dataset("x", rng.integers(0, 9, size=(16, 16)), 4)
+        store = TiledSATStore(capacity_bytes=int(one.nbytes * 2.5))
+        store.put("a", rng.integers(0, 9, size=(16, 16)), tile=4)
+        store.put("b", rng.integers(0, 9, size=(16, 16)), tile=4)
+        store.get("a")  # now b is LRU
+        store.put("c", rng.integers(0, 9, size=(16, 16)), tile=4)
+        assert store.names() == ["a", "c"]
+
+    def test_oversized_dataset_refused(self, rng):
+        store = TiledSATStore(capacity_bytes=1024)
+        with pytest.raises(ConfigurationError, match="capacity"):
+            store.put("big", rng.integers(0, 9, size=(64, 64)), tile=8)
+        assert "big" not in store
+
+    def test_replacement_keeps_one_copy(self, rng):
+        store = TiledSATStore()
+        store.put("a", rng.integers(0, 9, size=(8, 8)), tile=4)
+        ds = store.put("a", rng.integers(0, 9, size=(12, 12)), tile=4)
+        assert store.names() == ["a"]
+        assert store.get("a") is ds
+
+    def test_drop(self, rng):
+        store = TiledSATStore()
+        store.put("a", rng.integers(0, 9, size=(8, 8)), tile=4)
+        assert store.drop("a") and not store.drop("a")
+        assert store.stats()["datasets"] == 0
+
+    def test_stats_accounting(self, rng):
+        store = TiledSATStore(capacity_bytes=10**9)
+        store.put("a", rng.integers(0, 9, size=(8, 8)), tile=4)
+        s = store.stats()
+        assert s["datasets"] == 1
+        assert s["bytes"] == store.get("a").nbytes
+        assert s["capacity_bytes"] == 10**9

@@ -1,0 +1,147 @@
+"""Property-based tests: the served store bit-matches a numpy oracle.
+
+The satellite contract: random sequences of point/region updates
+interleaved with ``region_sum`` queries on :class:`TiledSATStore`
+datasets always bit-match a full-recompute numpy oracle — including
+updates straddling tile boundaries and degenerate ``1 x n`` / ``n x 1``
+shapes. Integer-valued payloads make every summation order exact, so the
+checks are ``==``, not ``allclose``.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat.reference import sat_reference
+from repro.service.store import TileAggregates, TiledSATStore
+
+# Integer-valued float64 payloads: all float adds exact below 2^53.
+CELLS = st.integers(-1000, 1000)
+
+
+@st.composite
+def shapes(draw):
+    # Bias toward degenerate rows/columns and tile-straddling sizes.
+    rows = draw(st.sampled_from([1, 2, 3, 5, 7, 8, 9, 13, 16]))
+    cols = draw(st.sampled_from([1, 2, 3, 5, 7, 8, 9, 13, 16]))
+    tile = draw(st.sampled_from([1, 2, 3, 4, 8]))
+    return rows, cols, tile
+
+
+@st.composite
+def operations(draw, rows, cols, count=8):
+    ops = []
+    for _ in range(draw(st.integers(1, count))):
+        kind = draw(st.sampled_from(["point", "region_set", "region_add", "query"]))
+        top = draw(st.integers(0, rows - 1))
+        left = draw(st.integers(0, cols - 1))
+        bottom = draw(st.integers(top, rows - 1))
+        right = draw(st.integers(left, cols - 1))
+        if kind == "point":
+            ops.append(("point", top, left, float(draw(CELLS))))
+        elif kind == "query":
+            ops.append(("query", top, left, bottom, right))
+        else:
+            h, w = bottom - top + 1, right - left + 1
+            block = np.array(
+                draw(
+                    st.lists(
+                        st.lists(CELLS, min_size=w, max_size=w),
+                        min_size=h, max_size=h,
+                    )
+                ),
+                dtype=np.float64,
+            )
+            ops.append((kind, top, left, block))
+    return ops
+
+
+@st.composite
+def scenarios(draw):
+    rows, cols, tile = draw(shapes())
+    seed = draw(st.integers(0, 2**31 - 1))
+    matrix = (
+        np.random.default_rng(seed).integers(-1000, 1000, size=(rows, cols))
+        .astype(np.float64)
+    )
+    return matrix, tile, draw(operations(rows, cols))
+
+
+def apply_to_shadow(shadow, op):
+    if op[0] == "point":
+        _, r, c, delta = op
+        shadow[r, c] += delta
+    elif op[0] == "region_set":
+        _, top, left, block = op
+        shadow[top:top + block.shape[0], left:left + block.shape[1]] = block
+    elif op[0] == "region_add":
+        _, top, left, block = op
+        shadow[top:top + block.shape[0], left:left + block.shape[1]] += block
+
+
+class TestStoreMatchesOracle:
+    @settings(max_examples=60, deadline=None)
+    @given(scenarios())
+    def test_update_query_sequence_bit_matches_full_recompute(self, scenario):
+        matrix, tile, ops = scenario
+        store = TiledSATStore()
+        ds = store.put("d", matrix, tile=tile, track_squares=True)
+        shadow = matrix.copy()
+        for op in ops:
+            if op[0] == "point":
+                ds.update_point(op[1], op[2], delta=op[3])
+            elif op[0] == "region_set":
+                ds.update_region(op[1], op[2], op[3])
+            elif op[0] == "region_add":
+                ds.add_region(op[1], op[2], op[3])
+            else:
+                _, top, left, bottom, right = op
+                got = ds.region_sum(top, left, bottom, right)
+                assert got == shadow[top:bottom + 1, left:right + 1].sum()
+            apply_to_shadow(shadow, op)
+        # Final state: every aggregate array equals a from-scratch build,
+        # and the materialized SAT equals the numpy oracle bit-for-bit.
+        fresh = TileAggregates(shadow, tile)
+        for field in ("raw", "local", "col_above", "row_left", "tot_col", "corner"):
+            assert np.array_equal(getattr(ds.values, field), getattr(fresh, field))
+        assert np.array_equal(ds.values.materialize(), sat_reference(shadow))
+        fresh_sq = TileAggregates(np.square(shadow), tile)
+        assert np.array_equal(ds.squares.raw, fresh_sq.raw)
+        assert np.array_equal(ds.squares.materialize(), fresh_sq.materialize())
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.sampled_from([(1, 16), (16, 1), (1, 1), (1, 7), (9, 1)]),
+        st.sampled_from([1, 2, 4, 8]),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_degenerate_shapes(self, shape, tile, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.integers(-100, 100, size=shape).astype(np.float64)
+        ds = TiledSATStore().put("thin", matrix, tile=tile)
+        shadow = matrix.copy()
+        for _ in range(5):
+            r = int(rng.integers(shape[0]))
+            c = int(rng.integers(shape[1]))
+            d = float(rng.integers(-50, 50))
+            ds.update_point(r, c, delta=d)
+            shadow[r, c] += d
+        assert np.array_equal(ds.values.materialize(), sat_reference(shadow))
+        assert ds.region_sum(0, 0, shape[0] - 1, shape[1] - 1) == shadow.sum()
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(2, 4), st.integers(0, 2**31 - 1))
+    def test_update_straddling_every_tile_boundary(self, tile, seed):
+        """A region crossing both tile axes re-folds all four quadrants."""
+        n = tile * 3
+        rng = np.random.default_rng(seed)
+        matrix = rng.integers(-100, 100, size=(n, n)).astype(np.float64)
+        ds = TiledSATStore().put("grid", matrix, tile=tile)
+        block = rng.integers(-100, 100, size=(tile + 1, tile + 1)).astype(np.float64)
+        top = left = tile - 1  # crosses the first boundary on both axes
+        ds.update_region(top, left, block)
+        shadow = matrix.copy()
+        shadow[top:top + tile + 1, left:left + tile + 1] = block
+        fresh = TileAggregates(shadow, tile)
+        for field in ("raw", "local", "col_above", "row_left", "tot_col", "corner"):
+            assert np.array_equal(getattr(ds.values, field), getattr(fresh, field))

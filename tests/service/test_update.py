@@ -1,0 +1,145 @@
+"""Incremental updates must be bit-identical to a full rebuild."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sat.reference import sat_reference
+from repro.service.store import Dataset, TileAggregates
+from repro.service.update import point_update, region_add, region_update
+
+SHAPES = [((7, 11), 3), ((1, 9), 4), ((9, 1), 2), ((16, 16), 4), ((5, 5), 8), ((1, 1), 1)]
+
+
+def assert_bit_identical(agg: TileAggregates, fresh_matrix: np.ndarray) -> None:
+    """Every stored array equals a fresh build's — not just the final SAT."""
+    fresh = TileAggregates(fresh_matrix, agg.t)
+    for field in ("raw", "local", "col_above", "row_left", "tot_col", "corner"):
+        got, want = getattr(agg, field), getattr(fresh, field)
+        assert np.array_equal(got, want), f"{field} diverged from fresh build"
+
+
+class TestPointUpdate:
+    @pytest.mark.parametrize("shape,tile", SHAPES)
+    def test_bit_identical_to_rebuild(self, rng, shape, tile):
+        a = rng.standard_normal(shape)
+        ds = Dataset("d", a, tile, track_squares=True)
+        shadow = a.copy()
+        for _ in range(12):
+            r = int(rng.integers(shape[0]))
+            c = int(rng.integers(shape[1]))
+            if rng.random() < 0.5:
+                delta = float(rng.standard_normal())
+                point_update(ds, r, c, delta=delta)
+                shadow[r, c] = shadow[r, c] + delta
+            else:
+                value = float(rng.standard_normal())
+                point_update(ds, r, c, value=value)
+                shadow[r, c] = value
+            assert_bit_identical(ds.values, shadow)
+            assert_bit_identical(ds.squares, np.square(shadow))
+
+    def test_first_and_last_element(self, rng):
+        a = rng.standard_normal((10, 14))
+        ds = Dataset("d", a, 4)
+        point_update(ds, 0, 0, delta=1.5)
+        point_update(ds, 9, 13, value=-2.0)
+        shadow = a.copy()
+        shadow[0, 0] += 1.5
+        shadow[9, 13] = -2.0
+        assert_bit_identical(ds.values, shadow)
+
+    def test_integer_payload_sat_exact(self, rng):
+        a = rng.integers(-50, 50, size=(13, 9)).astype(np.float64)
+        ds = Dataset("d", a, 4)
+        point_update(ds, 6, 6, delta=7.0)
+        a[6, 6] += 7.0
+        assert np.array_equal(ds.values.materialize(), sat_reference(a))
+
+    def test_requires_exactly_one_of_delta_value(self):
+        ds = Dataset("d", np.zeros((4, 4)), 2)
+        with pytest.raises(ShapeError):
+            point_update(ds, 0, 0)
+        with pytest.raises(ShapeError):
+            point_update(ds, 0, 0, delta=1.0, value=2.0)
+
+    def test_out_of_bounds_rejected(self):
+        ds = Dataset("d", np.zeros((4, 4)), 2)
+        for r, c in [(-1, 0), (0, -1), (4, 0), (0, 4)]:
+            with pytest.raises(ShapeError):
+                point_update(ds, r, c, delta=1.0)
+
+    def test_version_bumps(self):
+        ds = Dataset("d", np.zeros((4, 4)), 2)
+        v0 = ds.version
+        point_update(ds, 1, 1, delta=1.0)
+        assert ds.version > v0
+
+
+class TestRegionUpdate:
+    @pytest.mark.parametrize("shape,tile", SHAPES)
+    def test_bit_identical_to_rebuild(self, rng, shape, tile):
+        a = rng.standard_normal(shape)
+        ds = Dataset("d", a, tile, track_squares=True)
+        shadow = a.copy()
+        for _ in range(8):
+            top = int(rng.integers(shape[0]))
+            left = int(rng.integers(shape[1]))
+            h = int(rng.integers(1, shape[0] - top + 1))
+            w = int(rng.integers(1, shape[1] - left + 1))
+            block = rng.standard_normal((h, w))
+            if rng.random() < 0.5:
+                region_update(ds, top, left, block)
+                shadow[top:top + h, left:left + w] = block
+            else:
+                region_add(ds, top, left, block)
+                shadow[top:top + h, left:left + w] += block
+            assert_bit_identical(ds.values, shadow)
+            assert_bit_identical(ds.squares, np.square(shadow))
+
+    def test_region_spanning_tile_boundary(self, rng):
+        a = rng.standard_normal((12, 12))
+        ds = Dataset("d", a, 4)
+        block = rng.standard_normal((6, 6))
+        region_update(ds, 2, 2, block)  # covers parts of 4 tiles
+        shadow = a.copy()
+        shadow[2:8, 2:8] = block
+        assert_bit_identical(ds.values, shadow)
+
+    def test_whole_matrix_region(self, rng):
+        a = rng.standard_normal((8, 8))
+        ds = Dataset("d", a, 4)
+        block = rng.standard_normal((8, 8))
+        region_update(ds, 0, 0, block)
+        assert_bit_identical(ds.values, block)
+
+    def test_region_outside_rejected(self):
+        ds = Dataset("d", np.zeros((4, 4)), 2)
+        with pytest.raises(ShapeError):
+            region_update(ds, 3, 3, np.ones((2, 2)))
+        with pytest.raises(ShapeError):
+            region_update(ds, -1, 0, np.ones((2, 2)))
+
+    def test_empty_or_1d_payload_rejected(self):
+        ds = Dataset("d", np.zeros((4, 4)), 2)
+        with pytest.raises(ShapeError):
+            region_update(ds, 0, 0, np.ones((0, 2)))
+        with pytest.raises(ShapeError):
+            region_add(ds, 0, 0, np.ones(3))
+
+
+class TestUpdateQueryConsistency:
+    def test_queries_after_updates_match_oracle(self, rng):
+        a = rng.integers(0, 100, size=(20, 17)).astype(np.float64)
+        ds = Dataset("d", a, 5)
+        shadow = a.copy()
+        for _ in range(10):
+            r, c = int(rng.integers(20)), int(rng.integers(17))
+            d = float(rng.integers(-9, 9))
+            point_update(ds, r, c, delta=d)
+            shadow[r, c] += d
+            top, bottom = sorted(rng.integers(0, 20, size=2))
+            left, right = sorted(rng.integers(0, 17, size=2))
+            got = ds.region_sum(int(top), int(left), int(bottom), int(right))
+            want = shadow[top:bottom + 1, left:right + 1].sum()
+            assert got == want  # integer-valued payload: exact
