@@ -373,6 +373,63 @@ def _serving_session(args):
     )
 
 
+def _cmd_serve_cluster(args) -> int:
+    """Serve through the sharded worker cluster instead of one process.
+
+    Ingests ``--datasets`` matrices into a
+    :class:`~repro.service.ShardRouter` over ``--cluster-workers``
+    supervised worker processes (``--replicas`` owners per tile range),
+    pushes ``--updates`` incremental deltas, answers ``--queries``
+    region sums through the shard fan-out, and prints the router and
+    supervisor statistics. Exit code 0 iff every answer matches the
+    numpy shadow oracle bit-exactly.
+    """
+    from .service import ShardRouter, WorkerSupervisor
+
+    rng = np.random.default_rng(args.seed)
+    matrices = {
+        f"dataset-{i}": rng.integers(0, 100, size=(args.n, args.n)).astype(np.float64)
+        for i in range(args.datasets)
+    }
+    ok = True
+    supervisor = WorkerSupervisor(args.cluster_workers)
+    router = ShardRouter(supervisor, replicas=args.replicas)
+    try:
+        for name, m in matrices.items():
+            router.ingest(name, m, tile=args.tile)
+        supervisor.start_monitor()
+        name = list(matrices)[-1]
+        shadow = matrices[name].copy()
+        for _ in range(args.updates):
+            r, c = (int(v) for v in rng.integers(0, args.n, size=2))
+            delta = float(rng.integers(1, 10))
+            router.update_point(name, r, c, delta=delta)
+            shadow[r, c] += delta
+        for _ in range(args.queries):
+            r0, r1 = np.sort(rng.integers(0, args.n, size=2))
+            c0, c1 = np.sort(rng.integers(0, args.n, size=2))
+            value = router.region_sum(name, int(r0), int(c0), int(r1), int(c1))
+            ok &= value == shadow[r0:r1 + 1, c0:c1 + 1].sum()
+        stats = router.stats()
+    finally:
+        router.close()
+    sup = stats["supervisor"]
+    print(
+        f"cluster served {args.datasets} dataset(s) of {args.n}x{args.n} "
+        f"(tile={args.tile}) across {sup['workers']} worker(s), "
+        f"{args.replicas} replica(s) per range"
+    )
+    print(
+        f"requests: {stats['requests']} lookups fanned out, "
+        f"{stats['failovers']} failovers, {stats['retries']} retries, "
+        f"{stats['degraded']} degraded, {stats['shed']} shed; "
+        f"workers alive {sup['alive']}/{sup['workers']}, "
+        f"restarts {sup['restarts']}"
+    )
+    print(f"all query responses vs numpy oracle: {'OK' if ok else 'MISMATCH'}")
+    return 0 if ok else 1
+
+
 def cmd_serve(args) -> int:
     """Demonstrate the serving layer end to end, in process.
 
@@ -382,7 +439,9 @@ def cmd_serve(args) -> int:
     point updates (timing them against ``sat_reference`` full
     recomputes), answers region/local-stats queries, and prints the
     store/server statistics. Exit code 0 iff every answer matches the
-    numpy oracle.
+    numpy oracle. With ``--cluster-workers N`` the datasets are instead
+    sharded across N supervised worker processes (see
+    :func:`_cmd_serve_cluster`).
     """
     import asyncio
     import time
@@ -390,6 +449,8 @@ def cmd_serve(args) -> int:
     from .sat.reference import sat_reference
     from .service import SATServer, TiledSATStore
 
+    if args.cluster_workers > 0:
+        return _cmd_serve_cluster(args)
     session = _serving_session(args)
     rng = np.random.default_rng(args.seed)
     store = TiledSATStore(
@@ -467,15 +528,57 @@ def cmd_serve(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_loadgen_chaos(args) -> int:
+    """Chaos volley against the sharded worker cluster.
+
+    Spins up ``--cluster-workers`` shard worker processes behind a
+    :class:`~repro.service.ShardRouter`, SIGKILLs one mid-run while the
+    health monitor is live, and gates on the full robustness contract:
+    zero lost responses, every answer bit-exact against the shadow
+    oracle, and the killed worker restarted, re-hydrated from CRC-
+    verified checkpoints, and serving again.
+    """
+    from .service import run_cluster_loadgen
+
+    if args.quick:
+        report = run_cluster_loadgen(
+            n=96, tile=16, workers=args.cluster_workers,
+            replicas=args.replicas, rounds=4, burst=16, seed=args.seed,
+        )
+    else:
+        report = run_cluster_loadgen(
+            n=args.n, tile=args.tile, workers=args.cluster_workers,
+            replicas=args.replicas, rounds=args.rounds, burst=args.burst,
+            update_frac=args.update_frac, seed=args.seed,
+        )
+    print(report.summary())
+    if not report.ok:
+        if report.lost:
+            print(f"FAIL: {report.lost} response(s) lost", file=sys.stderr)
+        if report.mismatches:
+            print(f"FAIL: {report.mismatches} mismatch(es) vs shadow oracle",
+                  file=sys.stderr)
+        if report.restarts < 1:
+            print("FAIL: killed worker was never restarted", file=sys.stderr)
+        if not report.rejoined:
+            print("FAIL: killed worker did not rejoin and serve",
+                  file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def cmd_loadgen(args) -> int:
     """Run the oracle-verified load generator against an in-process server.
 
     Exit code 0 iff zero responses were lost, misordered, or wrong, the
     overload volley shed (rather than deadlocked), and the expired-
-    deadline volley resolved as typed errors.
+    deadline volley resolved as typed errors. With ``--chaos`` the volley
+    instead targets the sharded worker cluster and kills a worker
+    mid-run (see :func:`_cmd_loadgen_chaos`).
     """
     from .service import run_loadgen
 
+    if args.chaos:
+        return _cmd_loadgen_chaos(args)
     session = _serving_session(args)
     try:
         if args.quick:
@@ -627,6 +730,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--queries", type=int, default=256)
     p.add_argument("--capacity-mb", type=int, default=256,
                    help="store LRU capacity in MiB")
+    p.add_argument(
+        "--cluster-workers", type=int, default=0,
+        help="serve through this many supervised shard worker processes "
+             "instead of the in-process server (0 = off)",
+    )
+    p.add_argument(
+        "--replicas", type=int, default=2,
+        help="shard replicas per tile range for --cluster-workers",
+    )
     _add_serving_args(p, queue_default=256)
     p.set_defaults(fn=cmd_serve)
 
@@ -641,6 +753,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--quick", action="store_true",
         help="small fixed workload for the CI smoke step",
+    )
+    p.add_argument(
+        "--chaos", action="store_true",
+        help="drive the sharded worker cluster and SIGKILL one worker "
+             "mid-run; gate on zero lost responses and checkpoint rejoin",
+    )
+    p.add_argument(
+        "--cluster-workers", type=int, default=4,
+        help="shard worker processes for --chaos (default 4)",
+    )
+    p.add_argument(
+        "--replicas", type=int, default=2,
+        help="shard replicas per tile range for --chaos (default 2)",
     )
     _add_serving_args(p, queue_default=64)
     p.set_defaults(fn=cmd_loadgen)

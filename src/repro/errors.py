@@ -95,6 +95,31 @@ class WorkerCrashed(ReproError):
     """
 
 
+class WorkerUnavailable(ReproError):
+    """An RPC to a cluster worker process failed (dead, wedged, or unreachable).
+
+    Raised by :class:`~repro.service.cluster.WorkerSupervisor` when a
+    worker's pipe breaks, a reply times out, or the worker answers with an
+    error envelope. The supervisor marks the worker down (triggering a
+    restart-and-rehydrate cycle) before raising, and the
+    :class:`~repro.service.router.ShardRouter` catches exactly this type
+    to fail the request over to the range's replica — anything else
+    propagates unchanged.
+    """
+
+
+class DrainTimeout(ReproError):
+    """A server shutdown could not run its queue dry within the drain bound.
+
+    Raised by :meth:`~repro.service.server.SATServer.close` (and
+    ``drain`` when a timeout is configured) after the timeout expires
+    with requests still queued or executing — e.g. a wedged worker
+    thread. The in-flight requests' futures receive this same error so no
+    client awaits forever, and the in-flight count is logged; state
+    already applied to the store is *not* rolled back.
+    """
+
+
 class Overloaded(ReproError):
     """The serving layer refused a request because a capacity bound was hit.
 

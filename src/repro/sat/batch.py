@@ -46,6 +46,12 @@ from ..obs import runtime as obs
 #: or OOM kill looks to the pool. Never set outside tests.
 CRASH_ENV_VAR = "REPRO_BATCH_CRASH_INDEX"
 
+#: Companion knob for *transient*-crash tests: when set to a file path,
+#: the poison task above only fires while that file exists — and removes
+#: it on the way down — so the crash happens exactly once and the retry
+#: of the batch suffix succeeds. Never set outside tests.
+CRASH_ONCE_ENV_VAR = "REPRO_BATCH_CRASH_ONCE_FLAG"
+
 # Per-worker state, populated by _worker_init and the first task of each
 # batch (module globals are the ProcessPoolExecutor initializer channel).
 _WORKER = {}
@@ -124,7 +130,12 @@ def _worker_compute(task) -> int:
     in_name, out_name, shape, index = task
     crash_at = os.environ.get(CRASH_ENV_VAR)
     if crash_at is not None and int(crash_at) == index:
-        os._exit(13)
+        once_flag = os.environ.get(CRASH_ONCE_ENV_VAR)
+        if once_flag is None:
+            os._exit(13)
+        if os.path.exists(once_flag):
+            os.unlink(once_flag)  # arm-once: the retried task survives
+            os._exit(13)
     w = _WORKER
     _, inputs, outputs, _, _ = _worker_attach(in_name, out_name, shape)
     # The first matrix at a shape runs counted (populating the plan's
@@ -189,6 +200,20 @@ class BatchSession:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+
+    def _restart_pool(self) -> None:
+        """Replace a broken pool with a fresh one (same warm-up contract).
+
+        New workers start with cold plan caches — their first matrix at a
+        shape recompiles, exactly like session startup; correctness is
+        unaffected (the fused backend's outputs are identical either way).
+        """
+        self._pool.shutdown(wait=True)
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_worker_init,
+            initargs=(self.algo, self.params, self.fast, self.fused, self.seed),
+        )
 
     def __enter__(self) -> "BatchSession":
         return self
@@ -259,24 +284,37 @@ class BatchSession:
                 np.ndarray(stacked.shape, dtype=np.float64, buffer=shm_in.buf)[:] = stacked
                 outputs = np.ndarray(stacked.shape, dtype=np.float64, buffer=shm_out.buf)
                 tasks = [(shm_in.name, shm_out.name, stacked.shape, i) for i in range(k)]
-                try:
-                    last = time.perf_counter() if recording else 0.0
-                    for index in self._pool.map(
-                        _worker_compute, tasks, chunksize=chunksize
-                    ):
-                        if recording:
-                            now = time.perf_counter()
-                            obs.observe(
-                                "batch_roundtrip_seconds", now - last, mode="pool"
-                            )
-                            last = now
-                        yield outputs[index].copy()
-                except BrokenProcessPool as exc:
-                    obs.inc("batch_worker_crashes_total")
-                    raise WorkerCrashed(
-                        f"a batch worker died while computing {self.algo.name} on "
-                        f"a {k}x{rows}x{cols} batch"
-                    ) from exc
+                # A crashed task is retried ONCE: SAT tasks are pure compute
+                # into disjoint output slots, so re-running the undelivered
+                # suffix of the batch (same shared blocks) is idempotent. A
+                # second pool break is a systematic fault — surface it.
+                yielded = 0
+                retried = False
+                while yielded < k:
+                    try:
+                        last = time.perf_counter() if recording else 0.0
+                        for index in self._pool.map(
+                            _worker_compute, tasks[yielded:], chunksize=chunksize
+                        ):
+                            if recording:
+                                now = time.perf_counter()
+                                obs.observe(
+                                    "batch_roundtrip_seconds", now - last, mode="pool"
+                                )
+                                last = now
+                            yield outputs[index].copy()
+                            yielded += 1
+                    except BrokenProcessPool as exc:
+                        obs.inc("batch_worker_crashes_total")
+                        if retried:
+                            raise WorkerCrashed(
+                                f"a batch worker died while computing "
+                                f"{self.algo.name} on a {k}x{rows}x{cols} batch "
+                                f"(task retry crashed too)"
+                            ) from exc
+                        retried = True
+                        obs.inc("batch_task_retries")
+                        self._restart_pool()
         finally:
             shm_in.close()
             shm_out.close()

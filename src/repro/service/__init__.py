@@ -21,10 +21,27 @@ what they touch, and a front end that degrades predictably under load.
   :class:`~repro.sat.batch.BatchSession` ingest offload, and
   :mod:`repro.obs` instrumentation;
 * :mod:`~repro.service.loadgen` — a seeded, oracle-verified load driver
-  (``python -m repro loadgen``).
+  (``python -m repro loadgen``), including the chaos cluster volley
+  (``--chaos``);
+* :mod:`~repro.service.cluster` — :class:`WorkerSupervisor`: a pool of
+  shard worker processes with heartbeat health checks, crash detection,
+  automatic restart, and re-hydration from CRC-verified checkpoints
+  (:class:`CheckpointStore`);
+* :mod:`~repro.service.router` — :class:`ShardRouter`: contiguous
+  tile-range placement across the pool (primary + replicas), ≤4-corner
+  query fan-out with deterministic stitching, retry-with-backoff,
+  replica failover, per-worker circuit breakers, and graceful
+  degradation to a local oracle.
 """
 
-from .loadgen import LoadgenReport, run_loadgen
+from .cluster import CheckpointStore, ShardCheckpoint, WorkerSupervisor
+from .loadgen import (
+    ClusterLoadgenReport,
+    LoadgenReport,
+    run_cluster_loadgen,
+    run_loadgen,
+)
+from .router import CircuitBreaker, ShardRouter, make_placement
 from .queries import (
     box_filter,
     local_stats,
@@ -38,21 +55,29 @@ from .store import Dataset, TileAggregates, TiledSATStore
 from .update import point_update, region_add, region_update
 
 __all__ = [
+    "CheckpointStore",
+    "CircuitBreaker",
+    "ClusterLoadgenReport",
     "Dataset",
     "LoadgenReport",
     "Request",
     "Response",
     "SATServer",
+    "ShardCheckpoint",
+    "ShardRouter",
     "TileAggregates",
     "TiledSATStore",
+    "WorkerSupervisor",
     "box_filter",
     "local_stats",
     "local_stats_many",
+    "make_placement",
     "point_update",
     "region_add",
     "region_mean",
     "region_sum",
     "region_sums",
     "region_update",
+    "run_cluster_loadgen",
     "run_loadgen",
 ]

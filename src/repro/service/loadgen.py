@@ -36,7 +36,12 @@ from ..errors import DeadlineExceeded, Overloaded
 from .server import SATServer
 from .store import TiledSATStore
 
-__all__ = ["LoadgenReport", "run_loadgen"]
+__all__ = [
+    "ClusterLoadgenReport",
+    "LoadgenReport",
+    "run_cluster_loadgen",
+    "run_loadgen",
+]
 
 
 @dataclass
@@ -202,6 +207,215 @@ async def _drive(report: LoadgenReport, *, n, tile, rounds, burst, max_queue,
             report.mismatches += 1
         report.server_stats = server.stats.as_dict()
     report.store_stats = store.stats()
+
+
+# =============================================================================
+# Cluster chaos loadgen
+# =============================================================================
+
+
+@dataclass
+class ClusterLoadgenReport:
+    """Chaos-volley outcome for the sharded cluster; CI gates on ``ok``.
+
+    The contract is stricter than "survives": with a worker SIGKILLed
+    mid-run, **zero** responses may be lost (``Overloaded`` shedding is
+    an answer; an unhandled exception is not), every served value must
+    stay bit-exact against the shadow oracle, and the killed worker must
+    *rejoin* — restart on a fresh epoch, re-hydrate its shards from
+    CRC-verified checkpoints, and demonstrably serve lookups again.
+    """
+
+    n: int
+    tile: int
+    workers: int
+    replicas: int
+    chaos: bool
+    submitted: int = 0
+    completed: int = 0
+    shed: int = 0
+    lost: int = 0
+    mismatches: int = 0
+    updates: int = 0
+    queries: int = 0
+    degraded: int = 0
+    failovers: int = 0
+    retries: int = 0
+    restarts: int = 0
+    killed_worker: int = -1
+    kill_round: int = -1
+    rejoined: bool = False
+    elapsed: float = 0.0
+    router_stats: Dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        healthy = self.lost == 0 and self.mismatches == 0
+        if not self.chaos:
+            return healthy
+        return healthy and self.restarts >= 1 and self.rejoined
+
+    @property
+    def throughput(self) -> float:
+        return self.completed / self.elapsed if self.elapsed > 0 else float("inf")
+
+    def summary(self) -> str:
+        chaos_bits = (
+            f"killed worker {self.killed_worker} at round {self.kill_round}, "
+            f"restarts={self.restarts} rejoined={self.rejoined}"
+            if self.chaos
+            else "chaos off"
+        )
+        lines = [
+            f"cluster loadgen: n={self.n} tile={self.tile} "
+            f"workers={self.workers} replicas={self.replicas} | {chaos_bits}",
+            f"  {self.queries} queries / {self.updates} updates in "
+            f"{self.elapsed:.3f}s ({self.throughput:.0f} responses/s); "
+            f"failovers={self.failovers} retries={self.retries} "
+            f"degraded={self.degraded} shed={self.shed}",
+            f"  verification: lost={self.lost} mismatches={self.mismatches} "
+            f"-> {'OK' if self.ok else 'FAILED'}",
+        ]
+        return "\n".join(lines)
+
+
+def run_cluster_loadgen(*, n: int = 256, tile: int = 32, workers: int = 4,
+                        replicas: int = 2, rounds: int = 8, burst: int = 32,
+                        update_frac: float = 0.25, seed: int = 0,
+                        chaos: bool = True, kill_round: Optional[int] = None,
+                        inline: bool = False) -> ClusterLoadgenReport:
+    """Drive the sharded cluster with a seeded volley, optionally killing
+    a worker mid-run, and verify every answer against a shadow oracle.
+
+    The victim is the primary owner of the dataset's middle tile range —
+    a worker that is definitely load-bearing — SIGKILLed at the start of
+    round ``kill_round`` (default: the middle round) while the health
+    monitor runs, so detection, failover, restart, and checkpoint
+    re-hydration all happen under live query traffic. ``inline=True``
+    swaps worker processes for in-process state (fast deterministic runs;
+    no real SIGKILL, the supervisor drops the worker's state instead).
+    """
+    from .cluster import WorkerSupervisor
+    from .router import ShardRouter
+
+    report = ClusterLoadgenReport(
+        n=n, tile=tile, workers=workers, replicas=replicas, chaos=chaos,
+    )
+    if kill_round is None:
+        kill_round = rounds // 2
+    rng = np.random.default_rng(seed)
+    matrix = rng.integers(-50, 50, size=(n, n)).astype(np.float64)
+    shadow = matrix.copy()
+    supervisor = WorkerSupervisor(
+        workers, inline=inline, heartbeat_interval=0.05,
+    )
+    router = ShardRouter(supervisor, replicas=replicas)
+    try:
+        router.ingest("img", matrix, tile=tile)
+        placement = router._routes["img"].placement
+        victim = placement[len(placement) // 2][1][0]
+        victim_handle = supervisor.handles[victim]
+        epoch_before = victim_handle.epoch
+        if not inline:
+            supervisor.start_monitor()
+
+        def one_op() -> None:
+            report.submitted += 1
+            if rng.random() < update_frac:
+                r, c = (int(v) for v in rng.integers(0, n, size=2))
+                delta = float(rng.integers(-20, 20))
+                try:
+                    router.update_point("img", r, c, delta=delta)
+                except Exception:  # noqa: BLE001 — any escape is a loss
+                    report.lost += 1
+                    return
+                shadow[r, c] += delta
+                report.updates += 1
+                report.completed += 1
+                return
+            r0, r1 = np.sort(rng.integers(0, n, size=2))
+            c0, c1 = np.sort(rng.integers(0, n, size=2))
+            rect = (int(r0), int(c0), int(r1), int(c1))
+            try:
+                value = router.region_sum("img", *rect)
+            except Overloaded:
+                report.shed += 1
+                return
+            except Exception:  # noqa: BLE001
+                report.lost += 1
+                return
+            report.queries += 1
+            report.completed += 1
+            if value != _expected_region_sum(shadow, rect):
+                report.mismatches += 1
+
+        t0 = time.perf_counter()
+        for round_idx in range(rounds):
+            if chaos and round_idx == kill_round:
+                report.killed_worker = victim
+                report.kill_round = round_idx
+                supervisor.kill_worker(victim)
+                if inline:
+                    # No monitor thread in inline mode: recovery rides the
+                    # next health pass, exactly what the monitor would do.
+                    supervisor.check_health()
+            for _ in range(burst):
+                one_op()
+            if inline and chaos and round_idx >= kill_round:
+                supervisor.check_health()
+        report.elapsed = time.perf_counter() - t0
+
+        if chaos:
+            # Rejoin: wait for the victim to come back on a fresh epoch...
+            deadline = time.monotonic() + 15.0
+            while time.monotonic() < deadline:
+                if (victim_handle.state == "alive"
+                        and victim_handle.epoch > epoch_before):
+                    break
+                if inline:
+                    supervisor.check_health()
+                time.sleep(0.02)
+            supervisor.wait_healthy(5.0)
+            # ...then prove the restarted worker *serves*: aim queries at
+            # its primary range and watch its lookup counter move.
+            served_before = victim_handle.lookups_served
+            if victim < len(placement):
+                (lo, _hi), _owners = placement[victim]
+                nb_c = router._routes["img"].nb_c
+                r = (lo // nb_c) * tile
+                c = (lo % nb_c) * tile
+                for _ in range(4):
+                    rect = (r, c, min(r + tile, n) - 1, min(c + tile, n) - 1)
+                    report.submitted += 1
+                    try:
+                        value = router.region_sum("img", *rect)
+                    except Exception:  # noqa: BLE001
+                        report.lost += 1
+                        continue
+                    report.queries += 1
+                    report.completed += 1
+                    if value != _expected_region_sum(shadow, rect):
+                        report.mismatches += 1
+            report.rejoined = (
+                victim_handle.state == "alive"
+                and victim_handle.epoch > epoch_before
+                and victim_handle.lookups_served > served_before
+            )
+
+        # Final end-to-end check against the shadow (catches lost-but-acked
+        # updates and stale rehydrated state alike).
+        final = router.region_sum("img", 0, 0, n - 1, n - 1)
+        if final != float(shadow.sum()):
+            report.mismatches += 1
+        report.restarts = supervisor.restarts_total
+        stats = router.stats()
+        report.failovers = stats["failovers"]
+        report.retries = stats["retries"]
+        report.degraded = stats["degraded"]
+        report.router_stats = stats
+    finally:
+        router.close()
+    return report
 
 
 def run_loadgen(*, n: int = 256, tile: int = 64, rounds: int = 8,

@@ -1,0 +1,528 @@
+"""Shard routing with failover, circuit breaking, and graceful degradation.
+
+The :class:`ShardRouter` is the cluster's front door. It owns *policy*:
+where each dataset's tile ranges live (contiguous row-major placement,
+primary + replica), which worker a corner lookup should try first, when
+to stop trying a flapping worker (per-worker circuit breaker), and what
+to do when every replica of a range is dark (degrade to the local
+authoritative oracle — slower, never wrong). Mechanism — processes,
+heartbeats, restarts, checkpoints — lives in
+:mod:`repro.service.cluster`.
+
+Query path: a region sum is at most four corner evaluations of the
+global SAT (the 2R1W decomposition's O(1) serving guarantee). Each
+corner maps to one tile, hence one range, hence an ordered candidate
+list ``[primary, replica, ...]``. The router tries candidates with
+closed breakers first, laying :class:`~repro.util.backoff.ExponentialBackoff`
+pauses between attempts; a :class:`~repro.errors.WorkerUnavailable` from
+the supervisor records a breaker failure and moves on. The four corner
+values are stitched with the same inclusion–exclusion, in the same
+order, as the single-store :func:`repro.service.queries.region_sum`, so a
+clustered answer is bit-identical to the local one no matter which
+replica served each corner.
+
+Admission control mirrors :class:`~repro.service.server.SATServer`:
+requests beyond ``max_inflight`` are shed with
+:class:`~repro.errors.Overloaded` at submission, and a request whose
+deadline has passed gets :class:`~repro.errors.DeadlineExceeded` before
+any worker is bothered.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import (
+    ConfigurationError,
+    DeadlineExceeded,
+    Overloaded,
+    ShapeError,
+    WorkerUnavailable,
+)
+from ..obs import runtime as obs
+from ..util.backoff import Clock, ExponentialBackoff, SystemClock
+from .cluster import ALIVE, CheckpointStore, WorkerSupervisor
+from .store import DEFAULT_TILE, Dataset
+from .update import point_update, region_add, region_update
+
+__all__ = ["CircuitBreaker", "ShardRouter", "make_placement"]
+
+logger = logging.getLogger("repro.service.router")
+
+
+# =============================================================================
+# Placement
+# =============================================================================
+
+
+def make_placement(nb_tiles: int, n_workers: int,
+                   replicas: int = 2) -> List[Tuple[Tuple[int, int], List[int]]]:
+    """Contiguous tile-range shards with primary + replica copies.
+
+    Splits ``nb_tiles`` row-major linearized tile indices into
+    ``min(n_workers, nb_tiles)`` contiguous ranges (balanced to within
+    one tile) and assigns range ``w`` to workers ``[w, w+1, ...] mod N``
+    — primary first, then ``replicas - 1`` successors, so losing any one
+    worker leaves every range with a live copy and a restarted worker's
+    shards are disjoint contiguous blocks (cheap to re-hydrate).
+
+    Returns ``[((lo, hi), [worker, ...]), ...]`` indexed by range id.
+    """
+    if n_workers < 1:
+        raise ConfigurationError(f"placement needs >= 1 worker, got {n_workers}")
+    if replicas < 1:
+        raise ConfigurationError(f"placement needs >= 1 replica, got {replicas}")
+    n_ranges = min(n_workers, nb_tiles)
+    copies = min(replicas, n_workers)
+    out: List[Tuple[Tuple[int, int], List[int]]] = []
+    for w in range(n_ranges):
+        lo = (w * nb_tiles) // n_ranges
+        hi = ((w + 1) * nb_tiles) // n_ranges
+        owners = [(w + k) % n_workers for k in range(copies)]
+        out.append(((lo, hi), owners))
+    return out
+
+
+# =============================================================================
+# Circuit breaker
+# =============================================================================
+
+
+@dataclass
+class CircuitBreaker:
+    """Per-worker breaker: open after K consecutive failures, half-open probe.
+
+    Closed (healthy) → ``failures_to_open`` consecutive failures → open
+    (skip this worker) → after ``cooldown`` seconds → half-open (admit
+    *one* probe; success closes, failure re-opens). A worker restart
+    (visible as a new supervisor epoch) closes the breaker immediately —
+    the restarted process shares nothing with the one that failed.
+    """
+
+    failures_to_open: int = 3
+    cooldown: float = 1.0
+    clock: Clock = field(default_factory=SystemClock)
+    failures: int = 0
+    opened_at: Optional[float] = None
+    half_open: bool = False
+    epoch_seen: int = -1
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def allows(self, epoch: int) -> bool:
+        """May we send this worker a request right now?"""
+        with self.lock:
+            if epoch != self.epoch_seen:  # restarted since we tripped
+                self._reset(epoch)
+            if self.opened_at is None:
+                return True
+            if self.half_open:  # a probe is already in flight
+                return False
+            if self.clock.now() - self.opened_at >= self.cooldown:
+                self.half_open = True  # this caller is the probe
+                return True
+            return False
+
+    def record_success(self, epoch: int) -> None:
+        with self.lock:
+            self._reset(epoch)
+
+    def record_failure(self, epoch: int) -> bool:
+        """Record a failure; returns True if this transition *opened* it."""
+        with self.lock:
+            if epoch != self.epoch_seen:
+                self._reset(epoch)
+            self.failures += 1
+            if self.half_open:  # failed probe: straight back to open
+                self.half_open = False
+                self.opened_at = self.clock.now()
+                return False
+            if self.opened_at is None and self.failures >= self.failures_to_open:
+                self.opened_at = self.clock.now()
+                return True
+            return False
+
+    def _reset(self, epoch: int) -> None:
+        self.failures = 0
+        self.opened_at = None
+        self.half_open = False
+        self.epoch_seen = epoch
+
+    @property
+    def state(self) -> str:
+        with self.lock:
+            if self.opened_at is None:
+                return "closed"
+            return "half-open" if self.half_open else "open"
+
+
+# =============================================================================
+# Router
+# =============================================================================
+
+
+class _DatasetRoute:
+    """Routing state for one dataset: its placement and geometry."""
+
+    __slots__ = ("name", "tile", "nb_c", "placement")
+
+    def __init__(self, name: str, tile: int, nb_c: int,
+                 placement: List[Tuple[Tuple[int, int], List[int]]]):
+        self.name = name
+        self.tile = tile
+        self.nb_c = nb_c
+        self.placement = placement
+
+    def range_of(self, lin: int) -> int:
+        for rid, ((lo, hi), _owners) in enumerate(self.placement):
+            if lo <= lin < hi:
+                return rid
+        raise ShapeError(f"tile {lin} outside every range of {self.name!r}")
+
+
+class ShardRouter:
+    """Front end of the sharded cluster: ingest, update fan-out, queries.
+
+    Writes go through the *authoritative* dataset first (the ordinary
+    bit-exact incremental-update paths), then fan the changed shard state
+    out to every live worker under the supervisor's topology lock — a
+    worker therefore either holds state at the authoritative version or
+    is down and will re-hydrate to it. Reads fan ≤ 4 corner lookups out
+    to shards and stitch; failures fail over primary → replica with
+    backoff, breakers skip flapping workers, and a range with no
+    servable replica degrades the *whole query* to the authoritative
+    oracle (counted, logged — degraded mode is loud, never silent).
+    """
+
+    def __init__(
+        self,
+        supervisor: WorkerSupervisor,
+        *,
+        replicas: int = 2,
+        max_attempts: int = 3,
+        backoff: Optional[ExponentialBackoff] = None,
+        clock: Optional[Clock] = None,
+        max_inflight: int = 256,
+        degrade: bool = True,
+        rpc_timeout: float = 2.0,
+        breaker_failures: int = 3,
+        breaker_cooldown: float = 1.0,
+    ):
+        if replicas < 1:
+            raise ConfigurationError(f"replicas must be >= 1, got {replicas}")
+        if max_attempts < 1:
+            raise ConfigurationError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.supervisor = supervisor
+        self.checkpoints: CheckpointStore = supervisor.checkpoints
+        self.replicas = replicas
+        self.max_attempts = max_attempts
+        self.backoff = backoff or ExponentialBackoff(base=0.005, factor=2.0, cap=0.05)
+        self.clock = clock if clock is not None else SystemClock()
+        self.max_inflight = max_inflight
+        self.degrade = degrade
+        self.rpc_timeout = rpc_timeout
+        self.breakers = [
+            CircuitBreaker(
+                failures_to_open=breaker_failures,
+                cooldown=breaker_cooldown,
+                clock=self.clock,
+            )
+            for _ in range(supervisor.workers)
+        ]
+        self._routes: Dict[str, _DatasetRoute] = {}
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self.counters: Dict[str, int] = {
+            "requests": 0, "failovers": 0, "retries": 0, "degraded": 0,
+            "shed": 0, "deadline_missed": 0, "breaker_opens": 0,
+        }
+
+    # -- ingest ---------------------------------------------------------------
+
+    def ingest(self, name: str, matrix: np.ndarray, *,
+               tile: int = DEFAULT_TILE) -> Dataset:
+        """Build the dataset, register checkpoints, push shards to workers.
+
+        The authoritative copy lives in the checkpoint store; each range's
+        checkpoint is cut once and shipped to all of its owners (the same
+        CRC-verified payload a post-crash re-hydration would load, so
+        ingest exercises the recovery path on every run).
+        """
+        sup = self.supervisor
+        ds = Dataset(name, matrix, tile)
+        nb_tiles = ds.values.nb_r * ds.values.nb_c
+        placement = make_placement(nb_tiles, sup.workers, self.replicas)
+        route = _DatasetRoute(name, ds.values.t, ds.values.nb_c, placement)
+        with sup.topology_lock:
+            self.checkpoints.register(ds, [rng for rng, _ in placement])
+            # Rebuild each worker's assignment list for this dataset.
+            for worker_id, assigned in sup.assignments.items():
+                sup.assignments[worker_id] = [
+                    (n, r) for (n, r) in assigned if n != name
+                ]
+            fresh: set = set()
+            for rid, (_rng, owners) in enumerate(placement):
+                cp = self.checkpoints.payload_for(name, rid)
+                for worker_id in owners:
+                    sup.assignments[worker_id].append((name, rid))
+                    if sup.handles[worker_id].state != ALIVE:
+                        continue  # restart will re-hydrate from the checkpoint
+                    try:
+                        sup.load_shard(worker_id, name, cp,
+                                       reset=worker_id not in fresh)
+                        fresh.add(worker_id)
+                    except WorkerUnavailable:
+                        pass  # marked down; the monitor owns its recovery
+            self._routes[name] = route
+        obs.inc("cluster_ingests_total")
+        return ds
+
+    def drop(self, name: str) -> None:
+        sup = self.supervisor
+        with sup.topology_lock:
+            self._routes.pop(name, None)
+            self.checkpoints.drop(name)
+            for worker_id, assigned in sup.assignments.items():
+                sup.assignments[worker_id] = [
+                    (n, r) for (n, r) in assigned if n != name
+                ]
+                if sup.handles[worker_id].state == ALIVE:
+                    try:
+                        sup.rpc(worker_id, ("drop", name), timeout=self.rpc_timeout)
+                    except WorkerUnavailable:
+                        pass
+
+    # -- updates --------------------------------------------------------------
+
+    def update_point(self, name: str, r: int, c: int, *,
+                     delta=None, value=None) -> None:
+        ds = self.checkpoints.dataset(name)
+        t = ds.values.t
+        with self.supervisor.topology_lock:
+            point_update(ds, r, c, delta=delta, value=value)
+            self._push_delta(name, ds, r // t, c // t, r // t, c // t)
+
+    def update_region(self, name: str, top: int, left: int,
+                      values: np.ndarray) -> None:
+        self._region_write(name, top, left, np.asarray(values), region_update)
+
+    def add_region(self, name: str, top: int, left: int,
+                   delta: np.ndarray) -> None:
+        self._region_write(name, top, left, np.asarray(delta), region_add)
+
+    def _region_write(self, name, top, left, block, apply_fn) -> None:
+        ds = self.checkpoints.dataset(name)
+        t = ds.values.t
+        bottom = top + block.shape[0] - 1
+        right = left + block.shape[1] - 1
+        with self.supervisor.topology_lock:
+            apply_fn(ds, top, left, block)
+            self._push_delta(name, ds, top // t, left // t, bottom // t, right // t)
+
+    def _push_delta(self, name: str, ds: Dataset,
+                    i0: int, j0: int, i1: int, j1: int) -> None:
+        """Fan an update's changed shard state out to every live owner.
+
+        Caller holds the topology lock (so this cannot interleave with a
+        re-hydration) and has already applied the update to the
+        authoritative dataset. A push failure marks the worker down — it
+        will re-hydrate to the current version, so a missed delta can
+        never leave a stale replica serving.
+        """
+        components = ds.values.shard_delta(i0, j0, i1, j1)
+        version = ds.version
+        sup = self.supervisor
+        pushed = 0
+        for worker_id, assigned in sup.assignments.items():
+            if not any(n == name for (n, _r) in assigned):
+                continue
+            if sup.handles[worker_id].state != ALIVE:
+                continue
+            try:
+                sup.rpc(worker_id, ("delta", name, version, components),
+                        timeout=self.rpc_timeout)
+                pushed += 1
+            except WorkerUnavailable:
+                logger.warning(
+                    "delta push for %r v%d lost worker %d; it will re-hydrate",
+                    name, version, worker_id,
+                )
+        obs.inc("cluster_delta_pushes_total", pushed)
+
+    # -- queries --------------------------------------------------------------
+
+    def region_sum(self, name: str, top: int, left: int, bottom: int,
+                   right: int, *, timeout: Optional[float] = None):
+        """Rectangle sum served from the shards, bit-identical to local.
+
+        Sheds with :class:`Overloaded` beyond ``max_inflight``; honors
+        ``timeout`` (seconds from now) with :class:`DeadlineExceeded`
+        both at admission and between failover attempts. If any corner's
+        range has no servable replica the whole query degrades to the
+        authoritative oracle (when ``degrade=True``) or raises the last
+        :class:`WorkerUnavailable`.
+        """
+        route = self._route(name)
+        rows_cols = self.checkpoints.dataset(name).shape
+        _check_rect(rows_cols, top, left, bottom, right)
+        deadline = None if timeout is None else self.clock.now() + timeout
+        with self._inflight_lock:
+            if self._inflight >= self.max_inflight:
+                self.counters["shed"] += 1
+                obs.inc("cluster_shed_total")
+                raise Overloaded(
+                    f"cluster router at max_inflight={self.max_inflight}; "
+                    f"retry with backoff"
+                )
+            self._inflight += 1
+        try:
+            self.counters["requests"] += 1
+            obs.inc("cluster_requests_total", kind="region_sum")
+            # The four SAT corners, in the canonical stitch order of
+            # queries.region_sum (term order fixes the float rounding).
+            corners: List[Tuple[Tuple[int, int], int]] = [((bottom, right), +1)]
+            if top > 0:
+                corners.append(((top - 1, right), -1))
+            if left > 0:
+                corners.append(((bottom, left - 1), -1))
+            if top > 0 and left > 0:
+                corners.append(((top - 1, left - 1), +1))
+            values = self._lookup_corners(
+                route, [pt for pt, _sign in corners], deadline
+            )
+            total = values[0]
+            for (_pt, sign), value in zip(corners[1:], values[1:]):
+                total = total + value if sign > 0 else total - value
+            return total
+        finally:
+            with self._inflight_lock:
+                self._inflight -= 1
+
+    def _lookup_corners(self, route: _DatasetRoute,
+                        points: Sequence[Tuple[int, int]],
+                        deadline: Optional[float]) -> List[Any]:
+        """Evaluate SAT corners via the shards, grouped by range.
+
+        Any unservable group degrades the *whole* call — partial mixing
+        of shard answers and oracle answers is pointless once the oracle
+        (which can answer every corner) has to run anyway.
+        """
+        by_range: Dict[int, List[int]] = {}
+        for idx, (r, c) in enumerate(points):
+            lin = (r // route.tile) * route.nb_c + (c // route.tile)
+            by_range.setdefault(route.range_of(lin), []).append(idx)
+        out: List[Any] = [None] * len(points)
+        for rid, idxs in by_range.items():
+            batch = [points[i] for i in idxs]
+            try:
+                values = self._lookup_on_range(route, rid, batch, deadline)
+            except WorkerUnavailable:
+                if not self.degrade:
+                    raise
+                return self._degraded_corners(route.name, points)
+            for i, v in zip(idxs, values):
+                out[i] = v
+        return out
+
+    def _lookup_on_range(self, route: _DatasetRoute, rid: int,
+                         points: List[Tuple[int, int]],
+                         deadline: Optional[float]) -> List[Any]:
+        """Try a range's owners primary-first with breaker gating + backoff."""
+        sup = self.supervisor
+        owners = route.placement[rid][1]
+        last_error: Optional[WorkerUnavailable] = None
+        for attempt in range(self.max_attempts):
+            if attempt > 0:
+                self.counters["retries"] += 1
+                obs.inc("cluster_retries_total")
+                self.backoff.pause(self.clock, attempt - 1)
+            if deadline is not None and self.clock.now() > deadline:
+                self.counters["deadline_missed"] += 1
+                obs.inc("cluster_deadline_missed_total")
+                raise DeadlineExceeded(
+                    f"deadline passed after {attempt} attempt(s) on range {rid} "
+                    f"of {route.name!r}"
+                )
+            for nth, worker_id in enumerate(owners):
+                handle = sup.handles[worker_id]
+                if handle.state != ALIVE:
+                    continue
+                breaker = self.breakers[worker_id]
+                if not breaker.allows(handle.epoch):
+                    continue
+                try:
+                    values, _version = sup.rpc(
+                        worker_id, ("lookup", route.name, points),
+                        timeout=self.rpc_timeout,
+                    )
+                except WorkerUnavailable as exc:
+                    last_error = exc
+                    if breaker.record_failure(handle.epoch):
+                        self.counters["breaker_opens"] += 1
+                        obs.inc("cluster_circuit_open_total")
+                        logger.warning(
+                            "circuit opened for worker %d (epoch %d)",
+                            worker_id, handle.epoch,
+                        )
+                    continue
+                breaker.record_success(handle.epoch)
+                if nth > 0:
+                    self.counters["failovers"] += 1
+                    obs.inc("cluster_failovers_total")
+                return values
+        raise last_error if last_error is not None else WorkerUnavailable(
+            f"no servable replica for range {rid} of {route.name!r} "
+            f"(owners {owners})"
+        )
+
+    def _degraded_corners(self, name: str,
+                          points: Sequence[Tuple[int, int]]) -> List[Any]:
+        """Answer corners from the authoritative oracle — slow, never wrong."""
+        self.counters["degraded"] += 1
+        obs.inc("cluster_degraded_total")
+        logger.warning(
+            "degraded mode: serving %d corner(s) of %r from the local oracle",
+            len(points), name,
+        )
+        ds = self.checkpoints.dataset(name)
+        with ds.lock:
+            return [ds.values.sat_at(r, c) for (r, c) in points]
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _route(self, name: str) -> _DatasetRoute:
+        route = self._routes.get(name)
+        if route is None:
+            self.checkpoints.dataset(name)  # raises UnknownDataset
+            raise ConfigurationError(
+                f"dataset {name!r} is registered but has no placement — "
+                f"ingest it through the router"
+            )
+        return route
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            **self.counters,
+            "inflight": self._inflight,
+            "breakers": {
+                w: b.state for w, b in enumerate(self.breakers)
+            },
+            "supervisor": self.supervisor.stats(),
+            "checkpoints": self.checkpoints.stats(),
+        }
+
+    def close(self) -> None:
+        self.supervisor.stop()
+
+
+def _check_rect(shape: Tuple[int, int], top, left, bottom, right) -> None:
+    rows, cols = shape
+    if not (0 <= top <= bottom < rows and 0 <= left <= right < cols):
+        raise ShapeError(
+            f"rectangle ({top},{left})-({bottom},{right}) outside dataset "
+            f"of shape {shape}"
+        )

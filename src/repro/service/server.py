@@ -38,13 +38,14 @@ contract end to end.
 from __future__ import annotations
 
 import asyncio
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..errors import ConfigurationError, DeadlineExceeded, Overloaded
+from ..errors import ConfigurationError, DeadlineExceeded, DrainTimeout, Overloaded
 from ..obs import runtime as obs
 from . import queries as q
 from .store import TiledSATStore, TileSATFn
@@ -54,6 +55,17 @@ __all__ = ["Request", "Response", "SATServer"]
 #: Kinds the micro-batcher may coalesce (vectorized execution exists and
 #: the results are independent per request).
 BATCHABLE = frozenset({"region_sum", "local_stats"})
+
+#: Default bound for :meth:`SATServer.close` when neither the call nor the
+#: constructor configured one — generous (shutdown should normally win by
+#: orders of magnitude) but finite, so close() can never hang forever.
+DEFAULT_CLOSE_TIMEOUT = 30.0
+
+#: Sentinel distinguishing "use the constructor's drain_timeout" from an
+#: explicit ``timeout=None`` (wait forever) at the drain() call site.
+_UNSET = object()
+
+logger = logging.getLogger("repro.service")
 
 
 @dataclass
@@ -120,21 +132,28 @@ class SATServer:
         max_batch: int = 64,
         session=None,
         clock: Callable[[], float] = time.monotonic,
+        drain_timeout: Optional[float] = None,
     ):
         if max_queue < 1:
             raise ConfigurationError(f"max_queue must be >= 1, got {max_queue}")
         if max_batch < 1:
             raise ConfigurationError(f"max_batch must be >= 1, got {max_batch}")
+        if drain_timeout is not None and drain_timeout <= 0:
+            raise ConfigurationError(
+                f"drain_timeout must be positive (or None), got {drain_timeout}"
+            )
         self.store = store if store is not None else TiledSATStore()
         self.max_queue = max_queue
         self.max_batch = max_batch
         self.session = session  # optional BatchSession for ingest offload
         self.clock = clock
+        self.drain_timeout = drain_timeout
         self.stats = ServerStats()
         self._queue: "asyncio.Queue[Request]" = asyncio.Queue()
         self._held: Optional[Request] = None  # incompatible head, runs next
         self._accepting = False
         self._busy = False  # a dequeued batch is executing
+        self._executing: List[Request] = []  # the dequeued batch itself
         self._scheduler: Optional[asyncio.Task] = None
         self._seq = 0
         self._completed = 0
@@ -148,14 +167,71 @@ class SATServer:
         self._scheduler = asyncio.ensure_future(self._run())
         return self
 
-    async def drain(self) -> None:
-        """Stop admission, run the queue dry, stop the scheduler."""
+    async def drain(self, timeout=_UNSET) -> None:
+        """Stop admission, run the queue dry, stop the scheduler.
+
+        ``timeout`` (seconds; default: the constructor's ``drain_timeout``)
+        bounds the wait. If work is still queued or executing when it
+        expires — a wedged worker thread, typically — every unfinished
+        request's future receives :class:`~repro.errors.DrainTimeout`, the
+        in-flight count is logged, the scheduler is cancelled, and the
+        same ``DrainTimeout`` raises to the caller. ``timeout=None`` waits
+        forever (the pre-timeout behavior).
+        """
+        if timeout is _UNSET:
+            timeout = self.drain_timeout
         self._accepting = False
+        deadline = None if timeout is None else self.clock() + timeout
         while self._held is not None or not self._queue.empty() or self._busy:
+            if deadline is not None and self.clock() > deadline:
+                await self._abort_drain(timeout)
+                return  # _abort_drain always raises
             await asyncio.sleep(0.001)
         # Nothing queued, held, or in flight, and admission is closed: the
         # scheduler can only be parked on queue.get(), so cancelling here
         # cannot lose an admitted request.
+        await self._stop_scheduler()
+
+    async def close(self, timeout: Optional[float] = None) -> None:
+        """Drain with a *bounded* wait — shutdown can never hang forever.
+
+        Uses ``timeout``, else the constructor's ``drain_timeout``, else
+        :data:`DEFAULT_CLOSE_TIMEOUT`; raises
+        :class:`~repro.errors.DrainTimeout` if the bound expires.
+        """
+        if timeout is None:
+            timeout = self.drain_timeout
+        if timeout is None:
+            timeout = DEFAULT_CLOSE_TIMEOUT
+        await self.drain(timeout=timeout)
+
+    async def _abort_drain(self, timeout) -> None:
+        """Fail everything still pending with DrainTimeout, then raise it."""
+        pending: List[Request] = list(self._executing)
+        if self._held is not None:
+            pending.append(self._held)
+            self._held = None
+        while True:
+            try:
+                pending.append(self._queue.get_nowait())
+            except asyncio.QueueEmpty:
+                break
+        error = DrainTimeout(
+            f"server drain did not finish within {timeout}s; "
+            f"{len(pending)} request(s) still in flight"
+        )
+        logger.warning(
+            "drain timed out after %ss with %d in-flight request(s); "
+            "failing them with DrainTimeout", timeout, len(pending),
+        )
+        obs.inc("serving_drain_timeouts_total")
+        for request in pending:
+            if not request.future.done():
+                request.future.set_exception(error)
+        await self._stop_scheduler()
+        raise error
+
+    async def _stop_scheduler(self) -> None:
         if self._scheduler is not None:
             self._scheduler.cancel()
             try:
@@ -292,6 +368,7 @@ class SATServer:
             self._busy = True
             try:
                 batch = self._take_compatible(head)
+                self._executing = batch  # visible to a timing-out drain
                 obs.set_gauge("serving_queue_depth", self.queue_depth)
                 try:
                     await self._execute(batch)
@@ -302,6 +379,7 @@ class SATServer:
                         if not request.future.done():
                             request.future.set_exception(exc)
             finally:
+                self._executing = []
                 self._busy = False
 
     async def _execute(self, batch: List[Request]) -> None:

@@ -218,6 +218,59 @@ class TileAggregates:
         self._fold_corners(i0, j0)
         self.version += 1
 
+    # -- shard extraction (the cluster's unit of placement) ------------------
+    #
+    # A *shard* is a contiguous range [lo, hi) of row-major linearized tile
+    # indices (lin = I * nb_c + J). Everything a point lookup needs for a
+    # tile — its local SAT, the two edge-prefix vectors, and the corner
+    # scalar — is gathered per tile, so a worker holding a shard answers
+    # F(r, c) for any (r, c) inside its tiles without the rest of the grid.
+
+    def shard_state(self, lo: int, hi: int) -> Dict[str, np.ndarray]:
+        """Per-tile serving state for linearized tiles ``[lo, hi)``.
+
+        Returns contiguous copies (the payload crosses a process boundary;
+        views would pin the whole aggregate arrays in the pickle).
+        """
+        lins = np.arange(lo, hi, dtype=np.int64)
+        i, j = np.divmod(lins, self.nb_c)
+        return {
+            "lo": int(lo),
+            "hi": int(hi),
+            "local": np.ascontiguousarray(self.local[i, j]),
+            "col": np.ascontiguousarray(self.col_above[i, j]),
+            "row": np.ascontiguousarray(self.row_left[i, j]),
+            "corner": np.ascontiguousarray(self.corner[i, j]),
+        }
+
+    def shard_delta(self, i0: int, j0: int, i1: int, j1: int) -> Dict[str, tuple]:
+        """Changed per-tile state after a re-fold of the tile box.
+
+        Returns ``component -> (lins, values)`` covering every tile whose
+        serving state *may* have changed when ``refold(i0, j0, i1, j1)``
+        ran — the same downstream suffixes the re-fold recomputes: local
+        SATs for the box, ``col_above`` below the box's tile columns,
+        ``row_left`` right of its tile rows, and the corner quadrant.
+        Supersets are safe (values are the current truth); the point is
+        that the payload is ``O(update work)``, not ``O(grid)``.
+        """
+
+        def grid(ri0, ri1, ci0, ci1, arr):
+            i, j = np.meshgrid(
+                np.arange(ri0, ri1 + 1), np.arange(ci0, ci1 + 1), indexing="ij"
+            )
+            i = i.reshape(-1)
+            j = j.reshape(-1)
+            return (i * self.nb_c + j).astype(np.int64), np.ascontiguousarray(arr[i, j])
+
+        last_r, last_c = self.nb_r - 1, self.nb_c - 1
+        return {
+            "local": grid(i0, i1, j0, j1, self.local),
+            "col": grid(i0, last_r, j0, j1, self.col_above),
+            "row": grid(i0, i1, j0, last_c, self.row_left),
+            "corner": grid(i0, last_r, j0, last_c, self.corner),
+        }
+
     # -- lookups -------------------------------------------------------------
 
     def sat_at(self, r: int, c: int):
@@ -294,14 +347,24 @@ class Dataset:
     ingest can coexist with event-loop queries.
     """
 
-    __slots__ = ("name", "values", "squares", "tile", "lock", "_sat_cache")
+    __slots__ = ("name", "values", "squares", "tile", "lock", "_sat_cache",
+                 "update_tile_sats")
 
     def __init__(self, name: str, matrix: np.ndarray, tile: int = DEFAULT_TILE,
                  *, track_squares: bool = False,
-                 tile_sats: Optional[TileSATFn] = None):
+                 tile_sats: Optional[TileSATFn] = None,
+                 update_tile_sats: Optional[TileSATFn] = None):
         matrix = np.asarray(matrix)
         self.name = name
         self.tile = int(tile)
+        #: Optional backend for *update* re-folds. Ingest-time ``tile_sats``
+        #: is deliberately not reused: a server may fan ingest out through a
+        #: process pool where a one-tile update roundtrip would cost more
+        #: than the numpy re-SAT it replaces. Pass ``update_tile_sats`` to
+        #: route the dirty-tile re-SATs of every later update through the
+        #: same (bit-identical) backend — the fault-injection suite uses
+        #: this to prove updates stay exact under seeded transient faults.
+        self.update_tile_sats = update_tile_sats
         self.values = TileAggregates(matrix, tile, tile_sats)
         self.squares = (
             TileAggregates(

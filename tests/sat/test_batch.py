@@ -14,7 +14,8 @@ import pytest
 from repro.errors import ShapeError, WorkerCrashed
 from repro.machine.params import MachineParams
 from repro.sat import BatchSession, batch_counters, sat_batch, sat_batch_list
-from repro.sat.batch import CRASH_ENV_VAR, _stack_batch
+from repro.obs import runtime as obs
+from repro.sat.batch import CRASH_ENV_VAR, CRASH_ONCE_ENV_VAR, _stack_batch
 from repro.sat.reference import sat_reference
 
 PARAMS = MachineParams(width=8, latency=16)
@@ -143,6 +144,49 @@ def test_session_map_crash_poisons_batch_but_not_session_teardown(rng, monkeypat
     finally:
         session.close()  # must return, not hang on a broken pool
     assert session._pool is None
+
+
+def test_transient_crash_is_retried_once_and_recovers(rng, tmp_path, monkeypatch):
+    """A worker that dies once poisons only its attempt: the batch suffix
+    is re-run on a fresh pool, results stay complete, ordered, and
+    bit-exact, and the retry is counted."""
+    flag = tmp_path / "crash-once"
+    flag.touch()
+    monkeypatch.setenv(CRASH_ENV_VAR, "2")
+    monkeypatch.setenv(CRASH_ONCE_ENV_VAR, str(flag))
+    mats = _random_batch(rng, 6, shape=(8, 8))
+    obs.enable()
+    obs.reset()
+    try:
+        sats = sat_batch_list(mats, "1R1W", PARAMS, workers=2)
+        retries = obs.registry().counter_value("batch_task_retries")
+    finally:
+        obs.disable()
+        obs.reset()
+    assert len(sats) == 6
+    for m, s in zip(mats, sats):
+        assert np.array_equal(s, sat_reference(m))
+    assert not flag.exists()  # the poison task fired before recovery
+    assert retries == 1
+
+
+def test_poison_task_second_crash_still_raises(rng, monkeypatch):
+    """A task that crashes every attempt must exhaust the single retry and
+    surface WorkerCrashed — retry is for transient deaths, not a loop."""
+    monkeypatch.setenv(CRASH_ENV_VAR, "1")  # no once-flag: always fatal
+    mats = _random_batch(rng, 4, shape=(8, 8))
+    obs.enable()
+    obs.reset()
+    try:
+        with pytest.raises(WorkerCrashed, match="retry crashed too"):
+            sat_batch_list(mats, "1R1W", PARAMS, workers=2)
+        retries = obs.registry().counter_value("batch_task_retries")
+        crashes = obs.registry().counter_value("batch_worker_crashes_total")
+    finally:
+        obs.disable()
+        obs.reset()
+    assert retries == 1  # exactly one retry, not a loop
+    assert crashes == 2
 
 
 def _tracking_shared_memory(monkeypatch):

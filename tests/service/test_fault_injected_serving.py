@@ -1,0 +1,160 @@
+"""Fault-injected serving: the tile-SAT backend under seeded transient faults.
+
+The serving layer's bit-identity contract must survive an unreliable
+compute backend. Here the dataset's tile re-SATs (both ingest and every
+incremental update) run through an HMM executor wired to
+``FaultyGlobalMemory``/``FaultInjector`` with a seeded plan of *transient,
+recoverable* faults — task deaths and latency spikes, the failures the
+executor's bounded retry absorbs. Corrupting rates stay zero: a corrupted
+read is *supposed* to end in a typed error, which is a different test
+(``tests/faults/``); this one proves that recovered-from faults leave no
+numeric trace.
+
+Assertions: faults were actually injected (the plan is not vacuous), and
+after a mixed volley of point/region updates both the materialized SAT
+and a spread of region-sum queries are bit-identical to the numpy oracle
+on a shadow matrix.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan, FaultyGlobalMemory
+from repro.machine.macro.executor import HMMExecutor
+from repro.machine.params import MachineParams
+from repro.sat import make_algorithm
+from repro.sat.reference import sat_reference
+from repro.service.queries import region_sum
+from repro.service.store import Dataset
+
+PARAMS = MachineParams(width=8, latency=16)
+TILE = 16
+
+#: Transient-only plan: frequent task deaths and latency spikes, zero
+#: corruption. High enough rates that a volley of tile re-SATs is
+#: guaranteed to hit faults; low enough that 3 bounded retries always
+#: clear a task (task failures are per-(task, attempt) coin flips).
+#: Deaths strike *before* writes only — a post-write death on a
+#: read-modify-write kernel is correctly unreplayable (IdempotenceViolation),
+#: which is the loud-failure regime of the third test, not this one.
+PLAN = FaultPlan(seed=7, task_failure_rate=0.2, latency_spike_rate=0.05,
+                 task_failure_after_writes_fraction=0.0)
+
+
+def _task_faults(injector):
+    return (injector.stats.get("task_failures_before", 0)
+            + injector.stats.get("task_failures_after", 0))
+
+
+def _faulty_tile_sats(injector):
+    """A TileSATFn running every tile through a fault-injected executor.
+
+    A fresh ``FaultyGlobalMemory`` + ``HMMExecutor`` per tile mirrors how
+    the executor is built per compute everywhere else; the *injector* is
+    shared so its fault-stream indices (and stats) advance across calls.
+    """
+    algo = make_algorithm("2R1W")
+
+    def tile_sats(tiles: np.ndarray) -> np.ndarray:
+        out = np.empty_like(tiles, dtype=np.float64)
+        for i in range(tiles.shape[0]):
+            gm = FaultyGlobalMemory(PARAMS, injector=injector)
+            executor = HMMExecutor(
+                PARAMS, gm, seed=PLAN.seed, max_task_retries=3,
+                injector=injector,
+            )
+            out[i] = algo.compute(tiles[i], PARAMS, executor=executor).sat
+        return out
+
+    return tile_sats
+
+
+def test_serving_stays_bit_exact_under_transient_faults(rng):
+    injector = FaultInjector(PLAN)
+    faulty = _faulty_tile_sats(injector)
+    a = rng.integers(0, 100, size=(64, 64)).astype(np.float64)
+    shadow = a.copy()
+    ds = Dataset("img", a, TILE, tile_sats=faulty, update_tile_sats=faulty)
+
+    # Ingest through the faulty backend already hit (and recovered from)
+    # injected task failures — otherwise the plan is too quiet to prove
+    # anything.
+    assert _task_faults(injector) > 0
+
+    # A mixed update volley, every re-SAT through the faulty backend.
+    ds.update_point(3, 5, delta=41.0)
+    shadow[3, 5] += 41.0
+    ds.update_point(63, 0, value=-17.0)
+    shadow[63, 0] = -17.0
+    block = rng.integers(-50, 50, size=(9, 13)).astype(np.float64)
+    ds.update_region(20, 30, block)
+    shadow[20:29, 30:43] = block
+    delta = rng.integers(0, 10, size=(5, 5)).astype(np.float64)
+    ds.add_region(40, 8, delta)
+    shadow[40:45, 8:13] += delta
+
+    ingest_faults = _task_faults(injector)
+
+    # Bit-identity of the whole table...
+    assert np.array_equal(ds.values.materialize(), sat_reference(shadow))
+    # ...and of served region sums against the exact numpy shadow (integer
+    # payloads: every partial sum is exact, equality is bitwise).
+    rects = [(0, 0, 63, 63), (3, 5, 3, 5), (0, 0, 19, 29), (20, 30, 28, 42),
+             (15, 25, 50, 50), (40, 8, 44, 12), (63, 63, 63, 63)]
+    for top, left, bottom, right in rects:
+        got = region_sum(ds, top, left, bottom, right)
+        want = shadow[top:bottom + 1, left:right + 1].sum()
+        assert got == want, (top, left, bottom, right)
+
+    assert _task_faults(injector) >= ingest_faults > 0
+
+
+def test_update_backend_is_actually_exercised(rng):
+    """``update_tile_sats`` routes update re-folds through the backend —
+    the injector must see *new* faults from updates alone."""
+    injector = FaultInjector(PLAN)
+    faulty = _faulty_tile_sats(injector)
+    a = rng.integers(0, 50, size=(32, 32)).astype(np.float64)
+    ds = Dataset("img", a, TILE, tile_sats=None, update_tile_sats=faulty)
+    before = _task_faults(injector)
+    assert before == 0  # ingest used the plain numpy path
+    for k in range(12):
+        ds.update_point(k, k, delta=1.0)
+    assert _task_faults(injector) > 0
+    shadow = a.copy()
+    np.fill_diagonal(shadow[:12, :12], shadow.diagonal()[:12] + 1.0)
+    assert np.array_equal(ds.values.materialize(), sat_reference(shadow))
+
+
+def test_unrecoverable_fault_surfaces_typed_not_silent(rng):
+    """When the backend's retry budget cannot absorb the plan, the update
+    raises a repro-typed error — a faulty backend may fail loudly, never
+    corrupt the dataset silently."""
+    from repro.errors import ReproError
+
+    hostile = FaultPlan(seed=3, task_failure_rate=0.95)
+    injector = FaultInjector(hostile)
+    algo = make_algorithm("2R1W")
+
+    def tile_sats(tiles):
+        out = np.empty_like(tiles, dtype=np.float64)
+        for i in range(tiles.shape[0]):
+            gm = FaultyGlobalMemory(PARAMS, injector=injector)
+            executor = HMMExecutor(PARAMS, gm, seed=hostile.seed,
+                                   max_task_retries=0, injector=injector)
+            out[i] = algo.compute(tiles[i], PARAMS, executor=executor).sat
+        return out
+
+    a = rng.integers(0, 50, size=(32, 32)).astype(np.float64)
+    ds = Dataset("img", a, TILE, update_tile_sats=tile_sats)
+    snapshot = ds.values.materialize().copy()
+    with pytest.raises(ReproError):
+        for k in range(32):
+            ds.update_point(k, 0, delta=1.0)
+    # The failed update raised mid-refold; whatever state it left, the
+    # *next* successful rebuild must restore exactness — prove the raw
+    # payloads were not corrupted by re-folding from them.
+    ds.update_tile_sats = None
+    ds.values.refold(0, 0, ds.values.nb_r - 1, ds.values.nb_c - 1)
+    assert np.array_equal(ds.values.materialize(), sat_reference(ds.values.matrix()))
+    assert ds.values.materialize().shape == snapshot.shape

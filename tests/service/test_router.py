@@ -1,0 +1,347 @@
+"""The shard router: placement, breakers, failover, degradation, admission.
+
+Router tests run against the supervisor's inline mode — worker "crashes"
+are deterministic state drops, so every failover and degradation path is
+exercised without real processes or sleeps (the router's backoff runs on
+a FakeClock where timing matters).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceeded,
+    Overloaded,
+    ShapeError,
+    UnknownDataset,
+    WorkerUnavailable,
+)
+from repro.sat.reference import sat_reference
+from repro.service.cluster import WorkerSupervisor
+from repro.service.queries import region_sum as local_region_sum
+from repro.service.router import CircuitBreaker, ShardRouter, make_placement
+from repro.util.backoff import ExponentialBackoff, FakeClock
+
+TILE = 8
+
+
+def _matrix(rng, n=32):
+    return rng.integers(-50, 50, size=(n, n)).astype(np.float64)
+
+
+def _cluster(workers=3, replicas=2, **router_kwargs):
+    sup = WorkerSupervisor(workers, inline=True, auto_restart=False)
+    router = ShardRouter(sup, replicas=replicas, **router_kwargs)
+    return sup, router
+
+
+def _rects(rng, n, k):
+    for _ in range(k):
+        r0, r1 = np.sort(rng.integers(0, n, size=2))
+        c0, c1 = np.sort(rng.integers(0, n, size=2))
+        yield int(r0), int(c0), int(r1), int(c1)
+
+
+# --- placement ----------------------------------------------------------------
+
+
+def test_placement_covers_all_tiles_contiguously():
+    for nb, workers, replicas in [(16, 4, 2), (17, 4, 3), (5, 8, 2), (64, 3, 1)]:
+        placement = make_placement(nb, workers, replicas)
+        covered = []
+        for (lo, hi), owners in placement:
+            assert lo < hi
+            covered.extend(range(lo, hi))
+            assert len(owners) == min(replicas, workers)
+            assert len(set(owners)) == len(owners)  # replicas on distinct workers
+            assert all(0 <= w < workers for w in owners)
+        assert covered == list(range(nb))  # contiguous, disjoint, complete
+
+
+def test_placement_is_balanced_to_within_one_tile():
+    placement = make_placement(100, 7, 2)
+    sizes = [hi - lo for (lo, hi), _ in placement]
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_placement_primary_load_is_spread():
+    placement = make_placement(12, 4, 2)
+    primaries = [owners[0] for _rng, owners in placement]
+    assert sorted(primaries) == [0, 1, 2, 3]  # one primary range per worker
+
+
+def test_placement_rejects_bad_arguments():
+    with pytest.raises(ConfigurationError):
+        make_placement(4, 0)
+    with pytest.raises(ConfigurationError):
+        make_placement(4, 2, replicas=0)
+
+
+def test_losing_any_single_worker_leaves_every_range_served():
+    workers = 4
+    placement = make_placement(16, workers, 2)
+    for dead in range(workers):
+        for _rng, owners in placement:
+            assert any(w != dead for w in owners)
+
+
+# --- circuit breaker ----------------------------------------------------------
+
+
+def test_breaker_opens_after_k_consecutive_failures():
+    clock = FakeClock()
+    b = CircuitBreaker(failures_to_open=3, cooldown=5.0, clock=clock)
+    assert b.state == "closed" and b.allows(epoch=0)
+    assert not b.record_failure(0)
+    assert not b.record_failure(0)
+    assert b.record_failure(0)  # the opening transition, exactly once
+    assert b.state == "open"
+    assert not b.allows(0)  # cooldown not elapsed
+
+
+def test_breaker_half_open_admits_one_probe_then_closes_on_success():
+    clock = FakeClock()
+    b = CircuitBreaker(failures_to_open=1, cooldown=5.0, clock=clock)
+    b.record_failure(0)
+    assert b.state == "open"
+    clock.advance(5.0)
+    assert b.allows(0)  # this caller is the probe
+    assert b.state == "half-open"
+    assert not b.allows(0)  # second caller: probe already in flight
+    b.record_success(0)
+    assert b.state == "closed" and b.allows(0)
+
+
+def test_breaker_failed_probe_reopens_immediately():
+    clock = FakeClock()
+    b = CircuitBreaker(failures_to_open=3, cooldown=2.0, clock=clock)
+    for _ in range(3):
+        b.record_failure(0)
+    clock.advance(2.0)
+    assert b.allows(0)  # probe
+    assert not b.record_failure(0)  # one failed probe, not K, re-opens
+    assert b.state == "open"
+    assert not b.allows(0)
+
+
+def test_breaker_resets_on_worker_epoch_change():
+    clock = FakeClock()
+    b = CircuitBreaker(failures_to_open=1, cooldown=1e9, clock=clock)
+    b.record_failure(epoch=0)
+    assert not b.allows(0)  # open, and cooldown is forever
+    assert b.allows(epoch=1)  # restarted worker: clean slate
+    assert b.state == "closed"
+
+
+# --- router: happy path -------------------------------------------------------
+
+
+def test_region_sums_bit_identical_to_local_store(rng):
+    sup, router = _cluster()
+    try:
+        a = _matrix(rng)
+        ds = router.ingest("img", a, tile=TILE)
+        for rect in _rects(rng, 32, 24):
+            assert router.region_sum("img", *rect) == local_region_sum(ds, *rect)
+    finally:
+        router.close()
+
+
+def test_updates_fan_out_and_queries_stay_exact(rng):
+    sup, router = _cluster()
+    try:
+        a = _matrix(rng)
+        router.ingest("img", a, tile=TILE)
+        shadow = a.copy()
+        router.update_point("img", 3, 29, delta=7.0)
+        shadow[3, 29] += 7.0
+        block = rng.integers(-9, 9, size=(5, 11)).astype(np.float64)
+        router.update_region("img", 10, 2, block)
+        shadow[10:15, 2:13] = block
+        delta = rng.integers(0, 5, size=(4, 4)).astype(np.float64)
+        router.add_region("img", 20, 20, delta)
+        shadow[20:24, 20:24] += delta
+        sat = sat_reference(shadow)
+        for rect in list(_rects(rng, 32, 16)) + [(0, 0, 31, 31), (3, 29, 3, 29)]:
+            t, l, b, r = rect
+            assert router.region_sum("img", *rect) == shadow[t:b + 1, l:r + 1].sum()
+        assert np.array_equal(
+            router.checkpoints.dataset("img").values.materialize(), sat
+        )
+    finally:
+        router.close()
+
+
+def test_drop_forgets_the_dataset_everywhere(rng):
+    sup, router = _cluster()
+    try:
+        router.ingest("img", _matrix(rng), tile=TILE)
+        router.drop("img")
+        with pytest.raises(UnknownDataset):
+            router.region_sum("img", 0, 0, 1, 1)
+        assert all(not lst for lst in sup.assignments.values())
+    finally:
+        router.close()
+
+
+# --- router: failover and degradation -----------------------------------------
+
+
+def test_failover_to_replica_is_bit_exact_and_counted(rng):
+    sup, router = _cluster(workers=3, replicas=2)
+    try:
+        a = _matrix(rng)
+        ds = router.ingest("img", a, tile=TILE)
+        placement = router._routes["img"].placement
+        victim = placement[0][1][0]  # primary of the first range
+        sup.kill_worker(victim)
+        # Rectangles rooted at (0,0): their bottom-right corner may live
+        # anywhere, but (0,0)-anchored queries always touch range 0.
+        for rect in [(0, 0, 5, 5), (0, 0, 31, 31), (0, 0, 7, 30)]:
+            assert router.region_sum("img", *rect) == local_region_sum(ds, *rect)
+        assert router.counters["failovers"] >= 1
+        assert router.counters["degraded"] == 0
+    finally:
+        router.close()
+
+
+def test_all_replicas_down_degrades_to_oracle(rng):
+    sup, router = _cluster(workers=2, replicas=2)
+    try:
+        a = _matrix(rng)
+        ds = router.ingest("img", a, tile=TILE)
+        sup.kill_worker(0)
+        sup.kill_worker(1)
+        for rect in _rects(rng, 32, 6):
+            assert router.region_sum("img", *rect) == local_region_sum(ds, *rect)
+        assert router.counters["degraded"] >= 1
+    finally:
+        router.close()
+
+
+def test_degrade_false_surfaces_worker_unavailable(rng):
+    sup, router = _cluster(
+        workers=2, replicas=2, degrade=False, max_attempts=1,
+        backoff=ExponentialBackoff(base=0.0, factor=1.0, cap=0.0),
+    )
+    try:
+        router.ingest("img", _matrix(rng), tile=TILE)
+        sup.kill_worker(0)
+        sup.kill_worker(1)
+        with pytest.raises(WorkerUnavailable):
+            router.region_sum("img", 0, 0, 3, 3)
+    finally:
+        router.close()
+
+
+def test_restarted_worker_resumes_serving_through_router(rng):
+    sup, router = _cluster(workers=2, replicas=1)  # no replica to hide behind
+    try:
+        a = _matrix(rng)
+        ds = router.ingest("img", a, tile=TILE)
+        shadow = a.copy()
+        sup.kill_worker(0)
+        # Updates while the worker is dead still mutate the authoritative
+        # copy; the push simply skips the corpse.
+        router.update_point("img", 0, 0, delta=3.0)
+        shadow[0, 0] += 3.0
+        assert sup.restart(0)  # re-hydrates at the *current* version
+        value = router.region_sum("img", 0, 0, 0, 0)
+        assert value == shadow[0, 0]
+        assert router.counters["degraded"] == 0  # served by the shards
+    finally:
+        router.close()
+
+
+def test_breaker_opens_on_router_path_and_skips_the_worker(rng):
+    clock = FakeClock()
+    sup = WorkerSupervisor(2, inline=True, auto_restart=False)
+    router = ShardRouter(
+        sup, replicas=2, clock=clock, breaker_failures=1,
+        breaker_cooldown=1e9, max_attempts=1,
+    )
+    try:
+        router.ingest("img", _matrix(rng), tile=TILE)
+        victim = router._routes["img"].placement[0][1][0]
+        sup.kill_worker(victim)
+        router.region_sum("img", 0, 0, 3, 3)  # fails over; breaker trips
+        assert router.counters["breaker_opens"] == 1
+        assert router.breakers[victim].state == "open"
+        # Bring the worker back: the epoch bump closes the breaker.
+        assert sup.restart(victim)
+        router.region_sum("img", 0, 0, 3, 3)
+        assert router.breakers[victim].state == "closed"
+    finally:
+        router.close()
+
+
+# --- router: admission control ------------------------------------------------
+
+
+def test_shed_with_overloaded_at_max_inflight(rng):
+    sup, router = _cluster(max_inflight=0)
+    try:
+        router.ingest("img", _matrix(rng), tile=TILE)
+        with pytest.raises(Overloaded):
+            router.region_sum("img", 0, 0, 3, 3)
+        assert router.counters["shed"] == 1
+    finally:
+        router.close()
+
+
+def test_expired_deadline_raises_before_touching_workers(rng):
+    clock = FakeClock()
+    sup = WorkerSupervisor(2, inline=True, auto_restart=False)
+    router = ShardRouter(sup, replicas=2, clock=clock)
+    try:
+        router.ingest("img", _matrix(rng), tile=TILE)
+        lookups_before = sum(h.lookups_served for h in sup.handles)
+        clock.advance(1.0)  # deadline computed at now + (-0.5) is in the past
+        with pytest.raises(DeadlineExceeded):
+            router.region_sum("img", 0, 0, 3, 3, timeout=-0.5)
+        assert router.counters["deadline_missed"] == 1
+        assert sum(h.lookups_served for h in sup.handles) == lookups_before
+    finally:
+        router.close()
+
+
+def test_rect_validation_and_unknown_dataset(rng):
+    sup, router = _cluster()
+    try:
+        router.ingest("img", _matrix(rng), tile=TILE)
+        with pytest.raises(ShapeError):
+            router.region_sum("img", 0, 0, 32, 5)  # bottom out of range
+        with pytest.raises(ShapeError):
+            router.region_sum("img", 5, 0, 3, 5)  # inverted
+        with pytest.raises(UnknownDataset):
+            router.region_sum("ghost", 0, 0, 1, 1)
+        with pytest.raises(UnknownDataset):
+            router.update_point("ghost", 0, 0, delta=1.0)
+    finally:
+        router.close()
+
+
+def test_router_rejects_bad_configuration(rng):
+    sup = WorkerSupervisor(2, inline=True)
+    try:
+        with pytest.raises(ConfigurationError):
+            ShardRouter(sup, replicas=0)
+        with pytest.raises(ConfigurationError):
+            ShardRouter(sup, max_attempts=0)
+    finally:
+        sup.stop()
+
+
+def test_stats_expose_counters_breakers_and_tiers(rng):
+    sup, router = _cluster()
+    try:
+        router.ingest("img", _matrix(rng), tile=TILE)
+        router.region_sum("img", 0, 0, 9, 9)
+        stats = router.stats()
+        assert stats["requests"] == 1 and stats["inflight"] == 0
+        assert set(stats["breakers"]) == {0, 1, 2}
+        assert stats["supervisor"]["alive"] == 3
+        assert stats["checkpoints"]["datasets"] == 1
+    finally:
+        router.close()

@@ -8,6 +8,7 @@ import pytest
 from repro.errors import (
     ConfigurationError,
     DeadlineExceeded,
+    DrainTimeout,
     Overloaded,
     UnknownDataset,
 )
@@ -309,6 +310,93 @@ class TestDrain:
             await server.drain()
 
         run(main())
+
+
+def _wedge(server):
+    """Make the server's dispatch hang forever (a wedged worker thread)."""
+    stuck = asyncio.Event()
+
+    async def hang(live):
+        await stuck.wait()  # never set
+
+    server._dispatch = hang
+    return stuck
+
+
+class TestDrainTimeout:
+    def test_drain_timeout_raises_and_fails_inflight(self, rng, caplog):
+        a = make_matrix(rng)
+
+        async def main():
+            store = TiledSATStore()
+            store.put("img", a, tile=8)
+            server = SATServer(store, max_queue=8)
+            await server.start()
+            _wedge(server)
+            executing = server.submit("region_sum", "img", (0, 0, 1, 1))
+            await asyncio.sleep(0.01)  # let the scheduler dequeue it
+            queued = server.submit("update_point", "img",
+                                   {"r": 0, "c": 0, "delta": 1.0, "value": None})
+            with pytest.raises(DrainTimeout, match="2 request"):
+                await server.drain(timeout=0.05)
+            # Every unfinished request resolved to DrainTimeout — no client
+            # awaits forever, and the stream stays complete.
+            for fut in (executing, queued):
+                assert fut.done()
+                with pytest.raises(DrainTimeout):
+                    fut.result()
+            assert server._scheduler is None  # shutdown actually finished
+
+        with caplog.at_level("WARNING", logger="repro.service"):
+            run(main())
+        assert any("2 in-flight" in r.message for r in caplog.records)
+
+    def test_close_uses_constructor_drain_timeout(self, rng):
+        a = make_matrix(rng)
+
+        async def main():
+            store = TiledSATStore()
+            store.put("img", a, tile=8)
+            server = SATServer(store, drain_timeout=0.05)
+            await server.start()
+            _wedge(server)
+            fut = server.submit("region_sum", "img", (0, 0, 1, 1))
+            await asyncio.sleep(0.01)
+            with pytest.raises(DrainTimeout):
+                await server.close()
+            with pytest.raises(DrainTimeout):
+                fut.result()  # the wedged request was failed, not lost
+
+        run(main())
+
+    def test_close_on_healthy_server_drains_cleanly(self, rng):
+        a = make_matrix(rng)
+
+        async def main():
+            server = SATServer(TiledSATStore(), drain_timeout=5.0)
+            await server.start()
+            await server.ingest("img", a, tile=8)
+            fut = server.submit("region_sum", "img", (0, 0, 2, 2))
+            await server.close()  # everything admitted completes
+            assert fut.result().value == a[:3, :3].sum()
+
+        run(main())
+
+    def test_explicit_none_timeout_still_waits_forever_semantics(self, rng):
+        # drain(timeout=None) must override a constructor drain_timeout;
+        # with nothing pending it returns immediately either way.
+        async def main():
+            server = SATServer(drain_timeout=0.01)
+            await server.start()
+            await server.drain(timeout=None)
+
+        run(main())
+
+    def test_bad_drain_timeout_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SATServer(drain_timeout=0.0)
+        with pytest.raises(ConfigurationError):
+            SATServer(drain_timeout=-1.0)
 
 
 class TestStats:
