@@ -528,28 +528,34 @@ def cmd_serve(args) -> int:
     return 0 if ok else 1
 
 
-def _cmd_loadgen_chaos(args) -> int:
-    """Chaos volley against the sharded worker cluster.
+def _cmd_loadgen_cluster(args) -> int:
+    """Oracle-verified volley against the sharded worker cluster.
 
     Spins up ``--cluster-workers`` shard worker processes behind a
-    :class:`~repro.service.ShardRouter`, SIGKILLs one mid-run while the
-    health monitor is live, and gates on the full robustness contract:
-    zero lost responses, every answer bit-exact against the shadow
-    oracle, and the killed worker restarted, re-hydrated from CRC-
-    verified checkpoints, and serving again.
+    :class:`~repro.service.ShardRouter`. With ``--chaos`` it SIGKILLs one
+    mid-run while the health monitor is live and gates on the full
+    robustness contract: zero lost responses, every answer bit-exact
+    against the shadow oracle, and the killed worker restarted,
+    re-hydrated from CRC-verified checkpoints, and serving again. With
+    plain ``--cluster`` the workers stay up and the volley measures the
+    query path itself; ``--concurrency N`` keeps N queries in flight so
+    the router's coalescer and pipelined fan-out carry real load.
     """
     from .service import run_cluster_loadgen
 
+    chaos = bool(args.chaos)
     if args.quick:
         report = run_cluster_loadgen(
             n=96, tile=16, workers=args.cluster_workers,
             replicas=args.replicas, rounds=4, burst=16, seed=args.seed,
+            chaos=chaos, concurrency=args.concurrency,
         )
     else:
         report = run_cluster_loadgen(
             n=args.n, tile=args.tile, workers=args.cluster_workers,
             replicas=args.replicas, rounds=args.rounds, burst=args.burst,
             update_frac=args.update_frac, seed=args.seed,
+            chaos=chaos, concurrency=args.concurrency,
         )
     print(report.summary())
     if not report.ok:
@@ -558,9 +564,9 @@ def _cmd_loadgen_chaos(args) -> int:
         if report.mismatches:
             print(f"FAIL: {report.mismatches} mismatch(es) vs shadow oracle",
                   file=sys.stderr)
-        if report.restarts < 1:
+        if report.chaos and report.restarts < 1:
             print("FAIL: killed worker was never restarted", file=sys.stderr)
-        if not report.rejoined:
+        if report.chaos and not report.rejoined:
             print("FAIL: killed worker did not rejoin and serve",
                   file=sys.stderr)
     return 0 if report.ok else 1
@@ -571,14 +577,15 @@ def cmd_loadgen(args) -> int:
 
     Exit code 0 iff zero responses were lost, misordered, or wrong, the
     overload volley shed (rather than deadlocked), and the expired-
-    deadline volley resolved as typed errors. With ``--chaos`` the volley
-    instead targets the sharded worker cluster and kills a worker
-    mid-run (see :func:`_cmd_loadgen_chaos`).
+    deadline volley resolved as typed errors. With ``--cluster`` or
+    ``--chaos`` the volley instead targets the sharded worker cluster,
+    the latter also killing a worker mid-run (see
+    :func:`_cmd_loadgen_cluster`).
     """
     from .service import run_loadgen
 
-    if args.chaos:
-        return _cmd_loadgen_chaos(args)
+    if args.chaos or args.cluster:
+        return _cmd_loadgen_cluster(args)
     session = _serving_session(args)
     try:
         if args.quick:
@@ -760,12 +767,23 @@ def build_parser() -> argparse.ArgumentParser:
              "mid-run; gate on zero lost responses and checkpoint rejoin",
     )
     p.add_argument(
+        "--cluster", action="store_true",
+        help="drive the sharded worker cluster (no chaos): the "
+             "oracle-verified volley exercises the coalesced/pipelined "
+             "query path instead of the in-process server",
+    )
+    p.add_argument(
+        "--concurrency", type=int, default=1,
+        help="cluster mode: queries kept in flight per round (>1 "
+             "exercises the router's request coalescer)",
+    )
+    p.add_argument(
         "--cluster-workers", type=int, default=4,
-        help="shard worker processes for --chaos (default 4)",
+        help="shard worker processes for --chaos/--cluster (default 4)",
     )
     p.add_argument(
         "--replicas", type=int, default=2,
-        help="shard replicas per tile range for --chaos (default 2)",
+        help="shard replicas per tile range for --chaos/--cluster (default 2)",
     )
     _add_serving_args(p, queue_default=64)
     p.set_defaults(fn=cmd_loadgen)

@@ -27,12 +27,13 @@ from __future__ import annotations
 
 import asyncio
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..errors import DeadlineExceeded, Overloaded
+from ..errors import ConfigurationError, DeadlineExceeded, Overloaded
 from .server import SATServer
 from .store import TiledSATStore
 
@@ -231,6 +232,7 @@ class ClusterLoadgenReport:
     workers: int
     replicas: int
     chaos: bool
+    concurrency: int = 1
     submitted: int = 0
     completed: int = 0
     shed: int = 0
@@ -268,7 +270,8 @@ class ClusterLoadgenReport:
         )
         lines = [
             f"cluster loadgen: n={self.n} tile={self.tile} "
-            f"workers={self.workers} replicas={self.replicas} | {chaos_bits}",
+            f"workers={self.workers} replicas={self.replicas} "
+            f"concurrency={self.concurrency} | {chaos_bits}",
             f"  {self.queries} queries / {self.updates} updates in "
             f"{self.elapsed:.3f}s ({self.throughput:.0f} responses/s); "
             f"failovers={self.failovers} retries={self.retries} "
@@ -283,7 +286,8 @@ def run_cluster_loadgen(*, n: int = 256, tile: int = 32, workers: int = 4,
                         replicas: int = 2, rounds: int = 8, burst: int = 32,
                         update_frac: float = 0.25, seed: int = 0,
                         chaos: bool = True, kill_round: Optional[int] = None,
-                        inline: bool = False) -> ClusterLoadgenReport:
+                        inline: bool = False,
+                        concurrency: int = 1) -> ClusterLoadgenReport:
     """Drive the sharded cluster with a seeded volley, optionally killing
     a worker mid-run, and verify every answer against a shadow oracle.
 
@@ -294,12 +298,22 @@ def run_cluster_loadgen(*, n: int = 256, tile: int = 32, workers: int = 4,
     re-hydration all happen under live query traffic. ``inline=True``
     swaps worker processes for in-process state (fast deterministic runs;
     no real SIGKILL, the supervisor drops the worker's state instead).
+
+    ``concurrency > 1`` keeps that many queries in flight per round (on a
+    thread pool), which is what exercises the router's coalescer and
+    pipelined fan-out: each round's updates still apply serially first —
+    the shadow oracle needs a deterministic prefix — then the round's
+    queries race, every answer still compared bit-exact against the
+    shadow state they were issued against.
     """
     from .cluster import WorkerSupervisor
     from .router import ShardRouter
 
+    if concurrency < 1:
+        raise ConfigurationError(f"concurrency must be >= 1, got {concurrency}")
     report = ClusterLoadgenReport(
         n=n, tile=tile, workers=workers, replicas=replicas, chaos=chaos,
+        concurrency=concurrency,
     )
     if kill_round is None:
         kill_round = rounds // 2
@@ -349,6 +363,59 @@ def run_cluster_loadgen(*, n: int = 256, tile: int = 32, workers: int = 4,
             if value != _expected_region_sum(shadow, rect):
                 report.mismatches += 1
 
+        executor = (
+            ThreadPoolExecutor(
+                max_workers=concurrency, thread_name_prefix="repro-loadgen"
+            )
+            if concurrency > 1 else None
+        )
+
+        def one_round() -> None:
+            if executor is None:
+                for _ in range(burst):
+                    one_op()
+                return
+            # Concurrent mode: draw the round's ops up front (the rng is
+            # not thread-safe), apply updates serially so the oracle has a
+            # deterministic prefix, then race the queries with up to
+            # ``concurrency`` in flight.
+            rects = []
+            for _ in range(burst):
+                report.submitted += 1
+                if rng.random() < update_frac:
+                    r, c = (int(v) for v in rng.integers(0, n, size=2))
+                    delta = float(rng.integers(-20, 20))
+                    try:
+                        router.update_point("img", r, c, delta=delta)
+                    except Exception:  # noqa: BLE001 — any escape is a loss
+                        report.lost += 1
+                        continue
+                    shadow[r, c] += delta
+                    report.updates += 1
+                    report.completed += 1
+                else:
+                    r0, r1 = np.sort(rng.integers(0, n, size=2))
+                    c0, c1 = np.sort(rng.integers(0, n, size=2))
+                    rects.append((int(r0), int(c0), int(r1), int(c1)))
+            expected = [_expected_region_sum(shadow, rect) for rect in rects]
+            futures = [
+                executor.submit(router.region_sum, "img", *rect)
+                for rect in rects
+            ]
+            for future, want in zip(futures, expected):
+                try:
+                    value = future.result()
+                except Overloaded:
+                    report.shed += 1
+                    continue
+                except Exception:  # noqa: BLE001
+                    report.lost += 1
+                    continue
+                report.queries += 1
+                report.completed += 1
+                if value != want:
+                    report.mismatches += 1
+
         t0 = time.perf_counter()
         for round_idx in range(rounds):
             if chaos and round_idx == kill_round:
@@ -359,11 +426,12 @@ def run_cluster_loadgen(*, n: int = 256, tile: int = 32, workers: int = 4,
                     # No monitor thread in inline mode: recovery rides the
                     # next health pass, exactly what the monitor would do.
                     supervisor.check_health()
-            for _ in range(burst):
-                one_op()
+            one_round()
             if inline and chaos and round_idx >= kill_round:
                 supervisor.check_health()
         report.elapsed = time.perf_counter() - t0
+        if executor is not None:
+            executor.shutdown(wait=True)
 
         if chaos:
             # Rejoin: wait for the victim to come back on a fresh epoch...

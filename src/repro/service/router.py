@@ -26,12 +26,32 @@ requests beyond ``max_inflight`` are shed with
 :class:`~repro.errors.Overloaded` at submission, and a request whose
 deadline has passed gets :class:`~repro.errors.DeadlineExceeded` before
 any worker is bothered.
+
+Throughput comes from amortizing the round trip, the latency-``l`` term
+of the paper's ``C/w + S + (B+1)l`` cost model, the same way the 2R1W
+kernels amortize global-memory access:
+
+* **Coalescing** — concurrent corner lookups headed for the same tile
+  range merge into one multi-point RPC (leader/follower per range: the
+  first arrival flushes immediately, arrivals during an in-flight RPC
+  accumulate and ride the next one, so an idle router adds zero latency).
+* **Pipelining** — a query whose corners span several ranges fans out to
+  all owners concurrently instead of serializing the groups; results are
+  stitched in the same deterministic order either way.
+* **Fast path** — a rectangle whose ≤ 4 corners land in one range skips
+  the fan-out machinery for a single round trip.
+* The hot transport underneath is the supervisor's shared-memory
+  :class:`~repro.service.cluster.LookupRing` (pipe fallback preserved).
+
+Every path stitches with the canonical inclusion–exclusion order, so all
+answers stay bit-identical to the local store.
 """
 
 from __future__ import annotations
 
 import logging
 import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -47,6 +67,7 @@ from ..errors import (
 from ..obs import runtime as obs
 from ..util.backoff import Clock, ExponentialBackoff, SystemClock
 from .cluster import ALIVE, CheckpointStore, WorkerSupervisor
+from .queries import region_sums as _local_region_sums
 from .store import DEFAULT_TILE, Dataset
 from .update import point_update, region_add, region_update
 
@@ -168,7 +189,7 @@ class CircuitBreaker:
 class _DatasetRoute:
     """Routing state for one dataset: its placement and geometry."""
 
-    __slots__ = ("name", "tile", "nb_c", "placement")
+    __slots__ = ("name", "tile", "nb_c", "placement", "_los", "_hi")
 
     def __init__(self, name: str, tile: int, nb_c: int,
                  placement: List[Tuple[Tuple[int, int], List[int]]]):
@@ -176,12 +197,54 @@ class _DatasetRoute:
         self.tile = tile
         self.nb_c = nb_c
         self.placement = placement
+        # Ranges are contiguous and sorted, so a searchsorted over the
+        # lower edges resolves a whole batch of tiles in one shot.
+        self._los = np.array([lo for (lo, _hi), _ in placement], dtype=np.int64)
+        self._hi = placement[-1][0][1] if placement else 0
 
     def range_of(self, lin: int) -> int:
         for rid, ((lo, hi), _owners) in enumerate(self.placement):
             if lo <= lin < hi:
                 return rid
         raise ShapeError(f"tile {lin} outside every range of {self.name!r}")
+
+    def range_of_many(self, lins: np.ndarray) -> np.ndarray:
+        if len(lins) and (lins.min() < 0 or lins.max() >= self._hi):
+            bad = int(lins[(lins < 0) | (lins >= self._hi)][0])
+            raise ShapeError(f"tile {bad} outside every range of {self.name!r}")
+        return np.searchsorted(self._los, lins, side="right") - 1
+
+
+class _PendingLookup:
+    """One caller's share of a coalesced per-range lookup batch."""
+
+    __slots__ = ("points", "deadline", "values", "error", "done")
+
+    def __init__(self, points: np.ndarray, deadline: Optional[float]):
+        self.points = points
+        self.deadline = deadline
+        self.values: Optional[np.ndarray] = None
+        self.error: Optional[BaseException] = None
+        self.done = False
+
+
+class _RangeChannel:
+    """Coalescing point for one ``(dataset, range)``: leader + followers.
+
+    At most one RPC per channel is in flight (``busy``); arrivals during
+    that flight queue in ``pending`` and are swept into the next batch by
+    whoever becomes leader. The first arrival on an idle channel leads
+    immediately, so coalescing adds no latency when there is no
+    concurrency to exploit.
+    """
+
+    __slots__ = ("lock", "cond", "busy", "pending")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.cond = threading.Condition(self.lock)
+        self.busy = False
+        self.pending: List[_PendingLookup] = []
 
 
 class ShardRouter:
@@ -211,11 +274,24 @@ class ShardRouter:
         rpc_timeout: float = 2.0,
         breaker_failures: int = 3,
         breaker_cooldown: float = 1.0,
+        coalesce: bool = True,
+        coalesce_window: float = 0.0,
+        coalesce_max_points: int = 4096,
+        pipeline: bool = True,
+        fanout_threads: Optional[int] = None,
     ):
         if replicas < 1:
             raise ConfigurationError(f"replicas must be >= 1, got {replicas}")
         if max_attempts < 1:
             raise ConfigurationError(f"max_attempts must be >= 1, got {max_attempts}")
+        if coalesce_window < 0:
+            raise ConfigurationError(
+                f"coalesce_window must be >= 0, got {coalesce_window}"
+            )
+        if coalesce_max_points < 1:
+            raise ConfigurationError(
+                f"coalesce_max_points must be >= 1, got {coalesce_max_points}"
+            )
         self.supervisor = supervisor
         self.checkpoints: CheckpointStore = supervisor.checkpoints
         self.replicas = replicas
@@ -233,12 +309,25 @@ class ShardRouter:
             )
             for _ in range(supervisor.workers)
         ]
+        self.coalesce = coalesce
+        self.coalesce_window = coalesce_window
+        self.coalesce_max_points = coalesce_max_points
+        self.pipeline = pipeline
+        self.fanout_threads = (
+            fanout_threads if fanout_threads is not None
+            else max(4, 2 * supervisor.workers)
+        )
         self._routes: Dict[str, _DatasetRoute] = {}
         self._inflight = 0
         self._inflight_lock = threading.Lock()
+        self._channels: Dict[Tuple[str, int], _RangeChannel] = {}
+        self._channels_lock = threading.Lock()
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor_lock = threading.Lock()
         self.counters: Dict[str, int] = {
             "requests": 0, "failovers": 0, "retries": 0, "degraded": 0,
             "shed": 0, "deadline_missed": 0, "breaker_opens": 0,
+            "fast_path": 0, "coalesced_batches": 0, "coalesced_points": 0,
         }
 
     # -- ingest ---------------------------------------------------------------
@@ -286,6 +375,9 @@ class ShardRouter:
         with sup.topology_lock:
             self._routes.pop(name, None)
             self.checkpoints.drop(name)
+            with self._channels_lock:
+                for key in [k for k in self._channels if k[0] == name]:
+                    del self._channels[key]
             for worker_id, assigned in sup.assignments.items():
                 sup.assignments[worker_id] = [
                     (n, r) for (n, r) in assigned if n != name
@@ -382,6 +474,12 @@ class ShardRouter:
         try:
             self.counters["requests"] += 1
             obs.inc("cluster_requests_total", kind="region_sum")
+            if deadline is not None and self.clock.now() > deadline:
+                self.counters["deadline_missed"] += 1
+                obs.inc("cluster_deadline_missed_total")
+                raise DeadlineExceeded(
+                    f"deadline passed before dispatch of region_sum on {name!r}"
+                )
             # The four SAT corners, in the canonical stitch order of
             # queries.region_sum (term order fixes the float rounding).
             corners: List[Tuple[Tuple[int, int], int]] = [((bottom, right), +1)]
@@ -402,35 +500,330 @@ class ShardRouter:
             with self._inflight_lock:
                 self._inflight -= 1
 
+    def region_sums(self, name: str, rects: np.ndarray, *,
+                    timeout: Optional[float] = None) -> np.ndarray:
+        """Vectorized rectangle-sum batch served from the shards.
+
+        Rows of ``rects`` are ``(top, left, bottom, right)`` inclusive —
+        the same contract, validation, and (bit-identical) stitch as the
+        local :func:`repro.service.queries.region_sums`. All 4k corners
+        ship as one coalesced multi-point lookup per owning range, ranges
+        in parallel, so the round-trip cost is amortized over the whole
+        batch instead of paid per rectangle.
+        """
+        route = self._route(name)
+        ds = self.checkpoints.dataset(name)
+        rects = np.asarray(rects, dtype=np.int64)
+        if rects.ndim != 2 or rects.shape[1] != 4:
+            raise ShapeError(f"rects must have shape (k, 4), got {rects.shape}")
+        top, left, bottom, right = rects.T
+        rows, cols = ds.shape
+        if (
+            (top < 0).any() or (left < 0).any()
+            or (top > bottom).any() or (left > right).any()
+            or (bottom >= rows).any() or (right >= cols).any()
+        ):
+            raise ShapeError("some rectangles fall outside the dataset")
+        k = len(rects)
+        if k == 0:
+            return np.zeros(0, dtype=ds.values.dtype)
+        deadline = None if timeout is None else self.clock.now() + timeout
+        with self._inflight_lock:
+            if self._inflight >= self.max_inflight:
+                self.counters["shed"] += 1
+                obs.inc("cluster_shed_total")
+                raise Overloaded(
+                    f"cluster router at max_inflight={self.max_inflight}; "
+                    f"retry with backoff"
+                )
+            self._inflight += 1
+        try:
+            self.counters["requests"] += k
+            obs.inc("cluster_requests_total", k, kind="region_sums")
+            if deadline is not None and self.clock.now() > deadline:
+                self.counters["deadline_missed"] += 1
+                obs.inc("cluster_deadline_missed_total")
+                raise DeadlineExceeded(
+                    f"deadline passed before dispatch of region_sums on {name!r}"
+                )
+            # All four corner vectors at once; negative indices are the
+            # branch-free zeros of sat_at_many, applied router-side.
+            corner_r = np.concatenate([bottom, top - 1, bottom, top - 1])
+            corner_c = np.concatenate([right, right, left - 1, left - 1])
+            valid = (corner_r >= 0) & (corner_c >= 0)
+            pts = np.stack([corner_r[valid], corner_c[valid]], axis=1)
+            lins = (pts[:, 0] // route.tile) * route.nb_c + (pts[:, 1] // route.tile)
+            rids = route.range_of_many(lins)
+            unique = np.unique(rids)
+            idx_groups = [(int(rid), np.nonzero(rids == rid)[0]) for rid in unique]
+            if len(idx_groups) == 1:
+                self.counters["fast_path"] += 1
+                obs.inc("cluster_fast_path_total")
+            try:
+                results = self._dispatch_groups(
+                    route, [(rid, pts[idxs]) for rid, idxs in idx_groups],
+                    deadline,
+                )
+            except WorkerUnavailable:
+                if not self.degrade:
+                    raise
+                return self._degraded_batch(name, rects)
+            served = np.zeros(len(pts), dtype=ds.values.dtype)
+            for (_rid, idxs), values in zip(idx_groups, results):
+                served[idxs] = np.asarray(values)
+            vals = np.zeros(4 * k, dtype=ds.values.dtype)
+            vals[valid] = served
+            v = vals.reshape(4, k)
+            # Same elementwise term order as queries.region_sums.
+            return v[0] - v[1] - v[2] + v[3]
+        finally:
+            with self._inflight_lock:
+                self._inflight -= 1
+
+    def lookup(self, name: str, r: int, c: int, *,
+               timeout: Optional[float] = None):
+        """One global-SAT point ``F(r, c)`` served from the shards."""
+        route = self._route(name)
+        rows, cols = self.checkpoints.dataset(name).shape
+        if not (0 <= r < rows and 0 <= c < cols):
+            raise ShapeError(
+                f"point ({r}, {c}) outside dataset of shape ({rows}, {cols})"
+            )
+        deadline = None if timeout is None else self.clock.now() + timeout
+        with self._inflight_lock:
+            if self._inflight >= self.max_inflight:
+                self.counters["shed"] += 1
+                obs.inc("cluster_shed_total")
+                raise Overloaded(
+                    f"cluster router at max_inflight={self.max_inflight}; "
+                    f"retry with backoff"
+                )
+            self._inflight += 1
+        try:
+            self.counters["requests"] += 1
+            obs.inc("cluster_requests_total", kind="lookup")
+            if deadline is not None and self.clock.now() > deadline:
+                self.counters["deadline_missed"] += 1
+                obs.inc("cluster_deadline_missed_total")
+                raise DeadlineExceeded(
+                    f"deadline passed before dispatch of lookup on {name!r}"
+                )
+            return self._lookup_corners(route, [(r, c)], deadline)[0]
+        finally:
+            with self._inflight_lock:
+                self._inflight -= 1
+
+    # -- lookup machinery -----------------------------------------------------
+
     def _lookup_corners(self, route: _DatasetRoute,
                         points: Sequence[Tuple[int, int]],
                         deadline: Optional[float]) -> List[Any]:
         """Evaluate SAT corners via the shards, grouped by range.
 
-        Any unservable group degrades the *whole* call — partial mixing
-        of shard answers and oracle answers is pointless once the oracle
+        A single-range batch (the overwhelmingly common case for one
+        rectangle: all ≤ 4 corners in one tile range) takes the fast
+        path — one coalesced round trip, no fan-out machinery. Any
+        unservable group degrades the *whole* call — partial mixing of
+        shard answers and oracle answers is pointless once the oracle
         (which can answer every corner) has to run anyway.
         """
-        by_range: Dict[int, List[int]] = {}
-        for idx, (r, c) in enumerate(points):
-            lin = (r // route.tile) * route.nb_c + (c // route.tile)
-            by_range.setdefault(route.range_of(lin), []).append(idx)
-        out: List[Any] = [None] * len(points)
-        for rid, idxs in by_range.items():
-            batch = [points[i] for i in idxs]
-            try:
-                values = self._lookup_on_range(route, rid, batch, deadline)
-            except WorkerUnavailable:
-                if not self.degrade:
-                    raise
-                return self._degraded_corners(route.name, points)
+        pts = np.asarray(points, dtype=np.int64).reshape(-1, 2)
+        if len(pts) <= 8:
+            # A single rectangle's corners: plain-Python grouping beats
+            # the vectorized unique/nonzero machinery at this size.
+            grouped: Dict[int, List[int]] = {}
+            tile, nb_c = route.tile, route.nb_c
+            for idx, (r, c) in enumerate(points):
+                lin = (int(r) // tile) * nb_c + (int(c) // tile)
+                grouped.setdefault(route.range_of(lin), []).append(idx)
+            idx_groups = list(grouped.items())
+        else:
+            lins = (pts[:, 0] // route.tile) * route.nb_c + (pts[:, 1] // route.tile)
+            rids = route.range_of_many(lins)
+            unique = np.unique(rids)
+            idx_groups = [
+                (int(rid), np.nonzero(rids == rid)[0]) for rid in unique
+            ]
+        try:
+            if len(idx_groups) == 1:
+                self.counters["fast_path"] += 1
+                obs.inc("cluster_fast_path_total")
+                values = self._coalesced_lookup(
+                    route, idx_groups[0][0], pts, deadline
+                )
+                return list(values)
+            results = self._dispatch_groups(
+                route, [(rid, pts[idxs]) for rid, idxs in idx_groups], deadline
+            )
+        except WorkerUnavailable:
+            if not self.degrade:
+                raise
+            return self._degraded_corners(
+                route.name, [(int(r), int(c)) for r, c in pts]
+            )
+        out: List[Any] = [None] * len(pts)
+        for (_rid, idxs), values in zip(idx_groups, results):
             for i, v in zip(idxs, values):
-                out[i] = v
+                out[int(i)] = v
         return out
 
+    def _dispatch_groups(self, route: _DatasetRoute,
+                         groups: List[Tuple[int, np.ndarray]],
+                         deadline: Optional[float]) -> List[np.ndarray]:
+        """One coalesced lookup per range — pipelined when there are several.
+
+        Instead of walking corner groups serially (paying one worker
+        round trip after another), every owning range's RPC is in flight
+        at once; the caller stitches results in its own deterministic
+        order, so pipelining changes latency, never values. Deadline
+        failures outrank replica exhaustion when both happen.
+        """
+        if len(groups) == 1 or not self.pipeline:
+            return [
+                self._coalesced_lookup(route, rid, pts, deadline)
+                for rid, pts in groups
+            ]
+        # The calling thread leads the first group itself while the rest
+        # are in flight on the pool — one fewer thread handoff per call,
+        # and the same wall clock as submitting everything.
+        executor = self._fanout_executor()
+        futures = [
+            executor.submit(self._coalesced_lookup, route, rid, pts, deadline)
+            for rid, pts in groups[1:]
+        ]
+        results: List[Any] = []
+        errors: List[BaseException] = []
+        try:
+            results.append(
+                self._coalesced_lookup(route, groups[0][0], groups[0][1], deadline)
+            )
+        except BaseException as exc:  # noqa: BLE001 — collected, re-raised
+            results.append(None)
+            errors.append(exc)
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 — collected, re-raised
+                results.append(None)
+                errors.append(exc)
+        if errors:
+            for exc in errors:
+                if isinstance(exc, DeadlineExceeded):
+                    raise exc
+            for exc in errors:
+                if isinstance(exc, WorkerUnavailable):
+                    raise exc
+            raise errors[0]
+        return results
+
+    def _coalesced_lookup(self, route: _DatasetRoute, rid: int,
+                          points: np.ndarray,
+                          deadline: Optional[float]) -> np.ndarray:
+        """Point lookups on one range, merged across concurrent callers.
+
+        Leader/follower per range channel: the first caller on an idle
+        channel becomes leader and flushes immediately (zero added
+        latency when idle); callers arriving while the leader's RPC is in
+        flight queue up and are swept into the next batch — one worker
+        round trip per *wave* of concurrent queries instead of one per
+        query. Values come back in request order per caller, so
+        coalescing is invisible to the stitch.
+        """
+        if not self.coalesce:
+            return self._lookup_on_range(route, rid, points, deadline)
+        ch = self._channel(route.name, rid)
+        me = _PendingLookup(points, deadline)
+        batch: Optional[List[_PendingLookup]] = None
+        with ch.cond:
+            ch.pending.append(me)
+            while True:
+                if me.done:
+                    break
+                if not ch.busy:
+                    ch.busy = True
+                    if self.coalesce_window > 0 and len(ch.pending) == 1:
+                        # Optional batching window: hold leadership briefly
+                        # to let concurrent callers pile on.
+                        ch.cond.wait(self.coalesce_window)
+                    batch = self._take_batch(ch, me)
+                    break
+                ch.cond.wait(0.05)
+        if batch is None:  # a leader served us while we waited
+            if me.error is not None:
+                raise me.error
+            assert me.values is not None
+            return me.values
+        merged = (
+            batch[0].points if len(batch) == 1
+            else np.concatenate([p.points for p in batch])
+        )
+        if len(batch) > 1:
+            self.counters["coalesced_batches"] += 1
+            self.counters["coalesced_points"] += len(merged)
+            obs.inc("cluster_coalesced_batches_total")
+            obs.inc("cluster_coalesced_points_total", len(merged))
+        batch_deadline: Optional[float] = None
+        if all(p.deadline is not None for p in batch):
+            batch_deadline = max(p.deadline for p in batch)  # type: ignore[type-var]
+        values: Optional[np.ndarray] = None
+        error: Optional[BaseException] = None
+        try:
+            values = self._lookup_on_range(route, rid, merged, batch_deadline)
+        except BaseException as exc:  # noqa: BLE001 — fanned out to the batch
+            error = exc
+        with ch.cond:
+            offset = 0
+            for p in batch:
+                n = len(p.points)
+                if error is not None:
+                    p.error = error
+                else:
+                    p.values = values[offset:offset + n]
+                offset += n
+                p.done = True
+            ch.busy = False
+            ch.cond.notify_all()
+        if me.error is not None:
+            raise me.error
+        assert me.values is not None
+        return me.values
+
+    def _take_batch(self, ch: _RangeChannel,
+                    me: _PendingLookup) -> List[_PendingLookup]:
+        """Sweep pending callers into the leader's batch (size-capped)."""
+        ch.pending.remove(me)
+        batch = [me]
+        budget = self.coalesce_max_points - len(me.points)
+        while ch.pending and len(ch.pending[0].points) <= budget:
+            p = ch.pending.pop(0)
+            batch.append(p)
+            budget -= len(p.points)
+        return batch
+
+    def _channel(self, name: str, rid: int) -> _RangeChannel:
+        key = (name, rid)
+        ch = self._channels.get(key)
+        if ch is None:
+            with self._channels_lock:
+                ch = self._channels.setdefault(key, _RangeChannel())
+        return ch
+
+    def _fanout_executor(self) -> ThreadPoolExecutor:
+        executor = self._executor
+        if executor is None:
+            with self._executor_lock:
+                executor = self._executor
+                if executor is None:
+                    executor = ThreadPoolExecutor(
+                        max_workers=self.fanout_threads,
+                        thread_name_prefix="repro-router-fanout",
+                    )
+                    self._executor = executor
+        return executor
+
     def _lookup_on_range(self, route: _DatasetRoute, rid: int,
-                         points: List[Tuple[int, int]],
-                         deadline: Optional[float]) -> List[Any]:
+                         points: np.ndarray,
+                         deadline: Optional[float]) -> np.ndarray:
         """Try a range's owners primary-first with breaker gating + backoff."""
         sup = self.supervisor
         owners = route.placement[rid][1]
@@ -492,6 +885,17 @@ class ShardRouter:
         with ds.lock:
             return [ds.values.sat_at(r, c) for (r, c) in points]
 
+    def _degraded_batch(self, name: str, rects: np.ndarray) -> np.ndarray:
+        """Answer a rectangle batch from the authoritative oracle."""
+        self.counters["degraded"] += 1
+        obs.inc("cluster_degraded_total")
+        logger.warning(
+            "degraded mode: serving %d rectangle(s) of %r from the local oracle",
+            len(rects), name,
+        )
+        ds = self.checkpoints.dataset(name)
+        return _local_region_sums(ds, rects)
+
     # -- plumbing -------------------------------------------------------------
 
     def _route(self, name: str) -> _DatasetRoute:
@@ -516,6 +920,10 @@ class ShardRouter:
         }
 
     def close(self) -> None:
+        executor = self._executor
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
         self.supervisor.stop()
 
 

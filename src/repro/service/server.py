@@ -41,7 +41,7 @@ import asyncio
 import logging
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -49,6 +49,9 @@ from ..errors import ConfigurationError, DeadlineExceeded, DrainTimeout, Overloa
 from ..obs import runtime as obs
 from . import queries as q
 from .store import TiledSATStore, TileSATFn
+
+if TYPE_CHECKING:  # pragma: no cover — typing only, no import cycle at runtime
+    from .router import ShardRouter
 
 __all__ = ["Request", "Response", "SATServer"]
 
@@ -133,6 +136,9 @@ class SATServer:
         session=None,
         clock: Callable[[], float] = time.monotonic,
         drain_timeout: Optional[float] = None,
+        router: Optional["ShardRouter"] = None,
+        coalesce_window: Optional[float] = None,
+        coalesce_max_points: Optional[int] = None,
     ):
         if max_queue < 1:
             raise ConfigurationError(f"max_queue must be >= 1, got {max_queue}")
@@ -142,6 +148,20 @@ class SATServer:
             raise ConfigurationError(
                 f"drain_timeout must be positive (or None), got {drain_timeout}"
             )
+        if router is None and (coalesce_window is not None
+                               or coalesce_max_points is not None):
+            raise ConfigurationError(
+                "coalesce_window/coalesce_max_points tune the cluster "
+                "router's request coalescer; pass router= as well"
+            )
+        self.router = router
+        if router is not None:
+            # The server's micro-batches feed straight into the router's
+            # coalescer, so its window/size knobs are exposed here.
+            if coalesce_window is not None:
+                router.coalesce_window = coalesce_window
+            if coalesce_max_points is not None:
+                router.coalesce_max_points = coalesce_max_points
         self.store = store if store is not None else TiledSATStore()
         self.max_queue = max_queue
         self.max_batch = max_batch
@@ -431,6 +451,8 @@ class SATServer:
 
     async def _dispatch(self, live: List[Request]) -> List[Any]:
         """Execute one compatible batch and return one value per request."""
+        if self.router is not None:
+            return await self._dispatch_cluster(live)
         kind = live[0].kind
         if kind == "region_sum":
             ds = self.store.get(live[0].dataset)
@@ -482,6 +504,58 @@ class SATServer:
                 )
             return [ds.shape]
         raise ConfigurationError(f"unknown request kind {kind!r}")
+
+    async def _dispatch_cluster(self, live: List[Request]) -> List[Any]:
+        """Cluster mode: execute a compatible batch through the router.
+
+        A whole micro-batch of ``region_sum`` requests becomes *one*
+        :meth:`~repro.service.router.ShardRouter.region_sums` call — the
+        server's FIFO batcher feeding the router's per-range coalescer is
+        exactly the "wire micro-batching into the coalescer" path, so a
+        burst of scalar queries costs one worker round trip per range per
+        wave. Blocking router calls run on a worker thread; the loop
+        keeps admitting and shedding.
+        """
+        router = self.router
+        assert router is not None
+        kind = live[0].kind
+        name = live[0].dataset
+        if kind == "region_sum":
+            rects = np.array([r.payload for r in live], dtype=np.int64)
+            sums = await asyncio.to_thread(router.region_sums, name, rects)
+            return [s.item() for s in sums]
+        request = live[0]
+        if kind == "update_point":
+            p = request.payload
+            await asyncio.to_thread(
+                router.update_point, name, p["r"], p["c"],
+                delta=p["delta"], value=p["value"],
+            )
+            return [router.checkpoints.dataset(name).version]
+        if kind == "update_region":
+            p = request.payload
+            apply_fn = router.add_region if p["add"] else router.update_region
+            await asyncio.to_thread(
+                apply_fn, name, p["top"], p["left"], p["values"]
+            )
+            return [router.checkpoints.dataset(name).version]
+        if kind == "ingest":
+            p = request.payload
+            if p["track_squares"]:
+                raise ConfigurationError(
+                    "the cluster router does not serve squared aggregates; "
+                    "ingest with track_squares=False (or serve locally)"
+                )
+            with obs.span("serving_ingest", dataset=name):
+                kwargs = {} if p["tile"] is None else {"tile": p["tile"]}
+                ds = await asyncio.to_thread(
+                    router.ingest, name, p["matrix"], **kwargs
+                )
+            return [ds.shape]
+        raise ConfigurationError(
+            f"request kind {kind!r} is not servable through the cluster "
+            f"router; serve it from a local TiledSATStore"
+        )
 
     def _session_tile_sats(self) -> Optional[TileSATFn]:
         if self.session is None:

@@ -9,6 +9,7 @@ broken pipes, and the shared-memory blob transport.
 """
 
 import pickle
+import threading
 import time
 import zlib
 
@@ -21,11 +22,17 @@ from repro.service.cluster import (
     DOWN,
     SHM_BLOB_THRESHOLD,
     CheckpointStore,
+    LookupRing,
+    RingUnavailable,
     ShardCheckpoint,
     ShardWorkerState,
     WorkerSupervisor,
+    _pack_lookup_request,
+    _pack_lookup_response,
     _recv_blob,
     _send_blob,
+    _unpack_lookup_request,
+    _unpack_lookup_response,
 )
 from repro.service.router import ShardRouter, make_placement
 from repro.service.store import Dataset
@@ -337,5 +344,143 @@ def test_monitor_thread_recovers_a_killed_worker(rng):
         assert sup.wait_healthy(10.0)
         values, _v = sup.rpc(1, ("lookup", "img", [(0, 0)]))
         assert values[0] == ds.values.sat_at(0, 0)
+    finally:
+        router.close()
+
+
+# --- shared-memory lookup ring ------------------------------------------------
+
+
+def test_ring_codec_roundtrips_points_and_values():
+    pts = np.array([[0, 0], [7, 31], [120, 3]], dtype=np.int64)
+    name, got = _unpack_lookup_request(_pack_lookup_request("img", pts))
+    assert name == "img" and np.array_equal(got, pts)
+    empty_name, empty = _unpack_lookup_request(
+        _pack_lookup_request("squares", np.empty((0, 2), dtype=np.int64))
+    )
+    assert empty_name == "squares" and empty.shape == (0, 2)
+    for values in (
+        np.array([1.5, -2.5, 1e300], dtype=np.float64),
+        np.arange(-3, 3, dtype=np.int64),
+        np.array([0.25], dtype=np.float32),
+    ):
+        got_v, version = _unpack_lookup_response(_pack_lookup_response(values, 7))
+        assert version == 7
+        assert got_v.dtype == values.dtype
+        assert np.array_equal(got_v, values)
+
+
+def test_lookup_ring_serves_and_rejects_oversized_payloads():
+    ring = LookupRing.create(slots=2, slot_payload=64)
+    server = LookupRing.attach(ring.name)
+    stop = threading.Event()
+
+    def serve_loop():
+        while not stop.is_set():
+            if server.serve(lambda payload: (0, payload[::-1])) == 0:
+                time.sleep(0.001)
+
+    t = threading.Thread(target=serve_loop, daemon=True)
+    t.start()
+    try:
+        status, resp = ring.request(b"doorbell", timeout=5.0)
+        assert status == 0 and resp == b"llebrood"
+        # A payload that cannot fit any slot is refused up front, so the
+        # supervisor can fall back to the pipe instead of blocking.
+        with pytest.raises(RingUnavailable):
+            ring.request(b"x" * 65, timeout=1.0)
+    finally:
+        stop.set()
+        t.join()
+        server.close()
+        ring.retire()
+
+
+def test_process_bulk_lookup_rides_the_ring(rng):
+    sup = WorkerSupervisor(2, heartbeat_interval=0.02)
+    if not sup.use_ring:
+        pytest.skip("ring transport needs the fork start method")
+    router = ShardRouter(sup, replicas=2)
+    try:
+        a = rng.integers(-50, 50, size=(32, 32)).astype(np.float64)
+        ds = router.ingest("img", a, tile=TILE)
+        # More points than the scalar/pipe cutoff: bulk batches always
+        # take the ring, whatever the host's CPU count.
+        pts = np.array(
+            [[r, c] for r in range(0, 32, 4) for c in (0, 31)], dtype=np.int64
+        )
+        assert len(pts) > 8
+        values, _v = sup.rpc(0, ("lookup", "img", pts))
+        want = np.array([ds.values.sat_at(r, c) for r, c in pts])
+        assert np.array_equal(values, want)
+        assert sum(sup.stats()["ring_lookups"].values()) >= 1
+    finally:
+        router.close()
+
+
+def test_process_oversized_ring_batch_falls_back_to_the_pipe(rng):
+    # Slots too small for even the request header + 16 points: every
+    # bulk lookup must quietly detour over the pipe and still be exact.
+    sup = WorkerSupervisor(1, heartbeat_interval=0.02, ring_slot_bytes=64)
+    if not sup.use_ring:
+        pytest.skip("ring transport needs the fork start method")
+    router = ShardRouter(sup, replicas=1)
+    try:
+        a = rng.integers(-50, 50, size=(32, 32)).astype(np.float64)
+        ds = router.ingest("img", a, tile=TILE)
+        pts = np.array(
+            [[r, c] for r in range(0, 32, 4) for c in (1, 30)], dtype=np.int64
+        )
+        values, _v = sup.rpc(0, ("lookup", "img", pts))
+        want = np.array([ds.values.sat_at(r, c) for r, c in pts])
+        assert np.array_equal(values, want)
+        assert sup.handles[0].state == ALIVE  # fallback is not a failure
+        assert sup.stats()["pipe_lookups"][0] >= 1
+        assert sup.stats()["ring_lookups"][0] == 0
+    finally:
+        router.close()
+
+
+def test_process_use_ring_false_serves_over_the_pipe(rng):
+    sup = WorkerSupervisor(1, heartbeat_interval=0.02, use_ring=False)
+    router = ShardRouter(sup, replicas=1)
+    try:
+        a = rng.integers(-50, 50, size=(32, 32)).astype(np.float64)
+        ds = router.ingest("img", a, tile=TILE)
+        assert sup.handles[0].ring is None
+        pts = np.array(
+            [[r, c] for r in range(0, 32, 4) for c in (0, 31)], dtype=np.int64
+        )
+        values, _v = sup.rpc(0, ("lookup", "img", pts))
+        want = np.array([ds.values.sat_at(r, c) for r, c in pts])
+        assert np.array_equal(values, want)
+        assert sum(sup.stats()["ring_lookups"].values()) == 0
+    finally:
+        router.close()
+
+
+def test_process_ring_lookup_fails_fast_when_worker_dies(rng):
+    sup = WorkerSupervisor(2, heartbeat_interval=0.02)
+    if not sup.use_ring:
+        pytest.skip("ring transport needs the fork start method")
+    router = ShardRouter(sup, replicas=2)
+    try:
+        a = rng.integers(-50, 50, size=(32, 32)).astype(np.float64)
+        ds = router.ingest("img", a, tile=TILE)
+        pts = np.array(
+            [[r, c] for r in range(0, 32, 4) for c in (0, 31)], dtype=np.int64
+        )
+        sup.kill_worker(0)
+        # The ring client must notice the corpse (dead doorbell or the
+        # alive() probe) well before the 5s RPC timeout, not spin it out.
+        t0 = time.monotonic()
+        with pytest.raises(WorkerUnavailable):
+            sup.rpc(0, ("lookup", "img", pts))
+        assert time.monotonic() - t0 < 4.0
+        assert sup.handles[0].state == DOWN
+        assert sup.restart(0)
+        values, _v = sup.rpc(0, ("lookup", "img", pts))
+        want = np.array([ds.values.sat_at(r, c) for r, c in pts])
+        assert np.array_equal(values, want)
     finally:
         router.close()

@@ -6,8 +6,12 @@ exercised without real processes or sleeps (the router's backoff runs on
 a FakeClock where timing matters).
 """
 
+import threading
+
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import (
     ConfigurationError,
@@ -20,6 +24,7 @@ from repro.errors import (
 from repro.sat.reference import sat_reference
 from repro.service.cluster import WorkerSupervisor
 from repro.service.queries import region_sum as local_region_sum
+from repro.service.queries import region_sums as local_region_sums
 from repro.service.router import CircuitBreaker, ShardRouter, make_placement
 from repro.util.backoff import ExponentialBackoff, FakeClock
 
@@ -331,6 +336,138 @@ def test_router_rejects_bad_configuration(rng):
             ShardRouter(sup, max_attempts=0)
     finally:
         sup.stop()
+
+
+# --- router: batched region_sums, coalescing, fast path -----------------------
+
+
+def test_region_sums_batch_bit_identical_including_dtype(rng):
+    sup, router = _cluster()
+    try:
+        a = _matrix(rng)
+        ds = router.ingest("img", a, tile=TILE)
+        rects = np.array(list(_rects(rng, 32, 60)), dtype=np.int64)
+        got = router.region_sums("img", rects)
+        want = local_region_sums(ds, rects)
+        assert got.dtype == want.dtype
+        assert np.array_equal(got, want)
+        empty = router.region_sums("img", np.zeros((0, 4), dtype=np.int64))
+        assert empty.shape == (0,) and empty.dtype == want.dtype
+    finally:
+        router.close()
+
+
+def test_region_sums_validates_shape_and_bounds(rng):
+    sup, router = _cluster()
+    try:
+        router.ingest("img", _matrix(rng), tile=TILE)
+        with pytest.raises(ShapeError):
+            router.region_sums("img", np.zeros((3, 3), dtype=np.int64))
+        with pytest.raises(ShapeError):
+            router.region_sums("img", np.array([[0, 0, 32, 5]]))  # bottom oob
+        with pytest.raises(ShapeError):
+            router.region_sums("img", np.array([[5, 0, 3, 5]]))  # inverted
+        with pytest.raises(UnknownDataset):
+            router.region_sums("ghost", np.array([[0, 0, 1, 1]]))
+    finally:
+        router.close()
+
+
+def test_region_sums_degrades_to_oracle_when_cluster_is_gone(rng):
+    sup, router = _cluster(workers=2, replicas=2)
+    try:
+        a = _matrix(rng)
+        ds = router.ingest("img", a, tile=TILE)
+        rects = np.array(list(_rects(rng, 32, 20)), dtype=np.int64)
+        sup.kill_worker(0)
+        sup.kill_worker(1)
+        got = router.region_sums("img", rects)
+        want = local_region_sums(ds, rects)
+        assert got.dtype == want.dtype
+        assert np.array_equal(got, want)
+        assert router.counters["degraded"] >= 1
+    finally:
+        router.close()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    ti=st.integers(0, 3), tj=st.integers(0, 3),
+    top_off=st.integers(1, 7), left_off=st.integers(1, 7),
+    h=st.integers(0, 6), w=st.integers(0, 6),
+)
+def test_tile_interior_rect_takes_exactly_one_rpc(ti, tj, top_off, left_off, h, w):
+    """Single-shard fast path: an interior rectangle — all four SAT
+    corners inside one tile — must cost exactly one worker round trip
+    and still bit-match the local oracle."""
+    top = ti * TILE + top_off
+    left = tj * TILE + left_off
+    bottom = min(top + h, (ti + 1) * TILE - 1)
+    right = min(left + w, (tj + 1) * TILE - 1)
+    rng = np.random.default_rng(top * 1000 + left)
+    sup, router = _cluster()
+    try:
+        a = _matrix(rng)
+        ds = router.ingest("img", a, tile=TILE)
+        before = sum(h_.lookups_served for h_ in sup.handles)
+        fast_before = router.counters["fast_path"]
+        value = router.region_sum("img", top, left, bottom, right)
+        assert value == local_region_sum(ds, top, left, bottom, right)
+        assert sum(h_.lookups_served for h_ in sup.handles) - before == 1
+        assert router.counters["fast_path"] == fast_before + 1
+        assert router.counters["degraded"] == 0
+    finally:
+        router.close()
+
+
+def test_concurrent_queries_coalesce_into_shared_round_trips(rng):
+    sup, router = _cluster(coalesce_window=0.02)
+    try:
+        a = _matrix(rng)
+        ds = router.ingest("img", a, tile=TILE)
+        # All rects live inside tile (1, 1): every corner maps to one
+        # range, so concurrent callers share that range's channel.
+        rects = [
+            (9 + i % 3, 9 + i % 3, 12 + i % 3, 12 + i % 2) for i in range(24)
+        ]
+        expected = {rect: local_region_sum(ds, *rect) for rect in set(rects)}
+        barrier = threading.Barrier(6)
+        failures = []
+
+        def client(chunk):
+            barrier.wait()
+            for rect in chunk:
+                if router.region_sum("img", *rect) != expected[rect]:
+                    failures.append(rect)
+
+        threads = [
+            threading.Thread(target=client, args=(rects[i::6],))
+            for i in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures
+        # At least one wave actually merged: the window holds leadership
+        # while the barrier releases everyone into the same channel.
+        assert router.counters["coalesced_batches"] >= 1
+        assert router.counters["coalesced_points"] > 0
+    finally:
+        router.close()
+
+
+def test_scalar_lookup_matches_the_stored_sat(rng):
+    sup, router = _cluster()
+    try:
+        a = _matrix(rng)
+        ds = router.ingest("img", a, tile=TILE)
+        for r, c in [(0, 0), (7, 8), (31, 31), (15, 16)]:
+            assert router.lookup("img", r, c) == ds.values.sat_at(r, c)
+        with pytest.raises(ShapeError):
+            router.lookup("img", 32, 0)
+    finally:
+        router.close()
 
 
 def test_stats_expose_counters_breakers_and_tiers(rng):

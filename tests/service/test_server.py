@@ -420,3 +420,99 @@ class TestStats:
                 assert s["by_kind"]["ingest"] == 1
 
         run(main())
+
+
+class TestClusterMode:
+    """SATServer(router=...): micro-batches feed the cluster coalescer."""
+
+    @staticmethod
+    def _cluster():
+        from repro.service.cluster import WorkerSupervisor
+        from repro.service.router import ShardRouter
+
+        sup = WorkerSupervisor(2, inline=True)
+        return ShardRouter(sup, replicas=2)
+
+    def test_coalesce_knobs_require_a_router(self):
+        with pytest.raises(ConfigurationError):
+            SATServer(coalesce_window=0.001)
+        with pytest.raises(ConfigurationError):
+            SATServer(coalesce_max_points=64)
+
+    def test_micro_batched_region_sums_are_bit_exact(self, rng):
+        from repro.service.queries import region_sums as local_region_sums
+        from repro.service.store import Dataset
+
+        a = make_matrix(rng, n=32)
+        router = self._cluster()
+        oracle = Dataset("img", a.copy(), 8)
+        rects = [(i % 5, i % 7, 16 + i % 9, 20 + i % 11) for i in range(24)]
+
+        async def main():
+            async with SATServer(router=router,
+                                 coalesce_window=0.0) as server:
+                await server.ingest("img", a, tile=8)
+                got = await asyncio.gather(
+                    *[server.region_sum("img", *rect) for rect in rects]
+                )
+                want = local_region_sums(
+                    oracle, np.array(rects, dtype=np.int64)
+                )
+                for resp, w in zip(got, want):
+                    assert resp.value == w.item()
+                # A burst of scalar queries rode shared micro-batches,
+                # not one router call each.
+                assert 1 <= server.stats.batches < server.stats.admitted
+
+        try:
+            run(main())
+        finally:
+            router.close()
+
+    def test_cluster_updates_flow_through_the_router(self, rng):
+        from repro.service.queries import region_sums as local_region_sums
+        from repro.service.store import Dataset
+
+        a = make_matrix(rng, n=32)
+        router = self._cluster()
+        oracle = Dataset("img", a.copy(), 8)
+        patch = rng.integers(-5, 5, size=(4, 4)).astype(np.float64)
+
+        async def main():
+            async with SATServer(router=router) as server:
+                await server.ingest("img", a, tile=8)
+                await server.update_point("img", 3, 4, delta=7.5)
+                oracle.update_point(3, 4, delta=7.5)
+                await server.update_region("img", 10, 10, patch)
+                oracle.update_region(10, 10, patch)
+                rects = np.array([[0, 0, 31, 31], [2, 3, 12, 12]],
+                                 dtype=np.int64)
+                want = local_region_sums(oracle, rects)
+                for rect, w in zip(rects, want):
+                    resp = await server.region_sum("img", *map(int, rect))
+                    assert resp.value == w.item()
+
+        try:
+            run(main())
+        finally:
+            router.close()
+
+    def test_non_cluster_servable_kinds_are_rejected(self, rng):
+        a = make_matrix(rng, n=32)
+        router = self._cluster()
+
+        async def main():
+            async with SATServer(router=router) as server:
+                await server.ingest("img", a, tile=8)
+                with pytest.raises(ConfigurationError):
+                    await server.local_stats("img", 5, 5, 2)
+                with pytest.raises(ConfigurationError):
+                    await server.ingest("sq", a, tile=8, track_squares=True)
+                # The rejections cost nothing: the dataset still serves.
+                resp = await server.region_sum("img", 0, 0, 31, 31)
+                assert resp.value == a.sum()
+
+        try:
+            run(main())
+        finally:
+            router.close()
