@@ -53,6 +53,7 @@ from __future__ import annotations
 import logging
 import os
 import pickle
+import platform
 import selectors
 import struct
 import threading
@@ -101,6 +102,16 @@ _SCALAR_LOOKUP_MAX = 8
 
 RING_SLOTS = 8
 RING_SLOT_PAYLOAD = 128 * 1024
+
+#: The lookup ring's lock-free publication protocol (payload and meta
+#: stores issued before a single-byte state flip, reads only after
+#: observing it) is sound only under x86-TSO store ordering. On weakly
+#: ordered machines (aarch64, ppc64le, ...) a worker could observe
+#: REQUEST before the payload bytes land and decode a torn request, so
+#: hot lookups stay on the pipe there.
+_RING_TSO_SAFE = platform.machine().lower() in (
+    "x86_64", "amd64", "i686", "i586", "i486", "i386", "x86",
+)
 
 
 # =============================================================================
@@ -164,6 +175,8 @@ class ShardWorkerState:
                 return self._delta(*msg[1:])
             if op == "lookup":
                 return self._lookup(*msg[1:])
+            if op == "lookup_t":
+                return self._lookup_tiny(*msg[1:])
             if op == "drop":
                 self.datasets.pop(msg[1], None)
                 return ("ok", None)
@@ -211,28 +224,11 @@ class ShardWorkerState:
 
     def _lookup(self, name: str, points) -> Tuple[Any, ...]:
         if isinstance(points, list) and len(points) <= _SCALAR_LOOKUP_MAX:
-            # Tiny pipe-encoded batches skip numpy entirely: building and
-            # tearing down (k, 2) arrays costs more than the lookups.
-            ds = self.datasets.get(name)
-            if ds is None:
-                return ("error", f"no dataset {name!r} installed on this worker")
-            out = []
-            for r, c in points:
-                i_tile, i = divmod(r, ds.t)
-                j_tile, j = divmod(c, ds.t)
-                lin = i_tile * ds.nb_c + j_tile
-                for block in ds.blocks.values():
-                    if block.lo <= lin < block.hi:
-                        k = lin - block.lo
-                        # Same addition order as TileAggregates.sat_at.
-                        out.append((block.local[k, i, j] + block.col[k, j]
-                                    + block.row[k, i] + block.corner[k]).item())
-                        break
-                else:
-                    return ("error",
-                            f"tile {lin} of {name!r} is outside this worker's "
-                            f"shards — routing bug or stale placement")
-            return ("ok", (out, ds.version))
+            reply = self._lookup_tiny(name, points)
+            if reply[0] != "ok":
+                return reply
+            out, version, _dtype = reply[1]
+            return ("ok", (out, version))
         pts = np.asarray(points, dtype=np.int64).reshape(-1, 2)
         ok, payload = self._lookup_values(name, pts)
         if not ok:
@@ -242,6 +238,42 @@ class ShardWorkerState:
             return ("ok", (values, version))
         # Pipe callers send plain point lists and index the reply like one.
         return ("ok", (values.tolist(), version))
+
+    def _lookup_tiny(self, name: str, points) -> Tuple[Any, ...]:
+        """List-wire tiny-batch lookup: ``("ok", (values, version, dtype))``.
+
+        Tiny pipe-encoded batches skip numpy entirely: building and
+        tearing down (k, 2) arrays costs more than the lookups. Values
+        travel as Python floats (``.item()`` round-trips every bit), but
+        that alone loses the dataset dtype — a float32 corner rebuilt as
+        float64 stitches at the wrong precision router-side. The dtype
+        tag lets the supervisor restore the exact serving dtype, keeping
+        the pipe path bit-identical to the ring and ndarray paths.
+        """
+        ds = self.datasets.get(name)
+        if ds is None:
+            return ("error", f"no dataset {name!r} installed on this worker")
+        out = []
+        dtype: Optional[str] = None
+        for r, c in points:
+            i_tile, i = divmod(r, ds.t)
+            j_tile, j = divmod(c, ds.t)
+            lin = i_tile * ds.nb_c + j_tile
+            for block in ds.blocks.values():
+                if block.lo <= lin < block.hi:
+                    k = lin - block.lo
+                    # Same addition order as TileAggregates.sat_at.
+                    value = (block.local[k, i, j] + block.col[k, j]
+                             + block.row[k, i] + block.corner[k])
+                    if dtype is None:
+                        dtype = value.dtype.str
+                    out.append(value.item())
+                    break
+            else:
+                return ("error",
+                        f"tile {lin} of {name!r} is outside this worker's "
+                        f"shards — routing bug or stale placement")
+        return ("ok", (out, ds.version, dtype))
 
     def _lookup_values(self, name: str,
                        pts: np.ndarray) -> Tuple[bool, Any]:
@@ -415,8 +447,10 @@ def _recv_blob(transport: Tuple[Any, ...]) -> bytes:
 # payload area. Every state transition changes exactly one byte of the
 # little-endian word, so even a byte-wise copy publishes atomically; the
 # payload and meta are always written *before* the state flip and read
-# *after* observing it (x86-TSO publication order, the same assumption
-# the repo's other shared-memory transports make). The seq echo guards
+# *after* observing it. That publication order is only guaranteed by
+# x86-TSO store ordering, so the supervisor enables the ring strictly on
+# x86 hosts (_RING_TSO_SAFE) — weakly ordered machines keep the pipe,
+# which is slower but never torn. The seq echo guards
 # against a stale slot ever being read as a fresh answer: a slot whose
 # request timed out is leaked, never recycled — the whole ring is
 # replaced when its worker restarts.
@@ -800,6 +834,10 @@ class WorkerHandle:
     restarts: int = 0
     ring: Optional[LookupRing] = None
     doorbell_w: int = -1
+    #: Guards ``doorbell_w``/``ring`` lifecycle against in-flight ring
+    #: notifies — a tiny critical section, never held across an RPC (so
+    #: it cannot serialize behind ``lock``'s pipe round trips).
+    ring_lock: threading.Lock = field(default_factory=threading.Lock)
     ring_lookups: int = 0
     pipe_lookups: int = 0
 
@@ -865,10 +903,13 @@ class WorkerSupervisor:
         self.topology_lock = threading.RLock()
         self._ctx = get_context()
         # The ring relies on the doorbell pipe fds surviving into the
-        # child, so it needs the fork start method (the default on
-        # Linux); elsewhere hot lookups simply stay on the pipe.
+        # child (so it needs the fork start method, the default on
+        # Linux) and on x86-TSO store ordering for its fence-free
+        # publication protocol; elsewhere hot lookups simply stay on
+        # the pipe.
         self.use_ring = (bool(use_ring) and not inline
-                         and self._ctx.get_start_method() == "fork")
+                         and self._ctx.get_start_method() == "fork"
+                         and _RING_TSO_SAFE)
         # Transport split for lookups: bulk point batches always take
         # the ring (no pickling, payload stays in shared memory), but a
         # tiny batch — one rectangle's corners — only wins there when
@@ -916,7 +957,8 @@ class WorkerSupervisor:
                 ring = LookupRing.create(self.ring_slots, self.ring_slot_bytes)
                 doorbell_r, doorbell_w = os.pipe()
                 os.set_blocking(doorbell_w, False)
-                handle.doorbell_w = doorbell_w
+                with handle.ring_lock:
+                    handle.doorbell_w = doorbell_w
             parent, child = self._ctx.Pipe()
             process = self._ctx.Process(
                 target=_worker_main,
@@ -936,15 +978,20 @@ class WorkerSupervisor:
         handle.state = ALIVE
 
     def _close_ring(self, handle: WorkerHandle) -> None:
-        if handle.ring is not None:
-            handle.ring.retire()
-            handle.ring = None
-        if handle.doorbell_w != -1:
+        # Detach the fd/ring from the handle *under the ring lock* before
+        # closing: an in-flight _rpc_ring notify re-reads doorbell_w under
+        # the same lock, so it can never write to an fd number the OS has
+        # already recycled for a new epoch's pipes.
+        with handle.ring_lock:
+            ring, handle.ring = handle.ring, None
+            doorbell_w, handle.doorbell_w = handle.doorbell_w, -1
+        if ring is not None:
+            ring.retire()
+        if doorbell_w != -1:
             try:
-                os.close(handle.doorbell_w)
+                os.close(doorbell_w)
             except OSError:
                 pass
-            handle.doorbell_w = -1
 
     def stop(self) -> None:
         """Stop the monitor and terminate every worker."""
@@ -996,26 +1043,27 @@ class WorkerSupervisor:
                 f"worker {worker_id} is {handle.state} (epoch {handle.epoch})"
             )
         timeout = self.rpc_timeout if timeout is None else timeout
+        op = msg[0]
+        is_lookup = op == "lookup"
         if self.inline:
             reply = self._rpc_inline(handle, msg)
-        elif (msg[0] == "lookup" and handle.ring is not None
+        elif (is_lookup and handle.ring is not None
               and (self._ring_small_lookups
                    or len(msg[2]) > _SCALAR_LOOKUP_MAX)):
             reply = self._rpc_ring(handle, msg, timeout)
         else:
-            if msg[0] == "lookup":
+            if is_lookup:
                 handle.pipe_lookups += 1
-                msg, decode = self._encode_pipe_lookup(msg)
-                reply = self._rpc_process(handle, msg, timeout)
-                reply = decode(reply)
+                wire, decode = self._encode_pipe_lookup(msg)
+                reply = decode(self._rpc_process(handle, wire, timeout))
             else:
                 reply = self._rpc_process(handle, msg, timeout)
         if reply[0] != "ok":
             self._mark_down(handle, f"error reply: {reply[1]}")
             raise WorkerUnavailable(
-                f"worker {worker_id} rejected {msg[0]!r}: {reply[1]}"
+                f"worker {worker_id} rejected {op!r}: {reply[1]}"
             )
-        if msg[0] == "lookup":
+        if is_lookup:
             handle.lookups_served += 1
         return reply[1]
 
@@ -1023,11 +1071,13 @@ class WorkerSupervisor:
     def _encode_pipe_lookup(msg):
         """Choose the pipe wire format for a lookup's point batch.
 
-        Tiny ndarray batches go over as plain point lists — pickling a
-        small ndarray (and its ndarray reply) costs several times the
-        list encoding — and the reply is re-wrapped as an ndarray so
-        callers see one format. Values survive exactly: ``tolist``
-        round-trips every float bit-for-bit.
+        Tiny ndarray batches go over as ``lookup_t`` plain point lists —
+        pickling a small ndarray (and its ndarray reply) costs several
+        times the list encoding. Values survive exactly (``tolist``
+        round-trips every float bit-for-bit) and the reply carries the
+        dataset's dtype tag, so the rebuilt ndarray matches the ring and
+        ndarray paths bit-for-bit — float32 corners must not come back
+        as float64, or the router's stitch sums at the wrong precision.
         """
         points = msg[2]
         if not isinstance(points, np.ndarray) or len(points) > _SCALAR_LOOKUP_MAX:
@@ -1036,10 +1086,10 @@ class WorkerSupervisor:
         def decode(reply):
             if reply[0] != "ok":
                 return reply
-            values, version = reply[1]
-            return ("ok", (np.asarray(values), version))
+            values, version, dtype = reply[1]
+            return ("ok", (np.asarray(values, dtype=dtype), version))
 
-        return (msg[0], msg[1], [(int(r), int(c)) for r, c in points]), decode
+        return ("lookup_t", msg[1], [(int(r), int(c)) for r, c in points]), decode
 
     def _rpc_ring(self, handle: WorkerHandle, msg, timeout: float):
         """Ship a lookup over the worker's shared-memory ring.
@@ -1053,14 +1103,24 @@ class WorkerSupervisor:
         payload = _pack_lookup_request(
             name, np.asarray(points, dtype=np.int64).reshape(-1, 2)
         )
-        doorbell_w = handle.doorbell_w
+        epoch = handle.epoch
         process = handle.process
 
         def notify() -> None:
-            try:
-                os.write(doorbell_w, b"!")
-            except BlockingIOError:
-                pass  # doorbells already pending; the worker will scan
+            # Re-read the fd under the ring lock and gate on the epoch: a
+            # concurrent restart closes doorbell_w and the fresh pipes may
+            # reuse the same fd number, so a captured fd could write a
+            # stray byte into an unrelated descriptor (worst case, the new
+            # control pipe's framed stream).
+            with handle.ring_lock:
+                if handle.epoch != epoch or handle.doorbell_w == -1:
+                    return
+                try:
+                    os.write(handle.doorbell_w, b"!")
+                except BlockingIOError:
+                    pass  # doorbells already pending; the worker will scan
+                except OSError:
+                    pass  # teardown race; the request path will time out
 
         try:
             status, data = ring.request(

@@ -747,30 +747,88 @@ class ShardRouter:
                         ch.cond.wait(self.coalesce_window)
                     batch = self._take_batch(ch, me)
                     break
+                # A caller still queued enforces its own deadline; one
+                # already swept into a batch is resolved by its leader
+                # (who serves under the batch's earliest deadline).
+                if (me.deadline is not None and me in ch.pending
+                        and self.clock.now() > me.deadline):
+                    ch.pending.remove(me)
+                    self.counters["deadline_missed"] += 1
+                    obs.inc("cluster_deadline_missed_total")
+                    raise DeadlineExceeded(
+                        f"deadline passed while queued for range {rid} "
+                        f"of {route.name!r}"
+                    )
                 ch.cond.wait(0.05)
         if batch is None:  # a leader served us while we waited
             if me.error is not None:
                 raise me.error
             assert me.values is not None
             return me.values
-        merged = (
-            batch[0].points if len(batch) == 1
-            else np.concatenate([p.points for p in batch])
-        )
         if len(batch) > 1:
+            n_points = sum(len(p.points) for p in batch)
             self.counters["coalesced_batches"] += 1
-            self.counters["coalesced_points"] += len(merged)
+            self.counters["coalesced_points"] += n_points
             obs.inc("cluster_coalesced_batches_total")
-            obs.inc("cluster_coalesced_points_total", len(merged))
-        batch_deadline: Optional[float] = None
-        if all(p.deadline is not None for p in batch):
-            batch_deadline = max(p.deadline for p in batch)  # type: ignore[type-var]
-        values: Optional[np.ndarray] = None
-        error: Optional[BaseException] = None
+            obs.inc("cluster_coalesced_points_total", n_points)
+        self._serve_batch(route, rid, ch, batch)
+        if me.error is not None:
+            raise me.error
+        assert me.values is not None
+        return me.values
+
+    def _serve_batch(self, route: _DatasetRoute, rid: int,
+                     ch: _RangeChannel, batch: List[_PendingLookup]) -> None:
+        """Leader duty: serve the swept batch under per-caller deadlines.
+
+        The RPC runs under the batch's *earliest* deadline, so a caller
+        with a short timeout never waits out another caller's full retry
+        ladder. When that earliest deadline fires, only the callers whose
+        own deadline has actually passed are resolved with
+        :class:`DeadlineExceeded`; the remainder retries under the
+        next-earliest deadline. Each round resolves at least one caller,
+        so the loop terminates.
+        """
+        remaining = batch
         try:
-            values = self._lookup_on_range(route, rid, merged, batch_deadline)
-        except BaseException as exc:  # noqa: BLE001 — fanned out to the batch
-            error = exc
+            while remaining:
+                deadlines = [p.deadline for p in remaining if p.deadline is not None]
+                batch_deadline = min(deadlines) if deadlines else None
+                merged = (
+                    remaining[0].points if len(remaining) == 1
+                    else np.concatenate([p.points for p in remaining])
+                )
+                try:
+                    values = self._lookup_on_range(
+                        route, rid, merged, batch_deadline
+                    )
+                except DeadlineExceeded as exc:
+                    now = self.clock.now()
+                    expired = [
+                        p for p in remaining
+                        if p.deadline is not None and now > p.deadline
+                    ]
+                    if not expired:  # at minimum, the earliest holder
+                        expired = [
+                            p for p in remaining if p.deadline == batch_deadline
+                        ]
+                    self._resolve_pending(ch, expired, error=exc)
+                    remaining = [p for p in remaining if p not in expired]
+                except BaseException as exc:  # noqa: BLE001 — fanned out
+                    self._resolve_pending(ch, remaining, error=exc)
+                    remaining = []
+                else:
+                    self._resolve_pending(ch, remaining, values=values)
+                    remaining = []
+        finally:
+            with ch.cond:
+                ch.busy = False
+                ch.cond.notify_all()
+
+    @staticmethod
+    def _resolve_pending(ch: _RangeChannel, batch: List[_PendingLookup],
+                         values: Optional[np.ndarray] = None,
+                         error: Optional[BaseException] = None) -> None:
         with ch.cond:
             offset = 0
             for p in batch:
@@ -778,15 +836,11 @@ class ShardRouter:
                 if error is not None:
                     p.error = error
                 else:
+                    assert values is not None
                     p.values = values[offset:offset + n]
                 offset += n
                 p.done = True
-            ch.busy = False
             ch.cond.notify_all()
-        if me.error is not None:
-            raise me.error
-        assert me.values is not None
-        return me.values
 
     def _take_batch(self, ch: _RangeChannel,
                     me: _PendingLookup) -> List[_PendingLookup]:

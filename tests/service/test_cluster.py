@@ -17,6 +17,7 @@ import numpy as np
 import pytest
 
 from repro.errors import CorruptionDetected, UnknownDataset, WorkerUnavailable
+from repro.service import cluster as cluster_module
 from repro.service.cluster import (
     ALIVE,
     DOWN,
@@ -34,6 +35,7 @@ from repro.service.cluster import (
     _unpack_lookup_request,
     _unpack_lookup_response,
 )
+from repro.service.queries import region_sum as local_region_sum
 from repro.service.router import ShardRouter, make_placement
 from repro.service.store import Dataset
 from repro.util.backoff import ExponentialBackoff, FakeClock
@@ -457,6 +459,48 @@ def test_process_use_ring_false_serves_over_the_pipe(rng):
         assert sum(sup.stats()["ring_lookups"].values()) == 0
     finally:
         router.close()
+
+
+def test_process_tiny_pipe_lookup_preserves_dataset_dtype(rng):
+    """Regression: the tiny list-encoded pipe path must restore the
+    dataset dtype. Rebuilding float32 corners as float64 made
+    region_sum stitch at the wrong precision *and* return the wrong
+    dtype — and only on the pipe, so results depended on the transport.
+    """
+    sup = WorkerSupervisor(2, heartbeat_interval=0.02, use_ring=False)
+    router = ShardRouter(sup, replicas=2)
+    try:
+        a = rng.integers(-50, 50, size=(32, 32)).astype(np.float32)
+        ds = router.ingest("img", a, tile=TILE)
+        pts = np.array([[3, 3], [9, 9], [31, 31]], dtype=np.int64)
+        values, _v = sup.rpc(0, ("lookup", "img", pts))  # tiny: list wire
+        assert values.dtype == np.float32
+        for (r, c), got in zip(pts, values):
+            assert got == ds.values.sat_at(r, c)
+        # End-to-end: scalar region_sum (which sums raw corner values)
+        # must match the local oracle bit-for-bit, dtype included.
+        for top, left, bottom, right in [(0, 0, 31, 31), (5, 7, 20, 22),
+                                         (9, 9, 12, 12), (0, 3, 3, 30)]:
+            got = router.region_sum("img", top, left, bottom, right)
+            want = local_region_sum(ds, top, left, bottom, right)
+            assert got == want
+            assert np.asarray(got).dtype == np.asarray(want).dtype
+        assert router.counters["degraded"] == 0
+    finally:
+        router.close()
+
+
+def test_ring_is_disabled_on_weakly_ordered_machines(monkeypatch):
+    """The ring's fence-free publication protocol assumes x86-TSO; on
+    any other machine the supervisor must keep lookups on the pipe."""
+    monkeypatch.setattr(cluster_module, "_RING_TSO_SAFE", False)
+    sup = WorkerSupervisor(1, heartbeat_interval=0.02, use_ring=True)
+    try:
+        assert not sup.use_ring
+        assert sup.handles[0].ring is None
+        assert sup.handles[0].doorbell_w == -1
+    finally:
+        sup.stop()
 
 
 def test_process_ring_lookup_fails_fast_when_worker_dies(rng):

@@ -457,6 +457,55 @@ def test_concurrent_queries_coalesce_into_shared_round_trips(rng):
         router.close()
 
 
+def test_queued_caller_enforces_its_own_deadline(rng):
+    """A caller waiting behind a busy channel must give up when *its*
+    deadline passes instead of waiting out the leader's retry ladder."""
+    clock = FakeClock()
+    sup = WorkerSupervisor(2, inline=True, auto_restart=False)
+    router = ShardRouter(sup, replicas=2, clock=clock)
+    try:
+        router.ingest("img", _matrix(rng), tile=TILE)
+        route = router._route("img")
+        ch = router._channel("img", 0)
+        ch.busy = True  # simulate a leader's RPC in flight
+        clock.advance(1.0)
+        with pytest.raises(DeadlineExceeded):
+            router._coalesced_lookup(
+                route, 0, np.array([[1, 1]], dtype=np.int64), deadline=0.5
+            )
+        assert not ch.pending  # the expired caller removed itself
+        assert router.counters["deadline_missed"] == 1
+        ch.busy = False
+    finally:
+        router.close()
+
+
+def test_leader_serves_batch_under_earliest_deadline(rng):
+    """A swept batch runs under the earliest member deadline: the
+    expired caller is resolved with DeadlineExceeded, the rest are
+    retried and still served."""
+    from repro.service.router import _PendingLookup
+
+    clock = FakeClock()
+    sup = WorkerSupervisor(2, inline=True, auto_restart=False)
+    router = ShardRouter(sup, replicas=2, clock=clock)
+    try:
+        ds = router.ingest("img", _matrix(rng), tile=TILE)
+        route = router._route("img")
+        ch = router._channel("img", 0)
+        clock.advance(1.0)
+        expired = _PendingLookup(np.array([[1, 1]], dtype=np.int64), deadline=0.5)
+        patient = _PendingLookup(np.array([[5, 5]], dtype=np.int64), deadline=None)
+        ch.busy = True
+        router._serve_batch(route, 0, ch, [expired, patient])
+        assert expired.done and isinstance(expired.error, DeadlineExceeded)
+        assert patient.done and patient.error is None
+        assert patient.values[0] == ds.values.sat_at(5, 5)
+        assert not ch.busy  # leadership released after the whole batch
+    finally:
+        router.close()
+
+
 def test_scalar_lookup_matches_the_stored_sat(rng):
     sup, router = _cluster()
     try:
