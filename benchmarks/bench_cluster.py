@@ -606,7 +606,7 @@ def test_cluster_benchmark(once, report):
     """Quick-size cluster run with the CI gates asserted."""
     results = once(run_cluster_benchmark, **QUICK_SIZES)
     write_json(results)
-    report("BENCH_cluster", summary_text(results))
+    report("BENCH_cluster", summary_text(results), persist=False)
     assert not check_gates(results)
 
 

@@ -300,7 +300,7 @@ def test_serving_benchmark(once, report):
         loadgen_burst=24,
     )
     write_json(results)
-    report("BENCH_serving", summary_text(results))
+    report("BENCH_serving", summary_text(results), persist=False)
     assert not check_gates(results)
 
 

@@ -17,10 +17,16 @@ RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__fil
 
 @pytest.fixture
 def report(capsys):
-    """Print a reproduction artifact to the real stdout and persist it."""
+    """Print a reproduction artifact to the real stdout and persist it.
 
-    def _report(name: str, text: str) -> None:
-        write_result(name, text, results_dir=RESULTS_DIR)
+    Benchmarks that already write a canonical JSON under ``results/``
+    (throughput, serving, cluster) pass ``persist=False`` so the printed
+    summary does not leave a duplicate ``.txt`` twin next to it.
+    """
+
+    def _report(name: str, text: str, *, persist: bool = True) -> None:
+        if persist:
+            write_result(name, text, results_dir=RESULTS_DIR)
         with capsys.disabled():
             sys.stdout.write(f"\n=== {name} ===\n{text}\n")
 

@@ -51,7 +51,9 @@ def cmd_demo(args) -> int:
     """Run one SAT on the simulated HMM and verify it against numpy.
 
     ``--repeat`` reruns the same shape to exercise the plan cache;
-    ``--fast`` uses the vectorized counter-replay path for the warm runs.
+    ``--fast`` uses the vectorized counter-replay path for the warm runs,
+    and ``--fused`` picks that path's backend (batched numpy or the
+    compiled native megakernels).
     """
     from .machine.engine import ExecutionEngine, PlanCache
 
@@ -61,17 +63,26 @@ def cmd_demo(args) -> int:
     result = algo.compute(a, _params(args), engine=engine)
     expected = np.cumsum(np.cumsum(a, axis=0), axis=1)
     ok = np.allclose(result.sat, expected)
+    fused = args.fused if args.fused is not None else True
     for _ in range(max(0, args.repeat - 1)):
-        warm = algo.compute(a, _params(args), engine=engine, fast=args.fast)
+        warm = algo.compute(a, _params(args), engine=engine, fast=args.fast, fused=fused)
         ok = ok and np.array_equal(warm.sat, result.sat)
     print(result.summary())
     if args.repeat > 1:
         stats = engine.stats()
+        native = stats["native"]
+        backend_note = ""
+        if args.fast and args.fused == "native":
+            backend_note = (
+                f" [native: {native['toolchain'] or 'unavailable -> numpy'}"
+                f", {native['lowered_groups']} group(s) lowered]"
+            )
         print(
             f"plan cache over {args.repeat} runs"
             f"{' (fast replay)' if args.fast else ''}: "
             f"{stats['compiles']} compile(s), {stats['hits']} hit(s), "
             f"warm runs bit-identical: {'OK' if ok else 'MISMATCH'}"
+            f"{backend_note}"
         )
     print(f"verified against numpy oracle: {'OK' if ok else 'MISMATCH'}")
     return 0 if ok else 1
@@ -287,10 +298,12 @@ def cmd_stats(args) -> int:
     """Run an instrumented workload and export the observability state.
 
     Exercises every instrumented layer with observability forced on for
-    the run — a cold compile + counted execution, warm fused replays, a
-    serial :class:`~repro.sat.batch.BatchSession` batch, and a prefetched
-    band stream — then prints the collected metrics as JSON and/or
-    Prometheus text exposition. Also runs the
+    the run — a cold compile + counted execution, warm fused replays, one
+    warm native-backend run (so compiled-kernel accounting, or the
+    fallback counter on hosts without a JIT toolchain, appears in the
+    export), a serial :class:`~repro.sat.batch.BatchSession` batch, and a
+    prefetched band stream — then prints the collected metrics as JSON
+    and/or Prometheus text exposition. Also runs the
     :class:`~repro.obs.CostAudit` sweep (predicted ``C/w + S + (B+1)l``
     vs counted accesses) across all six algorithms; any divergence sets
     exit code 1. The human-readable audit summary goes to stderr so
@@ -314,6 +327,7 @@ def cmd_stats(args) -> int:
         algo.compute(a, params, engine=engine)
         for _ in range(max(0, args.repeat - 1)):
             algo.compute(a, params, engine=engine, fast=True)
+        algo.compute(a, params, engine=engine, fast=True, fused="native")
         with BatchSession(
             args.algorithm, params, workers=1,
             **({"p": args.p} if args.algorithm == "kR1W" else {}),
@@ -346,7 +360,14 @@ def cmd_stats(args) -> int:
         audit = CostAudit()
         audit.sweep(args.n, params, p=args.p, seed=args.seed)
     if args.format in ("json", "both"):
-        print(to_json(extra={"cost_audit": audit.as_dict()}))
+        print(
+            to_json(
+                extra={
+                    "cost_audit": audit.as_dict(),
+                    "native_backend": engine.stats()["native"],
+                }
+            )
+        )
     if args.format in ("prom", "both"):
         print(to_prometheus(), end="")
     print(audit.summary(), file=sys.stderr)
@@ -632,6 +653,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--fast", action="store_true",
         help="use the vectorized counter-replay path for warm repeats",
+    )
+    p.add_argument(
+        "--fused", choices=["numpy", "native"], default=None,
+        help="fused backend for --fast warm repeats: batched numpy or "
+        "compiled native megakernels (default: REPRO_FUSED_BACKEND, "
+        "else numpy; native degrades to numpy without a JIT toolchain)",
     )
     _add_machine_args(p)
     p.set_defaults(fn=cmd_demo)

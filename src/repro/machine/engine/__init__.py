@@ -9,6 +9,10 @@ compiled access plans across invocations):
   including the ``fast=True`` mode that skips per-access accounting by
   replaying memoized per-kernel traffic diffs;
 * :mod:`repro.machine.engine.cache` — the bounded LRU :class:`PlanCache`;
+* :mod:`repro.machine.engine.native` — the JIT/C backend lowering each
+  plan's fused schedule to compiled megakernels (``fused="native"``),
+  with the :mod:`~repro.machine.engine.memobj` memory objects deciding
+  allocation and layout in the generated code;
 * :class:`ExecutionEngine` — the facade the SAT driver talks to: look up
   or compile the plan for ``(algorithm, shape, params)``, then execute.
 
@@ -19,12 +23,13 @@ constructed for isolation (tests, benchmarks).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 from ...obs import runtime as obs
 from ..params import MachineParams
 from ..macro.executor import HMMExecutor
 from .cache import PlanCache
+from .native import native_available, native_stats
 from .plan import (
     AllocOp,
     ExecutionPlan,
@@ -84,16 +89,19 @@ class ExecutionEngine:
         executor: HMMExecutor,
         *,
         fast: bool = False,
-        fused: bool = True,
+        fused: Union[bool, str] = True,
     ) -> None:
         """Execute a plan. ``fast=True`` replays memoized traffic tallies;
         ``fused`` (default on) additionally runs each fast kernel through
-        its batched numpy schedule instead of per-task Python closures."""
+        its batched numpy schedule instead of per-task Python closures —
+        or through compiled native megakernels with ``fused="native"``
+        (see :mod:`repro.machine.engine.native`)."""
         execute_plan(plan, executor, fast=fast, fused=fused)
 
     def stats(self) -> dict:
         out = self.cache.stats()
         out["compiles"] = self.compiles
+        out["native"] = native_stats()
         return out
 
     def cache_stats(self) -> dict:
@@ -124,4 +132,6 @@ __all__ = [
     "compile_plan",
     "default_engine",
     "execute_plan",
+    "native_available",
+    "native_stats",
 ]

@@ -300,6 +300,10 @@ class BlockStageSpec(FusedKernelSpec):
         self.aux_bottom, self.aux_right = aux_bottom, aux_right
         bi = np.array([b[0] for b in blocks], dtype=np.int64)
         bj = np.array([b[1] for b in blocks], dtype=np.int64)
+        # Kept for the native backend, which lowers the stage from the
+        # block list rather than the expanded index arrays below.
+        self.bi, self.bj = bi, bj
+        self.block_rows, self.block_cols = block_rows, block_cols
         self.num_blocks = bi.size
         r0, c0 = bi * w, bj * w
         self.row_idx, self.col_idx = _block_indices(w, r0, c0)

@@ -1,0 +1,254 @@
+"""Memory objects: allocation, layout, and access lowering for generated code.
+
+The native backend (:mod:`repro.machine.engine.native`) compiles each
+:class:`~repro.machine.engine.fused.FusedKernelSpec` into a C megakernel.
+Following SYS_ATL/exo's ``Memory`` classes, the *code generator* never
+writes an allocation, free, read, or write directly — it asks a memory
+object to lower the operation into C text. A memory object therefore owns
+three decisions at once:
+
+* **allocation** — where a buffer lives (caller-provided global storage,
+  the kernel's stack frame, or the heap) and what C statement creates it;
+* **layout** — how a logical index tuple maps to a linear offset
+  (row-major with a runtime leading dimension for global buffers,
+  block-contiguous ``w*w`` tiles for staging storage);
+* **access lowering** — the C expressions for reading, writing, and
+  reducing into an element.
+
+Concretely this is what lets the generator fuse a kernel's *stacked
+gather → per-block compute → stacked scatter* into one pass: the staging
+memory object materializes each block as a contiguous tile (the layout
+the bit-exact pairwise reductions are defined over), while the global
+memory object lowers the strided row-major accesses around it, and
+swapping one staging class for another (stack vs heap) changes the
+generated allocation code without touching any kernel generator.
+
+Every lowering classmethod returns a *string of C code*; a memory that
+cannot perform an operation raises :class:`MemGenError` (SYS_ATL's
+convention), which the generator treats as "pick another memory".
+"""
+
+from __future__ import annotations
+
+from abc import ABC
+from typing import Sequence, Tuple
+
+__all__ = [
+    "MemGenError",
+    "Memory",
+    "GlobalRowMajor",
+    "StackTile",
+    "HeapStage",
+    "BlockContiguousStage",
+]
+
+
+class MemGenError(Exception):
+    """A memory object could not lower the requested operation."""
+
+
+class Memory(ABC):
+    """Base memory object: C-code macros for alloc/free/read/write/reduce.
+
+    ``alloc``/``free`` return whole C statements; ``window`` returns an
+    lvalue expression for one element, out of which ``read``, ``write``
+    and ``reduce`` build statements. Shapes are sequences of C
+    expressions (strings or ints), row-major, last dimension fastest —
+    the SYS_ATL ordering contract.
+    """
+
+    #: Human-readable tag used in generated-code comments and stats.
+    name: str = "abstract"
+
+    @classmethod
+    def alloc(cls, new_name: str, prim_type: str, shape: Sequence) -> str:
+        raise MemGenError(f"{cls.__name__} cannot allocate {new_name!r}")
+
+    @classmethod
+    def free(cls, new_name: str) -> str:
+        return ""
+
+    @classmethod
+    def window(cls, name: str, index: Sequence, shape: Sequence) -> str:
+        """Lvalue for ``name[index]`` under this memory's layout."""
+        raise MemGenError(f"{cls.__name__} cannot address {name!r}")
+
+    @classmethod
+    def read(cls, name: str, index: Sequence, shape: Sequence) -> str:
+        return cls.window(name, index, shape)
+
+    @classmethod
+    def write(cls, name: str, index: Sequence, shape: Sequence, rhs: str) -> str:
+        return f"{cls.window(name, index, shape)} = {rhs};"
+
+    @classmethod
+    def reduce(cls, name: str, index: Sequence, shape: Sequence, rhs: str) -> str:
+        return f"{cls.window(name, index, shape)} += {rhs};"
+
+
+def _linear_index(index: Sequence, shape: Sequence) -> str:
+    """Row-major linear offset expression for ``index`` within ``shape``."""
+    if len(index) != len(shape):
+        raise MemGenError(
+            f"index rank {len(index)} does not match shape rank {len(shape)}"
+        )
+    if not index:
+        return "0"
+    terms = []
+    for axis, idx in enumerate(index):
+        strides = [str(s) for s in shape[axis + 1 :]]
+        if strides:
+            terms.append(f"({idx}) * ({' * '.join(strides)})")
+        else:
+            terms.append(f"({idx})")
+    return " + ".join(terms)
+
+
+class GlobalRowMajor(Memory):
+    """A caller-provided global buffer: row-major, runtime leading dims.
+
+    This is the layout :class:`~repro.machine.macro.global_memory
+    .GlobalMemory` hands the kernel (numpy C-order ``float64``). It can
+    be read and written but never allocated — global buffers are created
+    by the plan's :class:`~repro.machine.engine.plan.AllocOp` replay, not
+    by generated code.
+    """
+
+    name = "global"
+
+    @classmethod
+    def window(cls, name: str, index: Sequence, shape: Sequence) -> str:
+        return f"{name}[{_linear_index(index, shape)}]"
+
+
+class StackTile(Memory):
+    """Per-block staging tile on the kernel's stack frame.
+
+    The fast path for the common widths (``w <= 64``): allocation is one
+    VLA declaration inside the (per-thread) block loop body, free is a
+    no-op, and the tile is contiguous — the layout the bit-exact
+    ``pairwise`` reductions and the block SAT run over. Refuses shapes
+    whose *static bound* exceeds :data:`MAX_WORDS` so a pathological
+    width cannot blow the stack; the generator then falls back to
+    :class:`HeapStage`.
+    """
+
+    name = "stack"
+
+    #: Largest tile (in words) this memory will place on the stack: a
+    #: 64 x 64 double tile is 32 KiB, comfortably inside a worker
+    #: thread's stack alongside the kernel frame.
+    MAX_WORDS = 64 * 64
+
+    @classmethod
+    def alloc(cls, new_name: str, prim_type: str, shape: Sequence) -> str:
+        if not shape:
+            return f"{prim_type} {new_name};"
+        try:
+            words = 1
+            for extent in shape:
+                words *= int(extent)
+        except (TypeError, ValueError):
+            raise MemGenError(
+                f"StackTile requires constant shapes for {new_name!r}; "
+                f"saw {tuple(shape)!r} (use HeapStage or a guarded hybrid)"
+            ) from None
+        if words > cls.MAX_WORDS:
+            raise MemGenError(
+                f"StackTile refuses {words}-word tile {new_name!r} "
+                f"(> {cls.MAX_WORDS} words); use HeapStage"
+            )
+        extents = " * ".join(str(s) for s in shape)
+        return f"{prim_type} {new_name}[{extents}];"
+
+    @classmethod
+    def window(cls, name: str, index: Sequence, shape: Sequence) -> str:
+        return f"{name}[{_linear_index(index, shape)}]"
+
+
+class HeapStage(Memory):
+    """Heap-allocated staging buffer (``malloc``/``free``).
+
+    The fallback for tiles too large for :class:`StackTile`; also usable
+    for whole-kernel staging areas sized at runtime. Same contiguous
+    row-major layout as :class:`StackTile`, so generated compute code is
+    layout-independent across the two.
+    """
+
+    name = "heap"
+
+    @classmethod
+    def alloc(cls, new_name: str, prim_type: str, shape: Sequence) -> str:
+        if not shape:
+            raise MemGenError(
+                f"HeapStage allocates buffers, not scalars ({new_name!r})"
+            )
+        extents = " * ".join(f"({s})" for s in shape)
+        return (
+            f"{prim_type} *{new_name} = "
+            f"({prim_type} *)malloc(sizeof({prim_type}) * ({extents}));"
+        )
+
+    @classmethod
+    def free(cls, new_name: str) -> str:
+        return f"free({new_name});"
+
+    @classmethod
+    def window(cls, name: str, index: Sequence, shape: Sequence) -> str:
+        return f"{name}[{_linear_index(index, shape)}]"
+
+
+class BlockContiguousStage(Memory):
+    """Hybrid staging tile: stack for small widths, heap past the bound.
+
+    The shape is known only at kernel *run* time (the machine width is a
+    runtime argument to the generic megakernels), so the stack/heap
+    choice is lowered into the generated code as a guarded hybrid: a
+    fixed :attr:`StackTile.MAX_WORDS` VLA plus a runtime branch to
+    ``malloc`` when ``w*w`` exceeds it. Compute code addresses the tile
+    through one pointer either way — the layout (block-contiguous
+    row-major) is identical, which is what keeps the generated kernels
+    bit-exact across the two allocations.
+    """
+
+    name = "block_contiguous"
+
+    @classmethod
+    def alloc(cls, new_name: str, prim_type: str, shape: Sequence) -> str:
+        if not shape:
+            raise MemGenError("BlockContiguousStage allocates tiles, not scalars")
+        extents = " * ".join(f"({s})" for s in shape)
+        bound = StackTile.MAX_WORDS
+        stack_decl = StackTile.alloc(f"{new_name}_stack", prim_type, (bound,))
+        return "\n".join(
+            [
+                stack_decl,
+                f"{prim_type} *{new_name} = {new_name}_stack;",
+                f"int {new_name}_on_heap = (({extents}) > {bound});",
+                f"if ({new_name}_on_heap) {new_name} = "
+                f"({prim_type} *)malloc(sizeof({prim_type}) * ({extents}));",
+            ]
+        )
+
+    @classmethod
+    def free(cls, new_name: str) -> str:
+        return f"if ({new_name}_on_heap) free({new_name});"
+
+    @classmethod
+    def window(cls, name: str, index: Sequence, shape: Sequence) -> str:
+        return f"{name}[{_linear_index(index, shape)}]"
+
+
+def tile_memory(words_bound) -> Tuple[type, bool]:
+    """Pick the staging memory for a tile of (possibly runtime) size.
+
+    Returns ``(memory_class, static)``: with a compile-time bound that
+    fits, :class:`StackTile` (``static=True``); otherwise the runtime
+    hybrid :class:`BlockContiguousStage`.
+    """
+    try:
+        if int(words_bound) <= StackTile.MAX_WORDS:
+            return StackTile, True
+    except (TypeError, ValueError):
+        pass
+    return BlockContiguousStage, False

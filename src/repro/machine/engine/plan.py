@@ -97,13 +97,18 @@ class KernelPlan:
     .FusedKernelSpec` groups (batched numpy execution) and leftover
     per-task entries — built lazily on first fused execution and cached
     for the plan's lifetime; its index arrays are what "precomputed at
-    compile time" means operationally.
+    compile time" means operationally. ``native`` is the same schedule
+    lowered one level further, with each spec bound to its compiled
+    megakernel (:mod:`~repro.machine.engine.native`); it too is built
+    once and cached, so the compiled-kernel bindings are keyed exactly
+    like the plan that owns them.
     """
 
     label: str
     tasks: Tuple[BlockTask, ...]
     counters: Optional[AccessCounters] = None
     schedule: Optional[Tuple] = None
+    native: Optional[Tuple] = None
 
     def fused_schedule(self) -> Tuple:
         if self.schedule is None:
@@ -111,6 +116,15 @@ class KernelPlan:
                 self.schedule = build_fused_schedule(self.tasks)
             obs.inc("fused_schedule_builds_total")
         return self.schedule
+
+    def native_schedule(self, backend) -> Tuple:
+        if self.native is None:
+            from .native import build_native_schedule
+
+            with obs.span("native_build", label=self.label, tasks=len(self.tasks)):
+                self.native = build_native_schedule(self.fused_schedule(), backend)
+            obs.inc("native_schedule_builds_total")
+        return self.native
 
 
 PlanOp = Union[AllocOp, FreeOp, KernelPlan]
@@ -270,7 +284,7 @@ def execute_plan(
     executor: HMMExecutor,
     *,
     fast: bool = False,
-    fused: bool = True,
+    fused: Union[bool, str] = True,
 ) -> None:
     """Replay a plan against a live executor (input buffer already installed).
 
@@ -284,13 +298,23 @@ def execute_plan(
     :meth:`~repro.machine.macro.executor.HMMExecutor.run_kernel_fused`,
     which executes each kernel's task groups as batched numpy
     gather/compute/scatter over the plan's precomputed index arrays;
-    with ``fused=False`` through the per-task :meth:`run_kernel_replay`
-    path. Unmeasured kernels fall back to the counted path, so the very
-    first fast run both works and completes the plan's accounting.
+    with ``fused="native"`` those groups run as compiled native
+    megakernels instead (:mod:`~repro.machine.engine.native`; degrades
+    to the numpy schedule, bit-identically, when no JIT toolchain is
+    available); with ``fused=False`` through the per-task
+    :meth:`run_kernel_replay` path. Unmeasured kernels fall back to the
+    counted path, so the very first fast run both works and completes
+    the plan's accounting.
     """
+    from .native import ensure_backend, resolve_fused
+
+    backend = None
+    fused = resolve_fused(fused)
     use_replay = (
         fast and executor.injector is None and executor.max_task_retries == 0
     )
+    if use_replay and fused == "native":
+        backend = ensure_backend()  # None -> numpy fused fallback (warned)
     for op in plan.ops:
         if isinstance(op, AllocOp):
             executor.gm.alloc(op.name, op.shape, dtype=np.dtype(op.dtype))
@@ -298,7 +322,12 @@ def execute_plan(
             executor.gm.free(op.name)
         else:
             if use_replay and op.counters is not None:
-                if fused:
+                if backend is not None:
+                    executor.run_kernel_fused(
+                        op.native_schedule(backend), len(op.tasks), op.counters,
+                        label=op.label, mode="native",
+                    )
+                elif fused:
                     executor.run_kernel_fused(
                         op.fused_schedule(), len(op.tasks), op.counters,
                         label=op.label,

@@ -259,6 +259,7 @@ class HMMExecutor:
         num_blocks: int,
         counters: AccessCounters,
         label: str = "",
+        mode: str = "fused",
     ) -> KernelTrace:
         """Fused launch: execute a kernel's precompiled batched schedule.
 
@@ -268,10 +269,16 @@ class HMMExecutor:
         duck-typing marker; each stands for a whole task group and applies
         it as batched numpy gather/compute/scatter against the raw buffer
         arrays) and leftover plain block tasks, executed per task exactly
-        as :meth:`run_kernel_replay` would. The accounting contract is the
-        same as replay: ``counters`` is the kernel's memoized traffic diff,
-        applied wholesale; per-access charging is off for the duration.
-        Requires a fault-free configuration (no injector, no retry budget).
+        as :meth:`run_kernel_replay` would. A *native* schedule
+        (:meth:`~repro.machine.engine.plan.KernelPlan.native_schedule`)
+        runs through here unchanged — its groups duck-type the same
+        marker but dispatch into compiled megakernels; pass
+        ``mode="native"`` so the observability stream tags the kernel
+        with the backend that actually executed it. The accounting
+        contract is the same as replay: ``counters`` is the kernel's
+        memoized traffic diff, applied wholesale; per-access charging is
+        off for the duration. Requires a fault-free configuration (no
+        injector, no retry budget).
         """
         if self.injector is not None or self.max_task_retries > 0:
             raise ValueError(
@@ -309,7 +316,7 @@ class HMMExecutor:
         self.traces.append(trace)
         if recording:
             obs.record_kernel(
-                kernel_name, "fused", num_blocks, time.perf_counter() - t0, diff
+                kernel_name, mode, num_blocks, time.perf_counter() - t0, diff
             )
         return trace
 

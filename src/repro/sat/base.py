@@ -13,7 +13,7 @@ from __future__ import annotations
 import abc
 import contextlib
 import dataclasses
-from typing import Dict, Hashable, List, Optional
+from typing import Dict, Hashable, List, Optional, Union
 
 import numpy as np
 
@@ -125,7 +125,7 @@ class SATAlgorithm(abc.ABC):
         engine: Optional[ExecutionEngine] = None,
         use_plan_cache: bool = True,
         fast: bool = False,
-        fused: bool = True,
+        fused: Union[bool, str] = True,
         obs: Optional[bool] = None,
     ) -> SATResult:
         """Compute the SAT of ``matrix`` on the asynchronous HMM.
@@ -160,10 +160,16 @@ class SATAlgorithm(abc.ABC):
             The first fast run at a new shape transparently runs counted
             to populate those tallies. Requires the engine path.
         fused:
-            With ``fast=True``, execute each kernel through its batched
-            numpy schedule (gather → per-block compute → scatter over the
-            plan's precomputed index arrays) instead of per-task Python
-            closures. On by default; ``fused=False`` selects the per-task
+            With ``fast=True``, selects how each kernel's batched
+            schedule executes. ``True`` (default) defers to the
+            ``REPRO_FUSED_BACKEND`` environment variable (``numpy`` when
+            unset); ``"numpy"`` runs the batched numpy schedule (gather →
+            per-block compute → scatter over the plan's precomputed index
+            arrays); ``"native"`` runs the same schedule lowered to
+            compiled megakernels (:mod:`repro.machine.engine.native` —
+            Numba or generated C via cffi, bit-identical, degrading to
+            the numpy schedule with a single warning when no JIT
+            toolchain is available); ``fused=False`` selects the per-task
             replay path (same accounting, useful for isolation).
         obs:
             Per-run observability toggle. ``True`` records this run's
@@ -208,12 +214,26 @@ class SATAlgorithm(abc.ABC):
                 )
             if executor.gm.has(MATRIX_BUFFER):
                 raise ShapeError(f"executor already holds a {MATRIX_BUFFER!r} buffer")
+            if fast and plan is not None:
+                # Resolve the backend now so the observability mode tag
+                # names the path that will actually execute: a "native"
+                # request on a host without a JIT toolchain runs (and is
+                # recorded as) the numpy fused path.
+                from ..machine.engine.native import ensure_backend, resolve_fused
+
+                fused = resolve_fused(fused)
+                if fused == "native" and ensure_backend() is None:
+                    fused = "numpy"
             if plan is None:
                 mode = "direct"
-            elif fast:
-                mode = "fused" if fused else "replay"
-            else:
+            elif not fast:
                 mode = "counted"
+            elif fused == "native":
+                mode = "native"
+            elif fused:
+                mode = "fused"
+            else:
+                mode = "replay"
             # install() makes the defensive copy; copy=False avoids a second one.
             executor.gm.install(MATRIX_BUFFER, matrix.astype(np.float64, copy=False))
             with obs_runtime.span(

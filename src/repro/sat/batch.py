@@ -33,7 +33,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import shared_memory
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -172,7 +172,7 @@ class BatchSession:
         *,
         workers: Optional[int] = None,
         fast: bool = True,
-        fused: bool = True,
+        fused: Union[bool, str] = True,
         seed: int = 0,
         **algo_kwargs,
     ):
@@ -329,7 +329,7 @@ def sat_batch(
     *,
     workers: Optional[int] = None,
     fast: bool = True,
-    fused: bool = True,
+    fused: Union[bool, str] = True,
     seed: int = 0,
     **algo_kwargs,
 ) -> Iterator[np.ndarray]:

@@ -1,8 +1,11 @@
 """Differential conformance sweep: every algorithm vs the numpy oracle.
 
 A seeded, randomized grid of shapes, dtypes, and machine parameters, run
-through all three execution modes — counted, per-task replay, and fused —
-and compared **bit-for-bit** against ``np.cumsum(np.cumsum(a, 0), 1)``.
+through all four execution modes — counted, per-task replay, numpy
+fused, and native (compiled megakernels; bit-identically equal to the
+numpy fused path even on hosts without a JIT toolchain, where it
+degrades to it) — and compared **bit-for-bit** against
+``np.cumsum(np.cumsum(a, 0), 1)``.
 Exactness is legitimate: inputs are integer-valued, so every partial sum
 is an integer far below 2**53 and float64 arithmetic is exact regardless
 of summation order. Each counted run is additionally fed to
@@ -66,18 +69,21 @@ def _case_id(case):
 
 
 def _assert_all_modes_match(algo, a, params, p=None):
-    """Counted, replay, and fused runs must bit-match the oracle and
-    preserve the counted run's traffic accounting exactly."""
+    """Counted, replay, numpy-fused, and native runs must bit-match the
+    oracle and preserve the counted run's traffic accounting exactly."""
     engine = ExecutionEngine(cache=PlanCache())
     expected = _oracle(a)
     counted = algo.compute(a, params, engine=engine)
     replay = algo.compute(a, params, engine=engine, fast=True, fused=False)
-    fused = algo.compute(a, params, engine=engine, fast=True, fused=True)
+    fused = algo.compute(a, params, engine=engine, fast=True, fused="numpy")
+    native = algo.compute(a, params, engine=engine, fast=True, fused="native")
     assert np.array_equal(counted.sat, expected)
     assert np.array_equal(replay.sat, expected)
     assert np.array_equal(fused.sat, expected)
+    assert np.array_equal(native.sat, expected)
     assert replay.counters.as_dict() == counted.counters.as_dict()
     assert fused.counters.as_dict() == counted.counters.as_dict()
+    assert native.counters.as_dict() == counted.counters.as_dict()
     return counted
 
 

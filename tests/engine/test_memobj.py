@@ -1,0 +1,128 @@
+"""Memory objects: the allocation/layout/access lowering contract.
+
+These are pure string-lowering tests — no compiler needed. What matters
+is the SYS_ATL-style contract the native code generator relies on:
+window expressions linearize row-major with the last dimension fastest,
+allocation text matches the memory's placement policy (stack VLA, heap
+malloc, or the guarded hybrid), and unsupported operations raise
+:class:`~repro.machine.engine.memobj.MemGenError` rather than emitting
+wrong code.
+"""
+
+import pytest
+
+from repro.machine.engine.memobj import (
+    BlockContiguousStage,
+    GlobalRowMajor,
+    HeapStage,
+    MemGenError,
+    StackTile,
+    tile_memory,
+)
+
+
+class TestWindowLowering:
+    def test_row_major_linearization(self):
+        expr = GlobalRowMajor.window("a", ("r", "c"), ("nr", "ld"))
+        assert expr == "a[(r) * (ld) + (c)]"
+
+    def test_higher_rank_strides_multiply_trailing_extents(self):
+        expr = StackTile.window("t", ("i", "j", "k"), (2, 3, 4))
+        assert expr == "t[(i) * (3 * 4) + (j) * (4) + (k)]"
+
+    def test_scalar_window(self):
+        assert StackTile.window("x", (), ()) == "x[0]"
+
+    def test_rank_mismatch_raises(self):
+        with pytest.raises(MemGenError):
+            GlobalRowMajor.window("a", ("r",), ("nr", "ld"))
+
+    def test_write_and_reduce_compose_from_window(self):
+        assert (
+            GlobalRowMajor.write("a", ("r", "c"), ("nr", "ld"), "x")
+            == "a[(r) * (ld) + (c)] = x;"
+        )
+        assert (
+            GlobalRowMajor.reduce("a", ("r", "c"), ("nr", "ld"), "x")
+            == "a[(r) * (ld) + (c)] += x;"
+        )
+        assert GlobalRowMajor.read("a", ("r", "c"), ("nr", "ld")) == (
+            GlobalRowMajor.window("a", ("r", "c"), ("nr", "ld"))
+        )
+
+
+class TestGlobalRowMajor:
+    def test_cannot_allocate(self):
+        # Global buffers come from the plan's AllocOp replay, never from
+        # generated code.
+        with pytest.raises(MemGenError):
+            GlobalRowMajor.alloc("buf", "double", (4, 4))
+
+    def test_free_is_noop(self):
+        assert GlobalRowMajor.free("buf") == ""
+
+
+class TestStackTile:
+    def test_constant_shape_allocates_vla(self):
+        assert StackTile.alloc("tile", "double", (8, 8)) == "double tile[8 * 8];"
+
+    def test_scalar_allocation(self):
+        assert StackTile.alloc("acc", "double", ()) == "double acc;"
+
+    def test_runtime_shape_refused(self):
+        with pytest.raises(MemGenError, match="constant shapes"):
+            StackTile.alloc("tile", "double", ("w", "w"))
+
+    def test_oversized_tile_refused(self):
+        side = 65  # 65 * 65 > MAX_WORDS = 64 * 64
+        with pytest.raises(MemGenError, match="use HeapStage"):
+            StackTile.alloc("tile", "double", (side, side))
+
+    def test_free_is_noop(self):
+        assert StackTile.free("tile") == ""
+
+
+class TestHeapStage:
+    def test_alloc_and_free_pair(self):
+        alloc = HeapStage.alloc("buf", "double", ("n", "m"))
+        assert "malloc" in alloc and "sizeof(double)" in alloc
+        assert "(n) * (m)" in alloc
+        assert HeapStage.free("buf") == "free(buf);"
+
+    def test_scalars_refused(self):
+        with pytest.raises(MemGenError):
+            HeapStage.alloc("x", "double", ())
+
+
+class TestBlockContiguousStage:
+    def test_hybrid_allocation_guards_on_runtime_size(self):
+        alloc = BlockContiguousStage.alloc("tile", "double", ("w", "w"))
+        # A fixed stack VLA at the bound, plus a runtime branch to the heap.
+        assert f"double tile_stack[{StackTile.MAX_WORDS}];" in alloc
+        assert "double *tile = tile_stack;" in alloc
+        assert f"tile_on_heap = (((w) * (w)) > {StackTile.MAX_WORDS});" in alloc
+        assert "if (tile_on_heap) tile = " in alloc
+
+    def test_free_is_guarded(self):
+        assert BlockContiguousStage.free("tile") == "if (tile_on_heap) free(tile);"
+
+    def test_layout_matches_stack_tile(self):
+        # Compute code must be layout-independent across placements.
+        idx, shape = ("r", "c"), ("w", "w")
+        assert BlockContiguousStage.window("t", idx, shape) == StackTile.window(
+            "t", idx, shape
+        )
+
+
+class TestTileMemoryChooser:
+    def test_small_static_bound_goes_to_stack(self):
+        mem, static = tile_memory(16 * 16)
+        assert mem is StackTile and static
+
+    def test_large_static_bound_goes_to_hybrid(self):
+        mem, static = tile_memory(StackTile.MAX_WORDS + 1)
+        assert mem is BlockContiguousStage and not static
+
+    def test_runtime_bound_goes_to_hybrid(self):
+        mem, static = tile_memory("w*w")
+        assert mem is BlockContiguousStage and not static
