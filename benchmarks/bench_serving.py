@@ -24,6 +24,16 @@ Measures the four claims the serving subsystem makes and writes them to
    real ``SATServer`` event loop. Gates: zero lost / mismatched /
    misordered responses, overload sheds at least one request (admission
    control demonstrably engaged), and expired deadlines resolve.
+5. **Adaptive overload** — the same overload volley served twice: once
+   with the knobs fixed at construction (small batch ceiling, the
+   pre-adaptive configuration) and once with the
+   :class:`~repro.service.adaptive.AdaptiveController` closed loop
+   retuning the batch ceiling and shedding online. Paired best-of-N
+   rounds, identical request streams, both arms oracle-verified.
+   Gates: adaptation improves completed-request p99 by >= 1.05x over
+   the fixed knobs (locally 1.3-1.8x; the floor absorbs runner noise),
+   both arms stay bit-exact, and the controller demonstrably moved
+   (at least one knob adjustment recorded).
 
 Runnable standalone (``python benchmarks/bench_serving.py [--quick]``,
 exits non-zero if a gate fails) and as a pytest benchmark.
@@ -43,7 +53,7 @@ import numpy as np
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
 
 from repro.sat.reference import sat_reference
-from repro.service.loadgen import run_loadgen
+from repro.service.loadgen import run_loadgen, run_overload_comparison
 from repro.service.store import Dataset, TileAggregates
 from repro.service.queries import region_sum, region_sums
 
@@ -57,6 +67,12 @@ JSON_NAME = "BENCH_serving.json"
 UPDATE_SPEEDUP_GATE = 10.0
 GATE_N = 1024
 GATE_TILE = 64
+
+#: Closed-loop floor: under the overload volley, completed-request p99
+#: with the adaptive controller on must beat the fixed-knob arm by this
+#: factor. Locally the paired comparison measures 1.3-1.8x; the floor
+#: absorbs runner noise while still failing if adaptation stops paying.
+ADAPTIVE_P99_GATE = 1.05
 
 
 def _median_time(fn, reps: int) -> float:
@@ -189,11 +205,21 @@ def bench_server(n: int, tile: int, rounds: int, burst: int) -> Dict[str, object
     }
 
 
+def bench_adaptive_overload(
+    n: int, tile: int, repeats: int, burst: int
+) -> Dict[str, object]:
+    """Fixed knobs vs the closed-loop controller on the same volley."""
+    return run_overload_comparison(
+        n=n, tile=tile, repeats=repeats, burst=burst, seed=0,
+    )
+
+
 def run_serving_benchmark(
     *, update_reps: int = 40, tiles: Optional[List[int]] = None,
     sweep_n: int = 1024, sweep_reps: int = 20, query_batch: int = 64,
     query_reps: int = 20, loadgen_n: int = 256, loadgen_rounds: int = 6,
-    loadgen_burst: int = 48,
+    loadgen_burst: int = 48, adaptive_repeats: int = 3,
+    adaptive_burst: int = 96,
 ) -> Dict[str, object]:
     update = bench_incremental_update(GATE_N, GATE_TILE, update_reps)
     tradeoff = bench_tile_tradeoff(
@@ -201,22 +227,29 @@ def run_serving_benchmark(
     )
     queries = bench_query_paths(sweep_n, GATE_TILE, query_batch, query_reps)
     server = bench_server(loadgen_n, GATE_TILE, loadgen_rounds, loadgen_burst)
+    adaptive = bench_adaptive_overload(
+        loadgen_n, 32, adaptive_repeats, adaptive_burst
+    )
     return {
         "config": {
             "gate_n": GATE_N, "gate_tile": GATE_TILE, "sweep_n": sweep_n,
             "update_reps": update_reps, "query_batch": query_batch,
-            "loadgen_n": loadgen_n,
+            "loadgen_n": loadgen_n, "adaptive_repeats": adaptive_repeats,
+            "adaptive_burst": adaptive_burst,
         },
         "incremental_update": update,
         "tile_tradeoff": tradeoff,
         "query_paths": queries,
         "server": server,
+        "adaptive_overload": adaptive,
         "summary": {
             "update_speedup": update["speedup"],
             "update_bit_identical": update["bit_identical"],
             "batched_query_speedup": queries["batched_speedup"],
             "server_ok": server["ok"],
             "server_responses_per_sec": server["responses_per_sec"],
+            "adaptive_p99_improvement": adaptive["p99_improvement"],
+            "adaptive_ok": adaptive["fixed_ok"] and adaptive["adaptive_ok"],
         },
     }
 
@@ -250,6 +283,27 @@ def check_gates(results: Dict[str, object]) -> list:
         failures.append("overload volley shed nothing — admission control inert")
     if server["deadline_missed"] < 1:
         failures.append("expired deadlines did not resolve as DeadlineExceeded")
+    adaptive = results["adaptive_overload"]
+    if not (adaptive["fixed_ok"] and adaptive["adaptive_ok"]):
+        failures.append(
+            "overload comparison verification failed "
+            f"(fixed_ok={adaptive['fixed_ok']}, "
+            f"adaptive_ok={adaptive['adaptive_ok']}) — results under "
+            "adaptation must stay bit-exact"
+        )
+    if adaptive["p99_improvement"] < ADAPTIVE_P99_GATE:
+        failures.append(
+            f"adaptive overload p99 is not >= {ADAPTIVE_P99_GATE}x better "
+            f"than fixed knobs ({adaptive['p99_improvement']:.2f}x: fixed "
+            f"{adaptive['fixed_p99_s'] * 1e3:.2f}ms vs adaptive "
+            f"{adaptive['adaptive_p99_s'] * 1e3:.2f}ms)"
+        )
+    moves = adaptive["adaptive_controller"].get("adjustments", {})
+    if not moves:
+        failures.append(
+            "the adaptive arm's controller recorded no knob adjustments — "
+            "the closed loop never reacted to the volley"
+        )
     return failures
 
 
@@ -288,6 +342,15 @@ def summary_text(results: Dict[str, object]) -> str:
         f"shed {sv['shed']}, deadline_missed {sv['deadline_missed']}, "
         f"verification {'OK' if sv['ok'] else 'FAILED'}",
     ]
+    ad = results["adaptive_overload"]
+    lines.append(
+        f"adaptive overload: fixed p99 {ad['fixed_p99_s'] * 1e3:.2f}ms, "
+        f"adaptive p99 {ad['adaptive_p99_s'] * 1e3:.2f}ms "
+        f"({ad['p99_improvement']:.2f}x better, batch "
+        f"{ad['fixed_batch']} -> {ad['adaptive_controller'].get('batch_size')}"
+        f", verification "
+        f"{'OK' if ad['fixed_ok'] and ad['adaptive_ok'] else 'FAILED'})"
+    )
     return "\n".join(lines)
 
 
@@ -297,7 +360,7 @@ def test_serving_benchmark(once, report):
         run_serving_benchmark,
         update_reps=20, tiles=[16, 64, 256], sweep_n=512, sweep_reps=10,
         query_batch=32, query_reps=10, loadgen_n=128, loadgen_rounds=4,
-        loadgen_burst=24,
+        loadgen_burst=24, adaptive_repeats=3, adaptive_burst=96,
     )
     write_json(results)
     report("BENCH_serving", summary_text(results), persist=False)
@@ -311,6 +374,8 @@ def main(argv=None) -> int:
     ap.add_argument("--tiles", type=int, nargs="+", default=None)
     ap.add_argument("--query-batch", type=int, default=64)
     ap.add_argument("--loadgen-n", type=int, default=256)
+    ap.add_argument("--adaptive-repeats", type=int, default=3)
+    ap.add_argument("--adaptive-burst", type=int, default=96)
     ap.add_argument(
         "--quick", "--ci", dest="quick", action="store_true",
         help="small fixed sizes for the CI smoke job",
@@ -325,13 +390,14 @@ def main(argv=None) -> int:
         results = run_serving_benchmark(
             update_reps=20, tiles=[16, 64, 256], sweep_n=512, sweep_reps=10,
             query_batch=32, query_reps=10, loadgen_n=128, loadgen_rounds=4,
-            loadgen_burst=24,
+            loadgen_burst=24, adaptive_repeats=3, adaptive_burst=96,
         )
     else:
         results = run_serving_benchmark(
             update_reps=args.update_reps, tiles=args.tiles,
             sweep_n=args.sweep_n, query_batch=args.query_batch,
-            loadgen_n=args.loadgen_n,
+            loadgen_n=args.loadgen_n, adaptive_repeats=args.adaptive_repeats,
+            adaptive_burst=args.adaptive_burst,
         )
     path = write_json(results, args.out)
     print(summary_text(results))

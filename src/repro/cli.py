@@ -486,7 +486,7 @@ def cmd_serve(args) -> int:
         ok = True
         async with SATServer(
             store, max_queue=args.queue, max_batch=args.max_batch,
-            session=session,
+            session=session, adaptive=args.adaptive,
         ) as server:
             for name, m in matrices.items():
                 await server.ingest(name, m, tile=args.tile, track_squares=True)
@@ -519,10 +519,13 @@ def cmd_serve(args) -> int:
             ]
             ok &= bool(np.isclose(mean, win.mean()) and np.isclose(var, win.var()))
             stats = server.stats.as_dict()
-        return ok, incremental, recompute, stats
+            knobs = (
+                server.controller.describe() if server.controller else None
+            )
+        return ok, incremental, recompute, stats, knobs
 
     try:
-        ok, incremental, recompute, server_stats = asyncio.run(drive())
+        ok, incremental, recompute, server_stats, knobs = asyncio.run(drive())
     finally:
         if session is not None:
             session.close()
@@ -545,6 +548,12 @@ def cmd_serve(args) -> int:
         f"(max queue depth {server_stats['max_queue_depth']})"
         + (f", ingest via BatchSession[{args.session_algorithm}]" if session else "")
     )
+    if knobs is not None:
+        print(
+            f"adaptive controller: batch ceiling {knobs['batch_size']}, "
+            f"window {knobs['coalesce_window'] * 1e3:.2f}ms, "
+            f"{knobs['ticks']} ticks, adjustments {knobs['adjustments'] or '{}'}"
+        )
     print(f"all query responses vs numpy oracle: {'OK' if ok else 'MISMATCH'}")
     return 0 if ok else 1
 
@@ -613,17 +622,26 @@ def cmd_loadgen(args) -> int:
             report = run_loadgen(
                 n=128, tile=32, rounds=4, burst=24, max_queue=32,
                 max_batch=16, seed=args.seed, session=session,
+                adaptive=args.adaptive,
             )
         else:
             report = run_loadgen(
                 n=args.n, tile=args.tile, rounds=args.rounds, burst=args.burst,
                 max_queue=args.queue, max_batch=args.max_batch,
                 update_frac=args.update_frac, seed=args.seed, session=session,
+                adaptive=args.adaptive,
             )
     finally:
         if session is not None:
             session.close()
     print(report.summary())
+    if args.adaptive and report.adaptive_stats:
+        knobs = report.adaptive_stats
+        print(
+            f"adaptive controller: batch ceiling {knobs['batch_size']}, "
+            f"window {knobs['coalesce_window'] * 1e3:.2f}ms, "
+            f"{knobs['ticks']} ticks, adjustments {knobs['adjustments'] or '{}'}"
+        )
     shed_ok = report.shed > 0  # the overload volley must actually shed
     deadline_ok = report.deadline_missed > 0
     if not shed_ok:
@@ -742,6 +760,14 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument("--max-batch", type=int, default=32,
                        help="micro-batch size cap")
+        p.add_argument(
+            "--adaptive", action="store_true",
+            help="close the loop on the serving knobs: an "
+                 "AdaptiveController retunes the micro-batch ceiling, "
+                 "coalesce window, and deadline shedding each tick from "
+                 "live queue depth / p99 signals (--max-batch becomes the "
+                 "ceiling's upper bound)",
+        )
         p.add_argument("--seed", type=int, default=0)
         p.add_argument(
             "--session-algorithm", default="",

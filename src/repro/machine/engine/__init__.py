@@ -98,6 +98,54 @@ class ExecutionEngine:
         (see :mod:`repro.machine.engine.native`)."""
         execute_plan(plan, executor, fast=fast, fused=fused)
 
+    def warm_plan(
+        self,
+        algorithm,
+        rows: int,
+        cols: int,
+        params: Optional[MachineParams] = None,
+        *,
+        fused: Union[bool, str] = True,
+        seed: Optional[int] = 0,
+    ) -> dict:
+        """Pre-warm everything a steady-state run at this shape needs.
+
+        One counted probe compiles the plan and populates its memoized
+        per-kernel traffic tallies; one ``fast`` probe builds the fused
+        schedule (and, with ``fused="native"``, lowers + JIT-compiles the
+        megakernels) so the *first measured* request at this shape already
+        runs the hot path. The probe is all-ones, not zeros: the one
+        value-sensitive micro-optimization in the block code skips the
+        corner-offset write for exactly-0.0 corrections, which an
+        all-zeros probe would hit everywhere and leave out of the tallies.
+
+        Returns ``{"algorithm", "rows", "cols", "compiled"}`` where
+        ``compiled`` says whether this call did the compile (False means
+        the plan was already cached — the warm-worker reuse signal).
+        """
+        import numpy as np
+
+        if params is None:
+            params = MachineParams()
+        before = self.compiles
+        probe = np.ones((rows, cols))
+        algorithm.compute(probe, params, engine=self, seed=seed)
+        algorithm.compute(
+            probe, params, engine=self, fast=True, fused=fused, seed=seed
+        )
+        compiled = self.compiles > before
+        obs.inc(
+            "plan_prewarms_total",
+            algorithm=algorithm.name,
+            compiled=compiled,
+        )
+        return {
+            "algorithm": algorithm.name,
+            "rows": rows,
+            "cols": cols,
+            "compiled": compiled,
+        }
+
     def stats(self) -> dict:
         out = self.cache.stats()
         out["compiles"] = self.compiles

@@ -20,6 +20,10 @@ what they touch, and a front end that degrades predictably under load.
   FIFO micro-batching, per-request deadlines, graceful drain, optional
   :class:`~repro.sat.batch.BatchSession` ingest offload, and
   :mod:`repro.obs` instrumentation;
+* :mod:`~repro.service.adaptive` — :class:`AdaptiveController`: the
+  closed-loop controller behind ``SATServer(adaptive=...)``, retuning
+  batch size, coalesce window, and deadline shedding each tick from
+  live queue depth / p99 / occupancy signals;
 * :mod:`~repro.service.loadgen` — a seeded, oracle-verified load driver
   (``python -m repro loadgen``), including the chaos cluster volley
   (``--chaos``);
@@ -34,12 +38,14 @@ what they touch, and a front end that degrades predictably under load.
   degradation to a local oracle.
 """
 
+from .adaptive import AdaptiveController, ControllerConfig, ObsSnapshot
 from .cluster import CheckpointStore, ShardCheckpoint, WorkerSupervisor
 from .loadgen import (
     ClusterLoadgenReport,
     LoadgenReport,
     run_cluster_loadgen,
     run_loadgen,
+    run_overload_comparison,
 )
 from .router import CircuitBreaker, ShardRouter, make_placement
 from .queries import (
@@ -55,11 +61,14 @@ from .store import Dataset, TileAggregates, TiledSATStore
 from .update import point_update, region_add, region_update
 
 __all__ = [
+    "AdaptiveController",
     "CheckpointStore",
     "CircuitBreaker",
     "ClusterLoadgenReport",
+    "ControllerConfig",
     "Dataset",
     "LoadgenReport",
+    "ObsSnapshot",
     "Request",
     "Response",
     "SATServer",
@@ -80,4 +89,5 @@ __all__ = [
     "region_update",
     "run_cluster_loadgen",
     "run_loadgen",
+    "run_overload_comparison",
 ]

@@ -1,0 +1,325 @@
+"""Closed-loop adaptive micro-batching: obs metrics in, knob settings out.
+
+The serving knobs — micro-batch ceiling, coalesce window, deadline
+shedding — used to be fixed at construction, which made them wrong most
+of the time: a ceiling sized for overload wastes latency when the queue
+is short, and one sized for light load collapses throughput under a
+volley. :class:`AdaptiveController` closes the loop instead: each tick
+it reads the live serving signals (queue depth, p99 latency, batch
+occupancy — the same series :mod:`repro.obs` exports) and retunes the
+knobs online.
+
+The control rules are deliberately simple, deterministic, and
+documented, because the unit tests pin them:
+
+* **congestion grows the batch** — when ``queue_depth >=
+  queue_high_frac * max_queue``, the batch ceiling doubles (up to
+  ``max_batch``): a deep queue is drained fastest in fewer, bigger
+  vectorized calls, which is the whole micro-batching premise. The
+  coalesce window widens a step too (arrivals are dense; waiting is
+  cheap and buys bigger batches);
+* **latency regression with a light queue shrinks it** — when the p99
+  over the controller's sliding latency window exceeds ``p99_target``
+  while ``queue_depth <= queue_low_frac * max_queue``, the ceiling
+  halves (down to ``min_batch``) and the window narrows a step: with no
+  backlog to amortize over, batching is adding latency, not throughput;
+* **shedding is hysteretic** — it engages at ``shed_engage_frac *
+  max_queue`` and releases at ``shed_release_frac * max_queue``; while
+  engaged, a request whose deadline budget is already smaller than the
+  current p99 estimate is shed at admission (``predicted_deadline``)
+  instead of burning queue space on an answer that will expire.
+
+Every decision is observable: gauges ``adaptive_batch_size``,
+``adaptive_coalesce_window``, ``adaptive_shedding`` track the current
+knob values, and ``adaptive_adjustments_total{knob, direction}`` /
+``adaptive_shed_transitions_total{state}`` count each move, so the
+control loop can be audited from the same metrics registry it reads.
+
+Determinism: the controller's *source of truth* for p99 is its own
+bounded in-process latency window (exact nearest-rank over the last
+``latency_window`` samples) — the obs reservoir histograms subsample
+and would make decisions depend on reservoir randomness.
+:meth:`AdaptiveController.snapshot_from_obs` exists for driving the
+loop from an external registry (e.g. another process's exported
+metrics); in-process serving feeds the controller directly.
+
+The clock is injectable and the controller never sleeps, so every rule
+is unit-testable on a fake clock with synthetic snapshots.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..errors import ConfigurationError
+from ..obs import runtime as obs
+
+__all__ = ["AdaptiveController", "ControllerConfig", "ObsSnapshot"]
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Bounds, thresholds, and cadence for the adaptive loop.
+
+    The defaults are serving-shaped: start mid-range, react within a few
+    scheduler passes, never leave ``[min_batch, max_batch]`` or
+    ``[window_min, window_max]`` (the property suite asserts the bounds
+    hold for arbitrary arrival sequences).
+    """
+
+    min_batch: int = 1
+    max_batch: int = 64
+    initial_batch: int = 8
+    grow_factor: int = 2
+    window_min: float = 0.0
+    window_max: float = 0.002
+    window_step: float = 0.00025
+    initial_window: float = 0.0
+    tick_interval: float = 0.05
+    latency_window: int = 256
+    p99_target: float = 0.050
+    queue_high_frac: float = 0.5
+    queue_low_frac: float = 0.25
+    shed_engage_frac: float = 0.9
+    shed_release_frac: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.min_batch <= self.initial_batch <= self.max_batch:
+            raise ConfigurationError(
+                f"need 1 <= min_batch <= initial_batch <= max_batch, got "
+                f"{self.min_batch}/{self.initial_batch}/{self.max_batch}"
+            )
+        if self.grow_factor < 2:
+            raise ConfigurationError(
+                f"grow_factor must be >= 2, got {self.grow_factor}"
+            )
+        if not 0.0 <= self.window_min <= self.initial_window <= self.window_max:
+            raise ConfigurationError(
+                f"need 0 <= window_min <= initial_window <= window_max, got "
+                f"{self.window_min}/{self.initial_window}/{self.window_max}"
+            )
+        if self.window_step <= 0 and self.window_max > self.window_min:
+            raise ConfigurationError("window_step must be positive")
+        if self.tick_interval < 0 or self.latency_window < 1:
+            raise ConfigurationError("tick_interval/latency_window out of range")
+        if self.p99_target <= 0:
+            raise ConfigurationError("p99_target must be positive")
+        if not (0.0 < self.queue_low_frac < self.queue_high_frac <= 1.0):
+            raise ConfigurationError(
+                "need 0 < queue_low_frac < queue_high_frac <= 1"
+            )
+        if not (0.0 < self.shed_release_frac < self.shed_engage_frac <= 1.0):
+            raise ConfigurationError(
+                "need 0 < shed_release_frac < shed_engage_frac <= 1 "
+                "(hysteresis requires release below engage)"
+            )
+
+
+@dataclass(frozen=True)
+class ObsSnapshot:
+    """One tick's worth of serving signals, however they were gathered."""
+
+    queue_depth: int
+    max_queue: int
+    p99_latency: Optional[float] = None  # seconds; None until samples exist
+    batch_occupancy: Optional[float] = None  # mean batch size / ceiling
+
+
+class AdaptiveController:
+    """The deterministic control loop behind ``SATServer(adaptive=...)``.
+
+    Feed it measurements (:meth:`observe_latency`, :meth:`observe_batch`),
+    call :meth:`tick` with a signal snapshot, read the knobs
+    (:attr:`batch_size`, :attr:`coalesce_window`, :attr:`shedding`,
+    :meth:`should_shed`). Rate-limits itself to one decision per
+    ``tick_interval`` on the injected clock; pass ``force=True`` to
+    bypass (tests do).
+    """
+
+    def __init__(
+        self,
+        config: Optional[ControllerConfig] = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.config = config if config is not None else ControllerConfig()
+        self.clock = clock
+        self.batch_size = self.config.initial_batch
+        self.coalesce_window = self.config.initial_window
+        self.shedding = False
+        self.ticks = 0
+        #: (knob, direction) -> count, mirrored to
+        #: ``adaptive_adjustments_total`` — readable without obs enabled.
+        self.adjustments: Dict[tuple, int] = {}
+        self._latencies: deque = deque(maxlen=self.config.latency_window)
+        self._batch_sizes: deque = deque(maxlen=64)
+        self._last_tick: Optional[float] = None
+        self._publish()
+
+    # -- measurement feeds ----------------------------------------------------
+
+    def observe_latency(self, seconds: float) -> None:
+        """Record one served request's latency (enqueue -> response)."""
+        self._latencies.append(float(seconds))
+
+    def observe_batch(self, size: int) -> None:
+        """Record one executed micro-batch's size."""
+        self._batch_sizes.append(int(size))
+
+    def p99_estimate(self) -> Optional[float]:
+        """Exact nearest-rank p99 over the sliding latency window (the
+        deterministic source of truth; see the module docstring)."""
+        if not self._latencies:
+            return None
+        ordered = sorted(self._latencies)
+        return ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+
+    def batch_occupancy(self) -> Optional[float]:
+        """Mean recent batch size over the current ceiling (how full the
+        micro-batches actually run)."""
+        if not self._batch_sizes:
+            return None
+        mean = sum(self._batch_sizes) / len(self._batch_sizes)
+        return mean / self.batch_size if self.batch_size else None
+
+    def snapshot(self, queue_depth: int, max_queue: int) -> ObsSnapshot:
+        """Bundle the live queue state with the internal windows."""
+        return ObsSnapshot(
+            queue_depth=queue_depth,
+            max_queue=max_queue,
+            p99_latency=self.p99_estimate(),
+            batch_occupancy=self.batch_occupancy(),
+        )
+
+    def snapshot_from_obs(self, max_queue: int, registry=None) -> ObsSnapshot:
+        """Build a snapshot from a live :mod:`repro.obs` registry: queue
+        depth from the ``serving_queue_depth`` gauge, p99 as the worst
+        ``serving_request_seconds`` reservoir p99 across kinds, occupancy
+        from the ``serving_batch_size`` histograms. For driving the loop
+        from exported metrics; note reservoir p99 is sampled, so prefer
+        the direct feeds in-process."""
+        if registry is None:
+            registry = obs.registry()
+        depth = registry.gauge_value("serving_queue_depth")
+        p99 = None
+        occupancy = None
+        sizes_mean = []
+        for row in registry.snapshot()["histograms"]:
+            if row["name"] == "serving_request_seconds" and row["count"]:
+                p99 = row["p99"] if p99 is None else max(p99, row["p99"])
+            elif row["name"] == "serving_batch_size" and row["count"]:
+                sizes_mean.append(row["mean"])
+        if sizes_mean and self.batch_size:
+            occupancy = (sum(sizes_mean) / len(sizes_mean)) / self.batch_size
+        return ObsSnapshot(
+            queue_depth=int(depth) if depth is not None else 0,
+            max_queue=max_queue,
+            p99_latency=p99,
+            batch_occupancy=occupancy,
+        )
+
+    # -- admission predicate ---------------------------------------------------
+
+    def should_shed(self, timeout: Optional[float]) -> bool:
+        """Predicted-deadline shedding: while shedding is engaged, a
+        request whose deadline budget is below the current p99 estimate
+        would almost surely expire in the queue — shed it at the door so
+        its slot serves a request that can still make it. Requests without
+        deadlines are never shed here (the queue bound handles them)."""
+        if not self.shedding or timeout is None:
+            return False
+        p99 = self.p99_estimate()
+        return p99 is not None and timeout < p99
+
+    # -- the control loop ------------------------------------------------------
+
+    def maybe_tick(self, queue_depth: int, max_queue: int) -> bool:
+        """Hot-path entry: the rate-limit check runs *before* the snapshot
+        is built, so off-tick calls cost one clock read — this sits on the
+        server's admission path."""
+        now = self.clock()
+        if (self._last_tick is not None
+                and now - self._last_tick < self.config.tick_interval):
+            return False
+        return self.tick(self.snapshot(queue_depth, max_queue), force=True)
+
+    def tick(self, snapshot: ObsSnapshot, *, force: bool = False) -> bool:
+        """Run one control decision if the tick interval elapsed.
+
+        Returns True when a decision ran (whether or not a knob moved).
+        """
+        now = self.clock()
+        if (not force and self._last_tick is not None
+                and now - self._last_tick < self.config.tick_interval):
+            return False
+        self._last_tick = now
+        self.ticks += 1
+        cfg = self.config
+        depth, bound = snapshot.queue_depth, snapshot.max_queue
+
+        if depth >= cfg.queue_high_frac * bound:
+            self._set_batch(min(self.batch_size * cfg.grow_factor,
+                                cfg.max_batch), "up")
+            self._set_window(min(self.coalesce_window + cfg.window_step,
+                                 cfg.window_max), "up")
+        elif (snapshot.p99_latency is not None
+                and snapshot.p99_latency > cfg.p99_target
+                and depth <= cfg.queue_low_frac * bound):
+            self._set_batch(max(self.batch_size // cfg.grow_factor,
+                                cfg.min_batch), "down")
+            self._set_window(max(self.coalesce_window - cfg.window_step,
+                                 cfg.window_min), "down")
+
+        if not self.shedding and depth >= cfg.shed_engage_frac * bound:
+            self.shedding = True
+            self._count(("shedding", "engaged"))
+            obs.inc("adaptive_shed_transitions_total", state="engaged")
+        elif self.shedding and depth <= cfg.shed_release_frac * bound:
+            self.shedding = False
+            self._count(("shedding", "released"))
+            obs.inc("adaptive_shed_transitions_total", state="released")
+
+        self._publish()
+        return True
+
+    def describe(self) -> dict:
+        """Current knob values and move counts (benchmark/CLI reporting)."""
+        return {
+            "batch_size": self.batch_size,
+            "coalesce_window": self.coalesce_window,
+            "shedding": self.shedding,
+            "ticks": self.ticks,
+            "p99_estimate": self.p99_estimate(),
+            "batch_occupancy": self.batch_occupancy(),
+            "adjustments": {
+                f"{knob}_{direction}": count
+                for (knob, direction), count in sorted(self.adjustments.items())
+            },
+        }
+
+    # -- internals -------------------------------------------------------------
+
+    def _set_batch(self, value: int, direction: str) -> None:
+        if value == self.batch_size:
+            return
+        self.batch_size = value
+        self._count(("batch", direction))
+        obs.inc("adaptive_adjustments_total", knob="batch", direction=direction)
+
+    def _set_window(self, value: float, direction: str) -> None:
+        if value == self.coalesce_window:
+            return
+        self.coalesce_window = value
+        self._count(("window", direction))
+        obs.inc("adaptive_adjustments_total", knob="window", direction=direction)
+
+    def _count(self, key: tuple) -> None:
+        self.adjustments[key] = self.adjustments.get(key, 0) + 1
+
+    def _publish(self) -> None:
+        obs.set_gauge("adaptive_batch_size", self.batch_size)
+        obs.set_gauge("adaptive_coalesce_window", self.coalesce_window)
+        obs.set_gauge("adaptive_shedding", int(self.shedding))

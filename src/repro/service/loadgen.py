@@ -42,6 +42,7 @@ __all__ = [
     "LoadgenReport",
     "run_cluster_loadgen",
     "run_loadgen",
+    "run_overload_comparison",
 ]
 
 
@@ -65,6 +66,7 @@ class LoadgenReport:
     latencies: List[float] = field(default_factory=list)
     server_stats: Dict = field(default_factory=dict)
     store_stats: Dict = field(default_factory=dict)
+    adaptive_stats: Dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -104,13 +106,14 @@ def _expected_region_sum(shadow: np.ndarray, rect) -> float:
 
 async def _drive(report: LoadgenReport, *, n, tile, rounds, burst, max_queue,
                  max_batch, update_frac, seed, overload, deadline_volley,
-                 session) -> None:
+                 session, adaptive=None) -> None:
     rng = np.random.default_rng(seed)
     matrix = rng.integers(-50, 50, size=(n, n)).astype(np.float64)
     shadow = matrix.copy()
     store = TiledSATStore(default_tile=tile)
     async with SATServer(
         store, max_queue=max_queue, max_batch=max_batch, session=session,
+        adaptive=adaptive,
     ) as server:
         await server.ingest("img", matrix, tile=tile, track_squares=True)
 
@@ -207,6 +210,8 @@ async def _drive(report: LoadgenReport, *, n, tile, rounds, burst, max_queue,
         if final.value != float(shadow.sum()):
             report.mismatches += 1
         report.server_stats = server.stats.as_dict()
+        if server.controller is not None:
+            report.adaptive_stats = server.controller.describe()
     report.store_stats = store.stats()
 
 
@@ -490,17 +495,177 @@ def run_loadgen(*, n: int = 256, tile: int = 64, rounds: int = 8,
                 burst: int = 48, max_queue: int = 64, max_batch: int = 32,
                 update_frac: float = 0.25, seed: int = 0,
                 overload: bool = True, deadline_volley: int = 8,
-                session=None) -> LoadgenReport:
+                session=None, adaptive=None) -> LoadgenReport:
     """Run the seeded load-generation workload; see the module docstring.
 
     A ``session`` (a :class:`~repro.sat.batch.BatchSession`) routes the
     initial ingest's tile SATs through the multi-core HMM backend.
+    ``adaptive`` is forwarded to :class:`SATServer` (True, a
+    ``ControllerConfig``, or a ready controller) to serve the same
+    oracle-verified workload with closed-loop micro-batching.
     """
     report = LoadgenReport(n=n, tile=tile)
     asyncio.run(_drive(
         report, n=n, tile=tile, rounds=rounds, burst=burst,
         max_queue=max_queue, max_batch=max_batch, update_frac=update_frac,
         seed=seed, overload=overload, deadline_volley=deadline_volley,
-        session=session,
+        session=session, adaptive=adaptive,
     ))
     return report
+
+
+async def _overload_arm(arm: Dict, *, n, tile, rounds, burst, max_queue,
+                        max_batch, seed, adaptive) -> None:
+    """One arm of the overload comparison: query-only volleys with a
+    precomputed oracle, so the submit loop is tight and the latencies
+    measure the serving path alone."""
+    rng = np.random.default_rng(seed)
+    matrix = rng.integers(-50, 50, size=(n, n)).astype(np.float64)
+    store = TiledSATStore(default_tile=tile)
+
+    def random_rect():
+        r0, r1 = np.sort(rng.integers(0, n, size=2))
+        c0, c1 = np.sort(rng.integers(0, n, size=2))
+        return int(r0), int(c0), int(r1), int(c1)
+
+    # Volley plan drawn (and oracle evaluated) before the server exists:
+    # identical across arms for the same seed, zero numpy work at submit.
+    volleys = []
+    for _ in range(rounds):
+        rects = [random_rect() for _ in range(burst)]
+        volleys.append([
+            (rect, _expected_region_sum(matrix, rect)) for rect in rects
+        ])
+    # The final volley is the overload one — past the queue bound, the
+    # regime the controller exists for.
+    rects = [random_rect() for _ in range(2 * max_queue)]
+    volleys.append([
+        (rect, _expected_region_sum(matrix, rect)) for rect in rects
+    ])
+
+    latencies: List[float] = []
+    shed = lost = mismatches = 0
+    async with SATServer(
+        store, max_queue=max_queue, max_batch=max_batch, adaptive=adaptive,
+    ) as server:
+        await server.ingest("img", matrix, tile=tile)
+        for volley in volleys:
+            inflight = []
+            for rect, expected in volley:
+                try:
+                    inflight.append(
+                        (server.submit("region_sum", "img", rect), expected)
+                    )
+                except Overloaded:
+                    shed += 1
+            outcomes = await asyncio.gather(
+                *(fut for fut, _ in inflight), return_exceptions=True
+            )
+            for (_fut, expected), outcome in zip(inflight, outcomes):
+                if isinstance(outcome, BaseException):
+                    lost += 1
+                    continue
+                latencies.append(outcome.latency)
+                if outcome.value != expected:
+                    mismatches += 1
+        arm["adaptive_stats"] = (
+            server.controller.describe() if server.controller is not None else {}
+        )
+    arm["completed"] = len(latencies)
+    arm["shed"] = shed
+    arm["lost"] = lost
+    arm["mismatches"] = mismatches
+    arm["ok"] = lost == 0 and mismatches == 0 and latencies != []
+    arm["p99"] = (
+        float(np.quantile(np.array(latencies), 0.99)) if latencies else 0.0
+    )
+
+
+def run_overload_comparison(*, n: int = 128, tile: int = 32, repeats: int = 3,
+                            rounds: int = 3, burst: int = 96,
+                            max_queue: int = 128, fixed_batch: int = 4,
+                            adaptive_cap: int = 64,
+                            seed: int = 0) -> Dict:
+    """The closed-loop gate: overload volleys, fixed knobs vs adaptive.
+
+    Both arms serve the *same* seeded workload (query-only volleys deep
+    enough to flood the queue) through the same oracle-verified driver.
+    The fixed arm runs with a small static micro-batch ceiling
+    (``fixed_batch``); the adaptive arm starts at that same ceiling and
+    lets the controller react — under a volley the queue-growth rule
+    doubles the ceiling toward ``adaptive_cap``, so the backlog drains in
+    a few large vectorized calls instead of many small dispatches, which
+    is where the p99 improvement comes from. The coalesce window is
+    pinned to zero here so the measured delta isolates batch-size
+    adaptation (the window helps streaming arrivals, not replayed
+    volleys).
+
+    Each arm runs ``repeats`` times and keeps its best (minimum) p99 —
+    paired best-of-rounds, the same noise-rejection scheme the other
+    benchmarks use. Oracle verification stays on in both arms, so the
+    comparison re-proves bit-identity under adaptation for free.
+
+    Unlike :func:`run_loadgen`, the comparison driver precomputes every
+    volley's oracle values *before* submitting (the volley is query-only,
+    so the shadow never changes): the submit loop then does no numpy
+    work, and the measured latencies isolate the serving path the
+    controller actually tunes instead of being diluted by oracle
+    bookkeeping that is identical in both arms. Every response is still
+    verified bit-exact against the precomputed oracle.
+
+    Returns a JSON-ready dict with both p99s, the improvement ratio
+    (fixed p99 / adaptive p99 — > 1.0 means adaptation won), both arms'
+    ``ok`` verdicts, and the adaptive arm's controller trace.
+    """
+    from .adaptive import ControllerConfig
+
+    def controller_config():
+        # A fast tick (the volleys are milliseconds long) and a pinned
+        # window; everything else is the documented default loop.
+        return ControllerConfig(
+            min_batch=1, max_batch=adaptive_cap, initial_batch=fixed_batch,
+            tick_interval=0.002, initial_window=0.0, window_min=0.0,
+            window_max=0.0,
+        )
+
+    def one(arm_seed, adaptive):
+        arm: Dict = {}
+        asyncio.run(_overload_arm(
+            arm, n=n, tile=tile, rounds=rounds, burst=burst,
+            max_queue=max_queue,
+            max_batch=fixed_batch if adaptive is None else adaptive_cap,
+            seed=arm_seed, adaptive=adaptive,
+        ))
+        return arm
+
+    fixed_p99 = []
+    adaptive_p99 = []
+    fixed_ok = True
+    adaptive_ok = True
+    adaptive_stats: Dict = {}
+    for i in range(repeats):
+        fixed = one(seed + i, None)
+        fixed_ok = fixed_ok and fixed["ok"]
+        fixed_p99.append(fixed["p99"])
+        adapted = one(seed + i, controller_config())
+        adaptive_ok = adaptive_ok and adapted["ok"]
+        adaptive_p99.append(adapted["p99"])
+        adaptive_stats = adapted["adaptive_stats"]
+    best_fixed = min(fixed_p99)
+    best_adaptive = min(adaptive_p99)
+    return {
+        "repeats": repeats,
+        "rounds": rounds,
+        "burst": burst,
+        "max_queue": max_queue,
+        "fixed_batch": fixed_batch,
+        "adaptive_cap": adaptive_cap,
+        "fixed_p99_s": best_fixed,
+        "adaptive_p99_s": best_adaptive,
+        "p99_improvement": (
+            best_fixed / best_adaptive if best_adaptive > 0 else float("inf")
+        ),
+        "fixed_ok": fixed_ok,
+        "adaptive_ok": adaptive_ok,
+        "adaptive_controller": adaptive_stats,
+    }

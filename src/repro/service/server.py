@@ -48,6 +48,7 @@ import numpy as np
 from ..errors import ConfigurationError, DeadlineExceeded, DrainTimeout, Overloaded
 from ..obs import runtime as obs
 from . import queries as q
+from .adaptive import AdaptiveController, ControllerConfig
 from .store import TiledSATStore, TileSATFn
 
 if TYPE_CHECKING:  # pragma: no cover — typing only, no import cycle at runtime
@@ -139,6 +140,7 @@ class SATServer:
         router: Optional["ShardRouter"] = None,
         coalesce_window: Optional[float] = None,
         coalesce_max_points: Optional[int] = None,
+        adaptive=None,
     ):
         if max_queue < 1:
             raise ConfigurationError(f"max_queue must be >= 1, got {max_queue}")
@@ -165,6 +167,34 @@ class SATServer:
         self.store = store if store is not None else TiledSATStore()
         self.max_queue = max_queue
         self.max_batch = max_batch
+        # Adaptive micro-batching: pass True for the default closed-loop
+        # controller (capped at this server's max_batch), a
+        # ControllerConfig for tuned thresholds, or a ready
+        # AdaptiveController (tests inject fake-clocked ones). When set,
+        # the controller's live batch_size replaces the fixed max_batch
+        # as the micro-batch ceiling, its coalesce_window adds a bounded
+        # wait for undersized batchable runs (and retunes the cluster
+        # router's coalescer), and predicted-deadline shedding runs at
+        # admission.
+        if adaptive is None or adaptive is False:
+            self.controller: Optional[AdaptiveController] = None
+        elif isinstance(adaptive, AdaptiveController):
+            self.controller = adaptive
+        elif isinstance(adaptive, ControllerConfig):
+            self.controller = AdaptiveController(adaptive, clock=clock)
+        elif adaptive is True:
+            self.controller = AdaptiveController(
+                ControllerConfig(
+                    max_batch=max_batch,
+                    initial_batch=max(1, min(8, max_batch)),
+                ),
+                clock=clock,
+            )
+        else:
+            raise ConfigurationError(
+                f"adaptive must be True, a ControllerConfig, or an "
+                f"AdaptiveController, got {adaptive!r}"
+            )
         self.session = session  # optional BatchSession for ingest offload
         self.clock = clock
         self.drain_timeout = drain_timeout
@@ -270,6 +300,30 @@ class SATServer:
     def queue_depth(self) -> int:
         return self._queue.qsize() + (1 if self._held is not None else 0)
 
+    @property
+    def batch_limit(self) -> int:
+        """The live micro-batch ceiling: the controller's when adaptive,
+        the fixed ``max_batch`` otherwise."""
+        if self.controller is not None:
+            return self.controller.batch_size
+        return self.max_batch
+
+    def _controller_tick(self, *, force: bool = False) -> None:
+        """Run one (rate-limited) control decision off the live queue
+        state, and propagate a retuned coalesce window to the router."""
+        controller = self.controller
+        if controller is None:
+            return
+        if force:
+            ticked = controller.tick(
+                controller.snapshot(self.queue_depth, self.max_queue),
+                force=True,
+            )
+        else:
+            ticked = controller.maybe_tick(self.queue_depth, self.max_queue)
+        if ticked and self.router is not None:
+            self.router.coalesce_window = controller.coalesce_window
+
     # -- admission -----------------------------------------------------------
 
     def submit(self, kind: str, dataset: str, payload: Any = None, *,
@@ -287,12 +341,25 @@ class SATServer:
             raise Overloaded(
                 "server is not accepting requests (not started, or draining)"
             )
+        # Tick on the admission path too: under a burst the scheduler may
+        # be deep in compute, and shedding must engage from live queue
+        # depth, not from the last time a batch finished. Rate-limited, so
+        # the common case is one comparison.
+        self._controller_tick()
         if self.queue_depth >= self.max_queue:
             obs.inc("serving_shed_total", reason="queue_full")
             self.stats.shed += 1
             raise Overloaded(
                 f"ingest queue is full ({self.max_queue} requests); retry "
                 f"with backoff"
+            )
+        if self.controller is not None and self.controller.should_shed(timeout):
+            obs.inc("serving_shed_total", reason="predicted_deadline")
+            self.stats.shed += 1
+            raise Overloaded(
+                f"shedding engaged and the {timeout}s deadline budget is "
+                f"below the live p99 estimate; this request would expire "
+                f"in the queue"
             )
         now = self.clock()
         self._seq += 1
@@ -367,7 +434,7 @@ class SATServer:
         batch = [head]
         if head.kind not in BATCHABLE:
             return batch
-        while len(batch) < self.max_batch:
+        while len(batch) < self.batch_limit:
             try:
                 nxt = self._queue.get_nowait()
             except asyncio.QueueEmpty:
@@ -389,6 +456,7 @@ class SATServer:
             try:
                 batch = self._take_compatible(head)
                 self._executing = batch  # visible to a timing-out drain
+                batch = await self._maybe_extend(batch)
                 obs.set_gauge("serving_queue_depth", self.queue_depth)
                 try:
                     await self._execute(batch)
@@ -398,9 +466,35 @@ class SATServer:
                     for request in batch:
                         if not request.future.done():
                             request.future.set_exception(exc)
+                self._controller_tick()
             finally:
                 self._executing = []
                 self._busy = False
+
+    async def _maybe_extend(self, batch: List[Request]) -> List[Request]:
+        """Adaptive coalesce window: an undersized batchable run waits up
+        to the controller's window for more compatible arrivals before
+        executing — the local analogue of the cluster coalescer's window.
+        No-op without a controller (fixed-knob servers never wait)."""
+        controller = self.controller
+        if (controller is None or controller.coalesce_window <= 0.0
+                or batch[0].kind not in BATCHABLE
+                or len(batch) >= self.batch_limit):
+            return batch
+        await asyncio.sleep(controller.coalesce_window)
+        head = batch[0]
+        while len(batch) < self.batch_limit:
+            try:
+                nxt = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if nxt.kind == head.kind and nxt.dataset == head.dataset:
+                batch.append(nxt)
+            else:
+                self._held = nxt
+                break
+        self._executing = batch
+        return batch
 
     async def _execute(self, batch: List[Request]) -> None:
         now = self.clock()
@@ -423,6 +517,8 @@ class SATServer:
         self.stats.batches += 1
         obs.inc("serving_batches_total", kind=live[0].kind)
         obs.observe("serving_batch_size", len(live), kind=live[0].kind)
+        if self.controller is not None and live[0].kind in BATCHABLE:
+            self.controller.observe_batch(len(live))
         try:
             values = await self._dispatch(live)
         except asyncio.CancelledError:
@@ -437,6 +533,8 @@ class SATServer:
             self.stats.completed += 1
             latency = done - request.enqueued_at
             obs.observe("serving_request_seconds", latency, kind=request.kind)
+            if self.controller is not None:
+                self.controller.observe_latency(latency)
             if not request.future.done():
                 request.future.set_result(Response(
                     seq=request.seq, value=value,

@@ -143,13 +143,13 @@ def test_session_map_crash_poisons_batch_but_not_session_teardown(rng, monkeypat
             list(session.map(mats))
     finally:
         session.close()  # must return, not hang on a broken pool
-    assert session._pool is None
+    assert session._workers is None
 
 
 def test_transient_crash_is_retried_once_and_recovers(rng, tmp_path, monkeypatch):
-    """A worker that dies once poisons only its attempt: the batch suffix
-    is re-run on a fresh pool, results stay complete, ordered, and
-    bit-exact, and the retry is counted."""
+    """A worker that dies once poisons only its attempt: its unfinished
+    indices are re-dispatched to a restarted worker, results stay
+    complete, ordered, and bit-exact, and the retry is counted."""
     flag = tmp_path / "crash-once"
     flag.touch()
     monkeypatch.setenv(CRASH_ENV_VAR, "2")

@@ -1,0 +1,336 @@
+"""AdaptiveController: every rule pinned deterministically on a fake clock.
+
+No sleeps, no real time, no randomness: synthetic
+:class:`~repro.service.adaptive.ObsSnapshot` values drive each control
+rule exactly at its documented threshold, and a fake clock exercises
+the tick rate limit. The thresholds asserted here are the module's
+documented contract — change them in :mod:`repro.service.adaptive`'s
+docstring and here together, or not at all.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, Overloaded
+from repro.obs import runtime as obs
+from repro.service.adaptive import (
+    AdaptiveController,
+    ControllerConfig,
+    ObsSnapshot,
+)
+from repro.service.server import SATServer
+from repro.service.store import TiledSATStore
+
+
+class FakeClock:
+    def __init__(self, now=100.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+CONFIG = ControllerConfig(
+    min_batch=1, max_batch=64, initial_batch=8,
+    window_min=0.0, window_max=0.002, window_step=0.0005, initial_window=0.0,
+    tick_interval=0.0625, p99_target=0.050,
+    queue_high_frac=0.5, queue_low_frac=0.25,
+    shed_engage_frac=0.9, shed_release_frac=0.5,
+)
+
+MAX_QUEUE = 100
+
+
+def make_controller(config=CONFIG):
+    clock = FakeClock()
+    return AdaptiveController(config, clock=clock), clock
+
+
+def snap(depth, p99=None, occupancy=None):
+    return ObsSnapshot(
+        queue_depth=depth, max_queue=MAX_QUEUE,
+        p99_latency=p99, batch_occupancy=occupancy,
+    )
+
+
+# --- batch-size rules ---------------------------------------------------------
+
+
+def test_queue_growth_doubles_batch_to_cap():
+    controller, clock = make_controller()
+    sizes = [controller.batch_size]
+    for _ in range(5):
+        clock.advance(0.0625)
+        # depth 50 == queue_high_frac * max_queue: the documented
+        # threshold is inclusive.
+        assert controller.tick(snap(depth=50))
+        sizes.append(controller.batch_size)
+    assert sizes == [8, 16, 32, 64, 64, 64]  # doubles, then pins at the cap
+    assert controller.adjustments[("batch", "up")] == 3
+
+
+def test_below_high_watermark_does_not_grow():
+    controller, clock = make_controller()
+    clock.advance(0.0625)
+    assert controller.tick(snap(depth=49))  # one under the threshold
+    assert controller.batch_size == 8
+    assert controller.adjustments == {}
+
+
+def test_p99_regression_with_light_queue_halves_batch():
+    controller, clock = make_controller()
+    sizes = [controller.batch_size]
+    for _ in range(5):
+        clock.advance(0.0625)
+        # p99 above target while the queue sits at the low watermark
+        # (inclusive): batching is adding latency, not throughput.
+        assert controller.tick(snap(depth=25, p99=0.051))
+        sizes.append(controller.batch_size)
+    assert sizes == [8, 4, 2, 1, 1, 1]  # halves, then pins at the floor
+    assert controller.adjustments[("batch", "down")] == 3
+
+
+def test_p99_regression_with_deep_queue_does_not_shrink():
+    """Latency regression under backlog is congestion, not over-batching:
+    the shrink rule requires the queue at or under the low watermark."""
+    controller, clock = make_controller()
+    clock.advance(0.0625)
+    assert controller.tick(snap(depth=26, p99=10.0))  # one over low mark
+    assert controller.batch_size == 8
+    clock.advance(0.0625)
+    assert controller.tick(snap(depth=50, p99=10.0))  # congested: grow wins
+    assert controller.batch_size == 16
+
+
+def test_p99_under_target_holds_steady():
+    controller, clock = make_controller()
+    clock.advance(0.0625)
+    assert controller.tick(snap(depth=10, p99=0.049))
+    assert controller.batch_size == 8
+    assert controller.adjustments == {}
+
+
+# --- coalesce window ----------------------------------------------------------
+
+
+def test_window_widens_under_congestion_and_narrows_on_regression():
+    controller, clock = make_controller()
+    widths = [controller.coalesce_window]
+    for _ in range(5):
+        clock.advance(0.0625)
+        controller.tick(snap(depth=50))
+        widths.append(controller.coalesce_window)
+    # step by step to the cap
+    assert widths == pytest.approx([0.0, 0.0005, 0.001, 0.0015, 0.002, 0.002])
+    for _ in range(5):
+        clock.advance(0.0625)
+        controller.tick(snap(depth=0, p99=0.051))
+        widths.append(controller.coalesce_window)
+    # back down a step at a time to the floor
+    assert widths[-5:] == pytest.approx([0.0015, 0.001, 0.0005, 0.0, 0.0])
+
+
+# --- shedding hysteresis ------------------------------------------------------
+
+
+def test_shedding_engages_at_engage_and_releases_at_release():
+    controller, clock = make_controller()
+    clock.advance(0.0625)
+    controller.tick(snap(depth=89))
+    assert not controller.shedding  # below engage
+    clock.advance(0.0625)
+    controller.tick(snap(depth=90))  # shed_engage_frac * max_queue, inclusive
+    assert controller.shedding
+    clock.advance(0.0625)
+    controller.tick(snap(depth=51))  # inside the hysteresis band: stays on
+    assert controller.shedding
+    clock.advance(0.0625)
+    controller.tick(snap(depth=50))  # shed_release_frac * max_queue, inclusive
+    assert not controller.shedding
+    assert controller.adjustments[("shedding", "engaged")] == 1
+    assert controller.adjustments[("shedding", "released")] == 1
+
+
+def test_should_shed_is_predictive_and_deadline_scoped():
+    controller, clock = make_controller()
+    for latency in [0.010] * 99 + [0.200]:
+        controller.observe_latency(latency)
+    assert controller.p99_estimate() == 0.200
+    # Not shedding: never shed, whatever the budget.
+    assert not controller.should_shed(0.001)
+    clock.advance(0.0625)
+    controller.tick(snap(depth=95))
+    assert controller.shedding
+    assert controller.should_shed(0.199)  # budget under the p99: would expire
+    assert not controller.should_shed(0.200)  # budget covers the p99
+    assert not controller.should_shed(None)  # no deadline: queue bound handles
+
+
+# --- cadence ------------------------------------------------------------------
+
+
+def test_tick_rate_limit_on_the_fake_clock():
+    controller, clock = make_controller()
+    assert controller.tick(snap(depth=50))  # first tick always runs
+    assert not controller.tick(snap(depth=50))  # same instant: rate-limited
+    assert controller.batch_size == 16
+    clock.advance(0.03125)
+    assert not controller.tick(snap(depth=50))  # halfway: still inside
+    clock.advance(0.03125)
+    assert controller.tick(snap(depth=50))
+    assert controller.batch_size == 32
+    assert controller.tick(snap(depth=50), force=True)  # force bypasses
+    assert controller.batch_size == 64
+    assert controller.ticks == 3
+
+
+def test_maybe_tick_checks_the_clock_before_snapshotting():
+    controller, clock = make_controller()
+    assert controller.maybe_tick(50, MAX_QUEUE)
+    assert not controller.maybe_tick(50, MAX_QUEUE)
+    clock.advance(0.0625)
+    assert controller.maybe_tick(50, MAX_QUEUE)
+    assert controller.batch_size == 32
+
+
+# --- observability ------------------------------------------------------------
+
+
+def test_controller_is_observable():
+    obs.enable()
+    obs.reset()
+    try:
+        controller, clock = make_controller()
+        registry = obs.registry()
+        assert registry.gauge_value("adaptive_batch_size") == 8
+        clock.advance(0.0625)
+        controller.tick(snap(depth=95))
+        assert registry.gauge_value("adaptive_batch_size") == 16
+        assert registry.gauge_value("adaptive_coalesce_window") == 0.0005
+        assert registry.gauge_value("adaptive_shedding") == 1
+        assert registry.counter_value(
+            "adaptive_adjustments_total", knob="batch", direction="up"
+        ) == 1
+        assert registry.counter_value(
+            "adaptive_adjustments_total", knob="window", direction="up"
+        ) == 1
+        assert registry.counter_value(
+            "adaptive_shed_transitions_total", state="engaged"
+        ) == 1
+        clock.advance(0.0625)
+        controller.tick(snap(depth=10, p99=1.0))
+        assert registry.counter_value(
+            "adaptive_adjustments_total", knob="batch", direction="down"
+        ) == 1
+        clock.advance(0.0625)
+        controller.tick(snap(depth=0))
+        assert registry.counter_value(
+            "adaptive_shed_transitions_total", state="released"
+        ) == 1
+        assert registry.gauge_value("adaptive_shedding") == 0
+    finally:
+        obs.disable()
+        obs.reset()
+
+
+def test_snapshot_from_obs_reads_the_live_registry():
+    obs.enable()
+    obs.reset()
+    try:
+        obs.set_gauge("serving_queue_depth", 37)
+        for value in (0.010, 0.020, 0.030):
+            obs.observe("serving_request_seconds", value, kind="region_sum")
+        obs.observe("serving_request_seconds", 0.5, kind="update_point")
+        for size in (4, 8):
+            obs.observe("serving_batch_size", size, kind="region_sum")
+        controller, _clock = make_controller()
+        snapshot = controller.snapshot_from_obs(MAX_QUEUE)
+        assert snapshot.queue_depth == 37
+        assert snapshot.max_queue == MAX_QUEUE
+        assert snapshot.p99_latency == 0.5  # worst p99 across kinds
+        assert snapshot.batch_occupancy == pytest.approx(6 / 8)
+    finally:
+        obs.disable()
+        obs.reset()
+
+
+def test_describe_reports_knobs_and_moves():
+    controller, clock = make_controller()
+    clock.advance(0.0625)
+    controller.tick(snap(depth=50))
+    described = controller.describe()
+    assert described["batch_size"] == 16
+    assert described["adjustments"] == {"batch_up": 1, "window_up": 1}
+    assert described["ticks"] == 1
+
+
+# --- config validation --------------------------------------------------------
+
+
+@pytest.mark.parametrize("bad", [
+    dict(min_batch=0),
+    dict(initial_batch=128),  # above max_batch
+    dict(grow_factor=1),
+    dict(window_min=0.5, window_max=0.1),
+    dict(p99_target=0.0),
+    dict(queue_low_frac=0.6, queue_high_frac=0.5),
+    dict(shed_release_frac=0.95),  # above engage: no hysteresis
+])
+def test_config_validation_rejects(bad):
+    with pytest.raises(ConfigurationError):
+        ControllerConfig(**bad)
+
+
+# --- server wiring ------------------------------------------------------------
+
+
+def test_server_batch_limit_follows_the_controller(rng):
+    async def main():
+        clock = FakeClock()
+        controller = AdaptiveController(CONFIG, clock=clock)
+        server = SATServer(
+            TiledSATStore(), max_queue=MAX_QUEUE, adaptive=controller,
+        )
+        assert server.batch_limit == 8
+        controller.batch_size = 32  # as a tick would set it
+        assert server.batch_limit == 32
+
+    asyncio.run(main())
+
+
+def test_server_predicted_deadline_shedding(rng):
+    async def main():
+        clock = FakeClock()
+        controller = AdaptiveController(CONFIG, clock=clock)
+        matrix = rng.integers(0, 50, size=(24, 24)).astype(np.float64)
+        async with SATServer(
+            TiledSATStore(), max_queue=MAX_QUEUE, adaptive=controller,
+        ) as server:
+            await server.ingest("img", matrix, tile=8)
+            controller.observe_latency(0.500)
+            controller.shedding = True
+            controller._last_tick = clock()  # hold the controller's state
+            with pytest.raises(Overloaded, match="deadline budget"):
+                server.submit("region_sum", "img", (0, 0, 3, 3), timeout=0.010)
+            assert server.stats.shed == 1
+            # A request that can still make it is admitted and served.
+            response = await server.region_sum("img", 0, 0, 3, 3, timeout=10.0)
+            assert response.value == matrix[:4, :4].sum()
+        return server.stats
+
+    stats = asyncio.run(main())
+    assert stats.completed >= 1
+
+
+def test_server_adaptive_true_builds_a_default_controller():
+    server = SATServer(TiledSATStore(), max_batch=16, adaptive=True)
+    assert server.controller is not None
+    assert server.controller.config.max_batch == 16
+    assert server.batch_limit == 8
+    with pytest.raises(ConfigurationError):
+        SATServer(TiledSATStore(), adaptive="yes")

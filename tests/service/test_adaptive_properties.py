@@ -1,0 +1,208 @@
+"""Property-based tests for the adaptive serving loop.
+
+The satellite contract: for *random arrival sequences*, the controller
+never lets the server exceed ``max_queue``, the batch ceiling never
+leaves ``[min_batch, max_batch]`` (nor the window ``[window_min,
+window_max]``), and every served result bit-matches a numpy shadow
+oracle regardless of which adaptation decisions fired along the way.
+
+Integer-valued payloads keep all float sums exact (below 2^53), so the
+oracle checks are ``==``, not ``allclose``. The controller is run with
+``tick_interval=0`` so a control decision fires on every admission and
+every batch completion — maximum adaptation churn per example.
+"""
+
+import asyncio
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import Overloaded
+from repro.service.adaptive import AdaptiveController, ControllerConfig
+from repro.service.server import SATServer
+from repro.service.store import TiledSATStore
+
+N = 16  # dataset is N x N, tile 4
+MAX_QUEUE = 8
+CELLS = st.integers(-1000, 1000)
+COORDS = st.integers(0, N - 1)
+
+# tick_interval=0: every maybe_tick runs a decision. The coalesce window
+# is pinned to 0 so no example ever sleeps.
+SERVER_CONFIG = ControllerConfig(
+    min_batch=1, max_batch=8, initial_batch=2, tick_interval=0.0,
+    window_min=0.0, window_max=0.0, initial_window=0.0,
+)
+
+
+class RecordingController(AdaptiveController):
+    """Traces the knob values after every decision, so the bounds can be
+    asserted over the whole run, not just at the end."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.trace = []
+
+    def tick(self, snapshot, *, force=False):
+        ran = super().tick(snapshot, force=force)
+        if ran:
+            self.trace.append(
+                (self.batch_size, self.coalesce_window, self.shedding)
+            )
+        return ran
+
+
+@st.composite
+def arrival_sequences(draw):
+    """A seed for the dataset plus a random op sequence: queries, point
+    updates, and scheduler yields (which let the server drain mid-burst,
+    so examples explore every queue regime from idle to saturated)."""
+    seed = draw(st.integers(0, 2**31 - 1))
+    ops = draw(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("query"), COORDS, COORDS, COORDS, COORDS),
+                st.tuples(st.just("update"), COORDS, COORDS, CELLS),
+                st.just(("yield",)),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    return seed, ops
+
+
+class TestAdaptiveServingProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(arrival_sequences())
+    def test_queue_bound_knob_bounds_and_oracle(self, scenario):
+        seed, ops = scenario
+        matrix = (
+            np.random.default_rng(seed)
+            .integers(-1000, 1000, size=(N, N))
+            .astype(np.float64)
+        )
+
+        async def main():
+            controller = RecordingController(SERVER_CONFIG)
+            async with SATServer(
+                TiledSATStore(), max_queue=MAX_QUEUE, adaptive=controller,
+            ) as server:
+                await server.ingest("d", matrix, tile=4)
+                shadow = matrix.copy()
+                pending = []  # (future, expected-or-None)
+                shed = 0
+                for op in ops:
+                    if op[0] == "yield":
+                        await asyncio.sleep(0)
+                        continue
+                    try:
+                        if op[0] == "query":
+                            _, a, b, c, d = op
+                            top, bottom = min(a, c), max(a, c)
+                            left, right = min(b, d), max(b, d)
+                            future = server.submit(
+                                "region_sum", "d", (top, left, bottom, right)
+                            )
+                            # FIFO: the query sees exactly the updates
+                            # admitted before it, i.e. the shadow now.
+                            expected = shadow[
+                                top:bottom + 1, left:right + 1
+                            ].sum()
+                            pending.append((future, expected))
+                        else:
+                            _, r, c, delta = op
+                            future = server.submit(
+                                "update_point", "d",
+                                {"r": r, "c": c,
+                                 "delta": float(delta), "value": None},
+                            )
+                            shadow[r, c] += delta  # admitted: shadow follows
+                            pending.append((future, None))
+                    except Overloaded:
+                        shed += 1  # shed at the door: shadow untouched
+                responses = await asyncio.gather(*(f for f, _ in pending))
+
+                # Every request was either admitted or shed, nothing lost.
+                submitted = sum(1 for op in ops if op[0] != "yield")
+                assert len(pending) + shed == submitted
+
+                # The queue bound held at every admission.
+                assert server.stats.max_queue_depth <= MAX_QUEUE
+
+                # Served results bit-match the shadow oracle.
+                for (_, expected), response in zip(pending, responses):
+                    if expected is not None:
+                        assert response.value == expected
+
+                # The final state equals the shadow too.
+                final = await server.region_sum("d", 0, 0, N - 1, N - 1)
+                assert final.value == shadow.sum()
+
+                # Knobs never left their configured bounds, however many
+                # decisions fired.
+                cfg = controller.config
+                assert controller.ticks == len(controller.trace)
+                for batch, window, _shedding in controller.trace:
+                    assert cfg.min_batch <= batch <= cfg.max_batch
+                    assert cfg.window_min <= window <= cfg.window_max
+                return server.stats
+
+            # unreachable
+
+        stats = asyncio.run(main())
+        assert stats.deadline_missed == 0
+        assert stats.completed == stats.admitted
+
+
+@st.composite
+def snapshot_sequences(draw):
+    """Arbitrary signal streams for the pure controller: queue depths
+    across the whole range (including past the bound), latencies from
+    micro to absurd, and uneven clock advances."""
+    max_queue = draw(st.sampled_from([1, 8, 100]))
+    steps = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, 2 * 100),  # depth, may exceed max_queue
+                st.one_of(st.none(), st.floats(1e-6, 10.0,
+                                               allow_nan=False)),
+                st.sampled_from([0.0, 0.03125, 0.0625, 1.0]),  # advance
+            ),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    return max_queue, steps
+
+
+class TestControllerBoundsProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(snapshot_sequences())
+    def test_knobs_stay_bounded_for_arbitrary_signals(self, scenario):
+        max_queue, steps = scenario
+        config = ControllerConfig()  # the documented serving defaults
+
+        class Clock:
+            now = 0.0
+
+            def __call__(self):
+                return self.now
+
+        clock = Clock()
+        controller = AdaptiveController(config, clock=clock)
+        for depth, p99, advance in steps:
+            clock.now += advance
+            if p99 is not None:
+                controller.observe_latency(p99)
+            controller.maybe_tick(depth, max_queue)
+            assert config.min_batch <= controller.batch_size <= config.max_batch
+            assert (config.window_min <= controller.coalesce_window
+                    <= config.window_max)
+            assert controller.should_shed(None) is False
+        # The move counters account for every recorded adjustment.
+        described = controller.describe()
+        assert sum(controller.adjustments.values()) == sum(
+            described["adjustments"].values()
+        )
