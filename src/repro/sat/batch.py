@@ -630,9 +630,10 @@ class BatchSession:
                     next_yield += 1
                 if next_yield >= k:
                     break
-                retried = self._pump(gen, ready, retried, k, rows, cols)
+                retried = self._pump(gen, ready, retried, next_yield,
+                                     k, rows, cols)
 
-    def _pump(self, gen: int, ready: set, retried: bool,
+    def _pump(self, gen: int, ready: set, retried: bool, next_yield: int,
               k: int, rows: int, cols: int) -> bool:
         """Wait for progress on the in-flight batch; handle one wave of
         messages and crashes. Returns the updated retried flag."""
@@ -640,8 +641,9 @@ class BatchSession:
         if not live:
             # Every worker reported batch_end yet results are missing —
             # a protocol fault, not a crash; never spin silently.
+            missing = k - next_yield - len(ready)
             raise WorkerCrashed(
-                f"batch workers finished but {k - len(ready)} result(s) "
+                f"batch workers finished but {missing} result(s) "
                 f"were never delivered"
             )
         waitables = []

@@ -479,7 +479,12 @@ class SATServer:
         controller = self.controller
         if (controller is None or controller.coalesce_window <= 0.0
                 or batch[0].kind not in BATCHABLE
-                or len(batch) >= self.batch_limit):
+                or len(batch) >= self.batch_limit
+                # An incompatible request is already parked in the single-slot
+                # _held; waiting would let the loop below overwrite it (its
+                # future would never resolve) and would invert FIFO. Run the
+                # current batch now so the held request goes next.
+                or self._held is not None):
             return batch
         await asyncio.sleep(controller.coalesce_window)
         head = batch[0]

@@ -327,6 +327,43 @@ def test_server_predicted_deadline_shedding(rng):
     assert stats.completed >= 1
 
 
+def test_coalesce_extension_never_drops_a_held_request(rng):
+    """Regression: with a nonzero coalesce window, an incompatible request
+    parked in the single-slot ``_held`` by ``_take_compatible`` must not be
+    overwritten by the window-extension loop — the dropped request's future
+    would never resolve, and drain() could not recover it (it would be in
+    neither the queue nor ``_held``). Pattern: a, b, b on two datasets."""
+    async def main():
+        clock = FakeClock()
+        controller = AdaptiveController(CONFIG, clock=clock)
+        controller.coalesce_window = 0.02  # as a tick would set it
+        ma = rng.integers(0, 50, size=(8, 8)).astype(np.float64)
+        mb = rng.integers(0, 50, size=(8, 8)).astype(np.float64)
+        async with SATServer(
+            TiledSATStore(), max_queue=MAX_QUEUE, adaptive=controller,
+        ) as server:
+            await server.ingest("a", ma, tile=4)
+            await server.ingest("b", mb, tile=4)
+            # All three queued before the scheduler runs: the head batch on
+            # "a" parks the first "b" request in _held, and the extension
+            # loop must not pop (and drop it for) the second one.
+            futures = [
+                server.submit("region_sum", "a", (0, 0, 3, 3)),
+                server.submit("region_sum", "b", (0, 0, 3, 3)),
+                server.submit("region_sum", "b", (1, 1, 5, 5)),
+            ]
+            responses = await asyncio.wait_for(
+                asyncio.gather(*futures), timeout=5.0
+            )
+        assert responses[0].value == ma[:4, :4].sum()
+        assert responses[1].value == mb[:4, :4].sum()
+        assert responses[2].value == mb[1:6, 1:6].sum()
+        # FIFO holds: the earlier-held "b" request completes first.
+        assert responses[1].completed_index < responses[2].completed_index
+
+    asyncio.run(main())
+
+
 def test_server_adaptive_true_builds_a_default_controller():
     server = SATServer(TiledSATStore(), max_batch=16, adaptive=True)
     assert server.controller is not None
