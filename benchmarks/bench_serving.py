@@ -15,7 +15,11 @@ Measures the four claims the serving subsystem makes and writes them to
    sizes at fixed ``n``: small tiles shrink the ``O(t^2)`` local re-SAT
    but grow the ``O((n/t)^2)`` corner quadrant (and vice versa), with the
    balance point near ``t = sqrt(n)``..``n/16``. No gate; this is the
-   EXPERIMENTS appendix's data.
+   EXPERIMENTS appendix's data. The sweep carries an **auto arm**: the
+   :mod:`repro.autotune` planner picks a tile from its cost prior, the
+   sweep's own timings are fed back in, and the refined choice must land
+   within 5% of the best hand-picked tile (``gate_skipped`` + reason on
+   hosts whose timings can't support the comparison).
 3. **Query latency** — scalar ``region_sum`` vs the vectorized
    ``region_sums`` batch path (the micro-batcher's execution kernel),
    reported as per-query cost. Gate: the batched path is at least as
@@ -75,15 +79,20 @@ GATE_TILE = 64
 ADAPTIVE_P99_GATE = 1.05
 
 
-def _median_time(fn, reps: int) -> float:
-    """Median seconds per call over ``reps`` timed calls (one warm-up)."""
+def _sample_times(fn, reps: int) -> List[float]:
+    """Per-call seconds over ``reps`` timed calls (one warm-up)."""
     fn()
     samples = []
     for _ in range(reps):
         t0 = time.perf_counter()
         fn()
         samples.append(time.perf_counter() - t0)
-    return float(np.median(samples))
+    return samples
+
+
+def _median_time(fn, reps: int) -> float:
+    """Median seconds per call over ``reps`` timed calls (one warm-up)."""
+    return float(np.median(_sample_times(fn, reps)))
 
 
 def bench_incremental_update(n: int, tile: int, reps: int) -> Dict[str, object]:
@@ -147,6 +156,101 @@ def bench_tile_tradeoff(n: int, tiles: List[int], reps: int) -> List[Dict[str, f
             "dataset_mib": ds.nbytes / 2**20,
         })
     return rows
+
+
+#: Auto-arm gate: the planner's exploit choice must land within this
+#: factor of the best hand-picked tile's measured cost.
+AUTOTUNE_TILE_GATE = 1.05
+
+#: Measured reps below this are too noisy to hold a 5% comparison on a
+#: shared runner; the gate reports gate_skipped instead of a verdict.
+AUTOTUNE_MIN_REPS = 5
+
+
+def bench_autotune_tile(
+    n: int, tiles: List[int], reps: int, update_frac: float = 0.5
+) -> Dict[str, object]:
+    """The ``auto`` arm of the tile-tradeoff sweep.
+
+    Measures every candidate tile the same way the hand-picked sweep
+    does, feeds each per-operation sample into a fresh (sidecar-less)
+    :class:`~repro.autotune.AutotunePlanner`, and compares three things:
+    the planner's zero-measurement *model* choice, its measurement-
+    refined *exploit* choice, and the best hand-picked tile. The gate —
+    refined choice within ``AUTOTUNE_TILE_GATE`` of the best measured
+    cost — is enforced from the same samples both sides saw, so it is
+    deterministic given the timings; on hosts where the timings
+    themselves cannot support a 5% comparison (single core, or too few
+    reps) the gate reports ``gate_skipped`` with the reason instead of a
+    coin-flip verdict.
+    """
+    from repro.autotune import AutotunePlanner, serving_tile_arms
+
+    rng = np.random.default_rng(3)
+    a = rng.integers(-100, 100, size=(n, n)).astype(np.float64)
+    planner = AutotunePlanner(path=None)
+    arms = serving_tile_arms(n, n, tiles, update_weight=update_frac)
+    key = f"{n}x{n}/float64/serving/tile/mixed{update_frac:g}"
+    model_choice = planner.decide(key, arms).arm_id
+
+    rows = []
+    measured: Dict[str, float] = {}
+    for tile in tiles:
+        ds = Dataset(f"auto-{tile}", a, tile)
+        coords = iter(
+            [(int(r), int(c)) for r, c in rng.integers(0, n, size=(4 * reps, 2))] * 2
+        )
+
+        def update() -> None:
+            r, c = next(coords)
+            ds.update_point(r, c, delta=1.0)
+
+        rects = iter(list(_random_rects(rng, n, 4 * reps)) * 2)
+
+        def query() -> None:
+            region_sum(ds, *next(rects))
+
+        update_samples = _sample_times(update, reps)
+        query_samples = _sample_times(query, reps)
+        arm_id = f"tile={tile}"
+        combined = [
+            update_frac * u + (1.0 - update_frac) * q
+            for u, q in zip(update_samples, query_samples)
+        ]
+        for sample in combined:
+            planner.observe_arm(key, arm_id, sample)
+        measured[arm_id] = float(np.median(combined))
+        rows.append({"tile": tile, "combined_usec": measured[arm_id] * 1e6})
+
+    refined = planner.decide(key, arms, explore=False).arm_id
+    best_arm = min(measured, key=measured.get)
+    within = measured[refined] / measured[best_arm]
+
+    gate_skipped = None
+    if reps < AUTOTUNE_MIN_REPS:
+        gate_skipped = (
+            f"only {reps} timing reps per arm (< {AUTOTUNE_MIN_REPS}); too "
+            f"noisy to hold a {AUTOTUNE_TILE_GATE:.2f}x comparison"
+        )
+    elif (os.cpu_count() or 1) < 2:
+        gate_skipped = (
+            "single-core host; co-scheduled timers cannot support a "
+            f"{AUTOTUNE_TILE_GATE:.2f}x comparison"
+        )
+    return {
+        "n": n,
+        "update_frac": update_frac,
+        "reps": reps,
+        "arms": rows,
+        "model_choice": model_choice,
+        "auto_choice": refined,
+        "auto_usec": measured[refined] * 1e6,
+        "best_choice": best_arm,
+        "best_usec": measured[best_arm] * 1e6,
+        "within": within,
+        "gate": "skipped" if gate_skipped else "enforced",
+        "gate_skipped": gate_skipped,
+    }
 
 
 def _random_rects(rng, n: int, k: int):
@@ -225,6 +329,9 @@ def run_serving_benchmark(
     tradeoff = bench_tile_tradeoff(
         sweep_n, tiles or [16, 32, 64, 128, 256], sweep_reps
     )
+    autotune = bench_autotune_tile(
+        sweep_n, tiles or [16, 32, 64, 128, 256], sweep_reps
+    )
     queries = bench_query_paths(sweep_n, GATE_TILE, query_batch, query_reps)
     server = bench_server(loadgen_n, GATE_TILE, loadgen_rounds, loadgen_burst)
     adaptive = bench_adaptive_overload(
@@ -239,12 +346,15 @@ def run_serving_benchmark(
         },
         "incremental_update": update,
         "tile_tradeoff": tradeoff,
+        "autotune_tile": autotune,
         "query_paths": queries,
         "server": server,
         "adaptive_overload": adaptive,
         "summary": {
             "update_speedup": update["speedup"],
             "update_bit_identical": update["bit_identical"],
+            "autotune_within": autotune["within"],
+            "autotune_gate": autotune["gate"],
             "batched_query_speedup": queries["batched_speedup"],
             "server_ok": server["ok"],
             "server_responses_per_sec": server["responses_per_sec"],
@@ -267,6 +377,13 @@ def check_gates(results: Dict[str, object]) -> list:
             f"incremental update at n={update['n']}, t={update['tile']} is not "
             f">= {UPDATE_SPEEDUP_GATE:.0f}x a full recompute "
             f"({update['speedup']:.1f}x)"
+        )
+    autotune = results["autotune_tile"]
+    if autotune["gate"] == "enforced" and autotune["within"] > AUTOTUNE_TILE_GATE:
+        failures.append(
+            f"autotune tile choice {autotune['auto_choice']} is "
+            f"{autotune['within']:.3f}x the best hand-picked "
+            f"({autotune['best_choice']}); gate is {AUTOTUNE_TILE_GATE}x"
         )
     if results["query_paths"]["batched_speedup"] < 1.0:
         failures.append(
@@ -333,6 +450,16 @@ def summary_text(results: Dict[str, object]) -> str:
             f"query {row['query_usec']:6.1f}us  "
             f"resident {row['dataset_mib']:.1f} MiB"
         )
+    at = results["autotune_tile"]
+    gate_txt = (
+        f"gate skipped: {at['gate_skipped']}" if at["gate"] == "skipped"
+        else f"within {at['within']:.3f}x of best (gate {AUTOTUNE_TILE_GATE}x)"
+    )
+    lines.append(
+        f"autotune tile arm: model picked {at['model_choice']}, refined to "
+        f"{at['auto_choice']} ({at['auto_usec']:.1f}us) vs best hand-picked "
+        f"{at['best_choice']} ({at['best_usec']:.1f}us) — {gate_txt}"
+    )
     lines += [
         f"queries: scalar {q['scalar_usec_per_query']:.1f}us/q, "
         f"batched {q['batched_usec_per_query']:.2f}us/q "

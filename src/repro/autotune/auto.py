@@ -1,0 +1,151 @@
+"""``algorithm="auto"``: a SATAlgorithm that picks its implementation.
+
+:class:`AutoSAT` is registered under the name ``"auto"`` and satisfies
+the full :class:`~repro.sat.base.SATAlgorithm` contract by *delegating*:
+each :meth:`compute` asks the planner for a decision, instantiates the
+winning concrete algorithm through the registry, forwards every kwarg
+unchanged, and feeds the measured wall-clock back into the planner. The
+returned :class:`~repro.sat.base.SATResult` is the delegate's own —
+``result.algorithm`` names the algorithm that actually ran, and the SAT
+is bit-identical to calling that algorithm explicitly, because ``auto``
+adds no compute of its own (asserted across the conformance dtypes in
+the test suite).
+
+Construction is deliberately lightweight and picklable: the default
+``planner=None`` resolves to the process-wide
+:func:`~repro.autotune.planner.default_planner` *at compute time*, so a
+:class:`~repro.sat.batch.BatchSession` can ship ``AutoSAT`` to spawned
+or forked workers — each worker lazily builds its own planner view from
+the shared sidecar.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Hashable, Optional, Sequence
+
+import numpy as np
+
+from ..machine.params import MachineParams
+from ..sat.base import SATAlgorithm, SATResult
+from .planner import AutotunePlanner, default_planner
+
+__all__ = ["AutoSAT"]
+
+
+class AutoSAT(SATAlgorithm):
+    """Planner-delegating algorithm selector (registry name ``"auto"``)."""
+
+    name = "auto"
+    # Delegation handles validation: the planner only offers arms that are
+    # feasible for the input's exact shape, so auto itself accepts
+    # anything at least one registered algorithm accepts.
+    requires_block_multiple = False
+    supports_rectangular = True
+
+    def __init__(self, planner: Optional[AutotunePlanner] = None, kind: str = "compute"):
+        self._planner = planner
+        self.kind = kind
+        self._instances: Dict[str, SATAlgorithm] = {}
+
+    @property
+    def planner(self) -> AutotunePlanner:
+        return self._planner if self._planner is not None else default_planner()
+
+    @property
+    def plan_safe(self) -> bool:
+        """Never plan-compile *auto* itself — the delegate's plan (keyed
+        by its own name and extras) is the cacheable object."""
+        return False
+
+    def plan_extras(self) -> Dict[str, Hashable]:
+        return {"kind": self.kind}
+
+    def _run(self, executor, rows, cols):  # pragma: no cover - unreachable
+        raise NotImplementedError("AutoSAT delegates; it has no kernels of its own")
+
+    def _delegate(self, decision) -> SATAlgorithm:
+        """Concrete algorithm for a decision, cached per configuration
+        (registry factories are stateless for default construction, and
+        reuse mirrors how BatchSession holds one instance per pool)."""
+        arm = decision.arm
+        cache_key = f"{arm.algorithm}|p={arm.p}"
+        instance = self._instances.get(cache_key)
+        if instance is None:
+            from ..sat.registry import make_algorithm
+
+            instance = make_algorithm(arm.algorithm, **arm.algorithm_kwargs())
+            self._instances[cache_key] = instance
+        return instance
+
+    def compute(
+        self,
+        matrix: np.ndarray,
+        params: Optional[MachineParams] = None,
+        *,
+        executor=None,
+        seed: Optional[int] = 0,
+        engine=None,
+        use_plan_cache: bool = True,
+        fast: bool = False,
+        fused=True,
+        obs: Optional[bool] = None,
+    ) -> SATResult:
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2 or 0 in matrix.shape:
+            from ..errors import ShapeError
+
+            raise ShapeError(f"matrix must be non-empty 2-D, got {matrix.shape}")
+        rows, cols = matrix.shape
+        planner = self.planner
+        mode = "fast" if fast else "counted"
+        decision = planner.decide_compute(
+            rows,
+            cols,
+            matrix.dtype,
+            params,
+            kind=self.kind,
+            mode=mode,
+            fused_options=self._fused_options(fast, fused),
+        )
+        delegate = self._delegate(decision)
+        run_params = params
+        if run_params is None and decision.arm.width is not None:
+            run_params = MachineParams(width=decision.arm.width)
+        run_fused = decision.arm.fused if decision.arm.fused is not None else fused
+        started = time.perf_counter()
+        result = delegate.compute(
+            matrix,
+            run_params,
+            executor=executor,
+            seed=seed,
+            engine=engine,
+            use_plan_cache=use_plan_cache,
+            fast=fast,
+            fused=run_fused,
+            obs=obs,
+        )
+        planner.observe(decision, time.perf_counter() - started)
+        return result
+
+    @staticmethod
+    def _fused_options(fast: bool, fused) -> Sequence[Optional[str]]:
+        """Backend arms are only in play when the caller left the fast
+        path's backend to the default (``fused=True``) *and* the native
+        toolchain exists; an explicit backend choice is respected."""
+        if not fast or fused is not True:
+            return (None,)
+        from ..machine.engine.native import ensure_backend
+
+        if ensure_backend() is None:
+            return (None,)
+        return ("numpy", "native")
+
+    def __reduce__(self):
+        # Ship only the picklable configuration to worker processes; an
+        # explicitly-injected planner (locks, RNG) stays behind and each
+        # worker resolves the process-wide default instead.
+        return (AutoSAT, (None, self.kind))
+
+    def __repr__(self) -> str:
+        return f"<SATAlgorithm auto kind={self.kind!r}>"

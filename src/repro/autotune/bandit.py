@@ -1,0 +1,192 @@
+"""The measurement-refinement layer under the autotuner: a bandit per key.
+
+The planner's prior is the calibrated cost model — it ranks candidate
+configurations before anything has run. The bandit layer refines that
+ranking with *measured* latencies, one :class:`KeyState` per
+``(shape, dtype, kind, mode)`` key:
+
+* :class:`ArmStats` — exact online mean/variance (Welford) of the
+  measured seconds per arm. The update is the textbook recurrence, unit
+  tested value-for-value, so the empirical layer is auditable.
+* :class:`KeyState` — blends the model prior with the measurements and
+  scores every arm. The prior and the measurements live in different
+  units (model cost vs wall seconds), so the prior is rescaled into
+  seconds through the measured/predicted ratio of the arms that *have*
+  run — the same fit-one-constant trick the Table II calibration uses,
+  applied online per key. Scoring is a lower-confidence-bound variant of
+  UCB for minimization: arms with few measurements get an optimism
+  discount proportional to ``sqrt(log(total)/count)``, so a config the
+  model mispredicted still gets probed and corrected instead of being
+  written off forever. An epsilon-greedy probe of the least-measured arm
+  adds a guaranteed exploration floor.
+
+Until the first measurement arrives a key is pure model: the arm with
+the lowest predicted cost wins, deterministically — the property the
+hypothesis suite pins down.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["ArmStats", "KeyState"]
+
+
+@dataclasses.dataclass
+class ArmStats:
+    """Exact online statistics of one arm's measured latencies (Welford)."""
+
+    count: int = 0
+    mean: float = 0.0
+    m2: float = 0.0  # sum of squared deviations from the running mean
+
+    def observe(self, value: float) -> None:
+        """Fold one measurement in; mean and m2 stay exact at every step."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (0.0 until two measurements exist)."""
+        if self.count < 2:
+            return 0.0
+        return self.m2 / (self.count - 1)
+
+    def as_list(self) -> List[float]:
+        """Sidecar encoding: ``[count, mean, m2]``."""
+        return [self.count, self.mean, self.m2]
+
+    @classmethod
+    def from_list(cls, raw) -> "ArmStats":
+        """Inverse of :meth:`as_list`; raises on malformed input (the
+        sidecar loader treats that as corruption)."""
+        count, mean, m2 = raw
+        count = int(count)
+        mean = float(mean)
+        m2 = float(m2)
+        if count < 0 or not math.isfinite(mean) or not math.isfinite(m2) or m2 < 0:
+            raise ValueError(f"implausible arm stats {raw!r}")
+        return cls(count=count, mean=mean, m2=m2)
+
+
+class KeyState:
+    """Priors + measurements + decision accounting for one planner key."""
+
+    __slots__ = ("priors", "stats", "decisions", "modes")
+
+    def __init__(self, priors: Optional[Dict[str, float]] = None):
+        #: arm_id -> predicted cost (model units; any consistent scale).
+        self.priors: Dict[str, float] = dict(priors or {})
+        #: arm_id -> measured-latency statistics (seconds).
+        self.stats: Dict[str, ArmStats] = {}
+        self.decisions = 0
+        self.modes: Dict[str, int] = {"prior": 0, "exploit": 0, "explore": 0}
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def merge_priors(self, priors: Dict[str, float]) -> None:
+        """Refresh predicted costs (arms are re-enumerated per decide)."""
+        self.priors.update(priors)
+
+    def observe(self, arm_id: str, seconds: float) -> ArmStats:
+        stats = self.stats.get(arm_id)
+        if stats is None:
+            stats = self.stats[arm_id] = ArmStats()
+        stats.observe(seconds)
+        return stats
+
+    def total_measurements(self) -> int:
+        return sum(s.count for s in self.stats.values())
+
+    # -- scoring -------------------------------------------------------------
+
+    def scale(self) -> Optional[float]:
+        """Measured-seconds per prior-unit, averaged over measured arms.
+
+        ``None`` until something has run — the signal that scoring must
+        stay in pure model units.
+        """
+        ratios = [
+            s.mean / self.priors[arm_id]
+            for arm_id, s in self.stats.items()
+            if s.count > 0 and self.priors.get(arm_id, 0.0) > 0.0
+        ]
+        if not ratios:
+            return None
+        return sum(ratios) / len(ratios)
+
+    def blended_mean(self, arm_id: str, prior_weight: float) -> float:
+        """Posterior-ish latency estimate: the prior acts as
+        ``prior_weight`` pseudo-measurements at its rescaled value."""
+        prior = self.priors.get(arm_id, math.inf)
+        scale = self.scale()
+        if scale is None:
+            return prior  # pure model units; consistent across arms
+        stats = self.stats.get(arm_id)
+        count = stats.count if stats is not None else 0
+        measured_sum = stats.mean * count if stats is not None else 0.0
+        return (prior_weight * prior * scale + measured_sum) / (prior_weight + count)
+
+    def score(self, arm_id: str, prior_weight: float, ucb_c: float) -> float:
+        """Lower-confidence-bound score (minimization): optimistic for
+        under-measured arms so mispredictions get probed."""
+        mean = self.blended_mean(arm_id, prior_weight)
+        total = self.total_measurements()
+        if total == 0:
+            return mean
+        stats = self.stats.get(arm_id)
+        count = stats.count if stats is not None else 0
+        bonus = ucb_c * math.sqrt(math.log(total + 1.0) / (count + prior_weight))
+        return mean * max(0.0, 1.0 - bonus)
+
+    def ranked(self, prior_weight: float, ucb_c: float) -> List[Tuple[str, float]]:
+        """Every known arm with its score, best (lowest) first; ties break
+        on arm id so the ranking is deterministic."""
+        arm_ids = set(self.priors) | set(self.stats)
+        return sorted(
+            ((a, self.score(a, prior_weight, ucb_c)) for a in arm_ids),
+            key=lambda pair: (pair[1], pair[0]),
+        )
+
+    def best(self, prior_weight: float) -> Optional[str]:
+        """The exploit choice: lowest blended mean, no exploration bonus."""
+        arm_ids = set(self.priors) | set(self.stats)
+        if not arm_ids:
+            return None
+        return min(arm_ids, key=lambda a: (self.blended_mean(a, prior_weight), a))
+
+    def least_measured(self) -> Optional[str]:
+        """The epsilon-probe target: the arm with the fewest measurements."""
+        arm_ids = set(self.priors) | set(self.stats)
+        if not arm_ids:
+            return None
+        return min(
+            arm_ids,
+            key=lambda a: (self.stats[a].count if a in self.stats else 0, a),
+        )
+
+    # -- sidecar codec -------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        return {
+            "arms": {a: s.as_list() for a, s in self.stats.items()},
+            "decisions": self.decisions,
+            "modes": dict(self.modes),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "KeyState":
+        """Rebuild from the sidecar; raises on malformed payloads (the
+        loader treats any exception as corruption and starts fresh)."""
+        state = cls()
+        for arm_id, stats in dict(raw["arms"]).items():
+            state.stats[str(arm_id)] = ArmStats.from_list(stats)
+        state.decisions = int(raw.get("decisions", 0))
+        modes = raw.get("modes", {})
+        for mode in state.modes:
+            state.modes[mode] = int(modes.get(mode, 0))
+        return state

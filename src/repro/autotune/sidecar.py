@@ -1,0 +1,97 @@
+"""JSON sidecar persisting learned autotune choices across processes.
+
+Keyed like the engine's :class:`~repro.machine.engine.cache.PlanCache`
+(shape + machine params + request kind in the key string), stored next to
+the other on-disk caches (default ``~/.cache/repro/autotune.json``,
+overridable via ``REPRO_AUTOTUNE_PATH`` — the same env-var/default idiom
+as the native backend's compiled-kernel cache).
+
+The file is versioned and corruption-tolerant by construction:
+
+* Writes go through a same-directory temporary file + ``os.replace``, so
+  a crash mid-save leaves the previous generation intact, never a
+  half-written one.
+* Loads treat *anything* unexpected — truncated JSON, wrong version,
+  implausible statistics, a directory where the file should be — as
+  "start fresh from the model prior", logged as a single warning. Learned
+  measurements are an optimization, never a correctness input, so losing
+  them must never take the planner down.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import tempfile
+from typing import Dict, Optional, Tuple
+
+from .bandit import KeyState
+
+__all__ = ["ENV_VAR", "SIDECAR_VERSION", "default_path", "load", "save"]
+
+logger = logging.getLogger(__name__)
+
+ENV_VAR = "REPRO_AUTOTUNE_PATH"
+SIDECAR_VERSION = 1
+
+
+def default_path() -> str:
+    """``$REPRO_AUTOTUNE_PATH`` or ``~/.cache/repro/autotune.json``."""
+    env = os.environ.get(ENV_VAR)
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro", "autotune.json")
+
+
+def load(path: str) -> Tuple[Dict[str, KeyState], str]:
+    """Read learned state from ``path``.
+
+    Returns ``(keys, status)`` where status is one of ``"loaded"``,
+    ``"missing"`` (no file yet — the normal first run), or ``"corrupt"``
+    (anything unreadable; an empty state is returned and one warning is
+    logged so the fallback is visible but not fatal).
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = json.load(handle)
+        if not isinstance(raw, dict):
+            raise ValueError(f"expected a JSON object, got {type(raw).__name__}")
+        version = raw.get("version")
+        if version != SIDECAR_VERSION:
+            raise ValueError(f"unsupported sidecar version {version!r}")
+        keys = {
+            str(key): KeyState.from_dict(entry)
+            for key, entry in dict(raw["keys"]).items()
+        }
+        return keys, "loaded"
+    except FileNotFoundError:
+        return {}, "missing"
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        logger.warning(
+            "autotune sidecar %s unreadable (%s); falling back to the model prior",
+            path,
+            exc,
+        )
+        return {}, "corrupt"
+
+
+def save(path: str, keys: Dict[str, KeyState]) -> None:
+    """Atomically write ``keys`` to ``path`` (temp file + rename)."""
+    payload = {
+        "version": SIDECAR_VERSION,
+        "keys": {key: state.as_dict() for key, state in keys.items()},
+    }
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(prefix=".autotune-", suffix=".tmp", dir=directory)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, separators=(",", ":"))
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise

@@ -14,7 +14,12 @@ Commands
               silently wrong answer)
 ``stats``     run a small instrumented workload with observability on and
               export the collected metrics (JSON / Prometheus text), plus
-              the cost-model audit across all six algorithms
+              the cost-model audit across all six algorithms and the
+              autotune planner's decision accounting
+``autotune``  print the live cost-model decision table (what
+              ``algorithm="auto"`` picks per size) against the published
+              Table II winners; optionally run a measured refinement
+              session and persist the learned choices
 ``serve``     in-process demo of the tiled SAT serving layer: ingest
               datasets into the bounded store, apply incremental updates
               (timed against full recompute), answer queries, print the
@@ -341,6 +346,12 @@ def cmd_stats(args) -> int:
             prefetch_depth=1,
         ):
             pass
+        # Autotune: a few algorithm="auto" computes so the planner's
+        # decision counters, modes, and per-shape winners appear in the
+        # export (via engine.stats()["autotune"]).
+        auto = make_algorithm("auto")
+        for _ in range(2):
+            auto.compute(a, params, engine=engine)
         if args.serving:
             # Serving layer: a miniature oracle-verified loadgen run so the
             # queue-depth gauge, shed counters, and per-kind latency
@@ -360,11 +371,13 @@ def cmd_stats(args) -> int:
         audit = CostAudit()
         audit.sweep(args.n, params, p=args.p, seed=args.seed)
     if args.format in ("json", "both"):
+        engine_stats = engine.stats()
         print(
             to_json(
                 extra={
                     "cost_audit": audit.as_dict(),
-                    "native_backend": engine.stats()["native"],
+                    "native_backend": engine_stats["native"],
+                    "autotune": engine_stats["autotune"],
                 }
             )
         )
@@ -372,6 +385,106 @@ def cmd_stats(args) -> int:
         print(to_prometheus(), end="")
     print(audit.summary(), file=sys.stderr)
     return 1 if audit.divergences else 0
+
+
+def cmd_autotune(args) -> int:
+    """Live decision table from the autotune planner (Table II, online).
+
+    ``--sweep`` (the default) asks the planner for its zero-measurement
+    decision at each Table II size — pure cost-model prior — and prints
+    the chosen configuration next to the algorithm the published table
+    bolds. The selections must change with ``n`` and match the published
+    winner at every size (``1.25R1W`` and ``kR1W`` count as one family:
+    1.25R1W *is* kR1W at ``p = 0.5``); any miss, or a selection that
+    never changes, sets exit code 1 — this is the CI smoke gate for the
+    crossover reproduction.
+
+    ``--measure N`` additionally runs a short live-refinement session at
+    size ``N``: ``algorithm="auto"`` computes on real inputs, wall-clock
+    fed back into the planner, then the per-mode decision counts and the
+    measured winner are printed. With persistence enabled (the default)
+    the learned statistics are saved to the sidecar, so a later process
+    starts from them.
+    """
+    from .analysis.published import TABLE2_SIZES_K, fastest_gpu_algorithm
+    from .autotune import AutoSAT, AutotunePlanner
+
+    if args.no_state:
+        planner = AutotunePlanner(path=None)
+    elif args.state:
+        planner = AutotunePlanner(path=args.state)
+    else:
+        planner = AutotunePlanner()
+    params = _params(args)
+    sizes_k = (
+        [int(v) for v in args.sizes_k.split(",") if v]
+        if args.sizes_k
+        else list(TABLE2_SIZES_K)
+    )
+
+    def family(name: str) -> str:
+        return "kR1W" if name in ("kR1W", "1.25R1W") else name
+
+    rows = []
+    selections = []
+    matched = True
+    for k in sizes_k:
+        n = 1024 * k
+        decision = planner.decide_compute(
+            n, n, np.float64, params, max_p_candidates=args.p_candidates,
+            explore=False,
+        )
+        published = (
+            fastest_gpu_algorithm(k) if k in TABLE2_SIZES_K else "-"
+        )
+        match = (
+            family(decision.algorithm) == family(published)
+            if published != "-"
+            else None
+        )
+        if match is False:
+            matched = False
+        selections.append(decision.algorithm)
+        rows.append([
+            n, decision.arm_id, decision.predicted, decision.mode,
+            published, {True: "yes", False: "NO", None: "-"}[match],
+        ])
+    crossed = len({family(s) for s in selections}) > 1
+    print(format_table(
+        ["n", "selected", "pred ms", "mode", "published", "match"],
+        rows,
+        title=f"autotune decisions (w={params.width}, l={params.latency})",
+        float_fmt="{:.2f}",
+    ))
+    print(
+        f"selection changes with n: {'yes' if crossed else 'NO'}; "
+        f"published-winner match: {'yes' if matched else 'NO'}"
+    )
+
+    if args.measure:
+        n = args.measure
+        a = random_matrix(n, seed=args.seed)
+        auto = AutoSAT(planner=planner)
+        for _ in range(args.rounds):
+            auto.compute(a, params)
+        stats = planner.stats()
+        print(
+            f"measured {args.rounds} round(s) at n={n}: "
+            f"modes={stats['modes']}"
+        )
+        key = planner.key_for(n, n, np.float64, params)
+        winner = planner.winners().get(key)
+        if winner is not None:
+            mean = winner["mean_seconds"]
+            mean_txt = f"{mean * 1e3:.2f} ms" if mean is not None else "model prior"
+            print(
+                f"winner at {key}: {winner['arm']} "
+                f"({winner['measurements']} measurement(s), {mean_txt})"
+            )
+    if planner.path is not None:
+        saved = planner.save()
+        print(f"learned state saved to {saved}", file=sys.stderr)
+    return 0 if (crossed and matched) else 1
 
 
 def _serving_session(args):
@@ -751,6 +864,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--latency", type=int, default=32, help="latency l in units")
     p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser(
+        "autotune", help="live cost-model decision table (Table II crossover)"
+    )
+    p.add_argument(
+        "--sweep", action="store_true",
+        help="print the decision table (default behavior; flag kept for "
+        "explicit invocation in scripts/CI)",
+    )
+    p.add_argument(
+        "--sizes-k", default="",
+        help="comma-separated sizes in 1024-units (default: Table II's)",
+    )
+    p.add_argument(
+        "--p-candidates", type=int, default=9,
+        help="kR1W mixing-parameter grid density per decision",
+    )
+    p.add_argument(
+        "--measure", type=int, default=0, metavar="N",
+        help="also run a live refinement session at size N",
+    )
+    p.add_argument(
+        "--rounds", type=int, default=6,
+        help="algorithm='auto' computes for --measure",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--state", default="",
+        help="sidecar path for learned choices (default: "
+        "$REPRO_AUTOTUNE_PATH or ~/.cache/repro/autotune.json)",
+    )
+    p.add_argument(
+        "--no-state", action="store_true",
+        help="do not load or save learned choices",
+    )
+    _add_machine_args(p)
+    p.set_defaults(fn=cmd_autotune)
 
     def _add_serving_args(p, *, queue_default):
         p.add_argument("--tile", type=int, default=64, help="tile side t")

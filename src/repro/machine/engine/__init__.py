@@ -150,6 +150,7 @@ class ExecutionEngine:
         out = self.cache.stats()
         out["compiles"] = self.compiles
         out["native"] = native_stats()
+        out["autotune"] = _autotune_stats()
         return out
 
     def cache_stats(self) -> dict:
@@ -157,6 +158,22 @@ class ExecutionEngine:
         evictions — the serving-layer health numbers, without the engine's
         compile counter mixed in."""
         return self.cache.stats()
+
+
+def _autotune_stats() -> dict:
+    """Autotuner section of :meth:`ExecutionEngine.stats`.
+
+    Reported through the already-loaded :mod:`repro.autotune` module so
+    an engine-only process neither imports the subsystem nor touches its
+    sidecar: until something used ``algorithm="auto"``, the section is
+    just ``{"active": False}``.
+    """
+    import sys
+
+    module = sys.modules.get("repro.autotune")
+    if module is None:
+        return {"active": False}
+    return module.autotune_stats()
 
 
 #: Process-wide engine used by ``SATAlgorithm.compute`` unless overridden.

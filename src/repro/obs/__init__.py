@@ -23,8 +23,14 @@ Instrumented layers: :class:`~repro.machine.macro.executor.HMMExecutor`
 :class:`~repro.machine.engine.ExecutionEngine` (plan-compile spans),
 :class:`~repro.machine.engine.cache.PlanCache` (hit/miss/eviction
 counters), the fused schedule builder, :class:`~repro.sat.batch
-.BatchSession` (batch sizes, worker round trips, crash counts), and the
-out-of-core streaming layer (bands, prefetch waits, retries, degrades).
+.BatchSession` (batch sizes, worker round trips, crash counts), the
+out-of-core streaming layer (bands, prefetch waits, retries, degrades),
+and the :mod:`repro.autotune` planner — ``autotune_decisions_total``
+(labelled by key and ``prior``/``exploit``/``explore`` mode),
+``autotune_observations_total``, ``autotune_latency_seconds`` (per-arm
+measured-latency histograms), ``autotune_arms`` (candidate count gauge),
+``autotune_sidecar_loads_total``/``autotune_sidecar_saves_total``, and
+``autotune_decide`` decision spans.
 """
 
 from __future__ import annotations

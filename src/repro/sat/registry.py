@@ -32,11 +32,13 @@ def list_algorithms(include_parametric: bool = True) -> List[str]:
     """Every name :func:`make_algorithm` accepts, in Table II order.
 
     ``include_parametric`` appends ``"kR1W"`` (the ``p``-parameterized
-    family) after the fixed Table II rows.
+    family) and ``"auto"`` (the :mod:`repro.autotune` planner, which
+    picks among the others per input) after the fixed Table II rows.
     """
     names = list(ALGORITHM_NAMES)
     if include_parametric:
         names.append("kR1W")
+        names.append("auto")
     return names
 
 
@@ -65,6 +67,7 @@ def describe(name: str = None) -> Dict[str, Dict[str, object]]:
     """
     factories: Dict[str, Callable[..., SATAlgorithm]] = dict(_FACTORIES)
     factories["kR1W"] = CombinedKR1W
+    factories["auto"] = _auto_factory()
     if name is not None:
         if name not in factories:
             raise ConfigurationError(
@@ -81,20 +84,36 @@ def describe(name: str = None) -> Dict[str, Dict[str, object]]:
     return out
 
 
+def _auto_factory() -> Callable[..., SATAlgorithm]:
+    """The :mod:`repro.autotune` selector, imported lazily: autotune
+    imports this registry to instantiate its delegates, so a module-level
+    import here would be a cycle."""
+    from ..autotune.auto import AutoSAT
+
+    return AutoSAT
+
+
 def make_algorithm(name: str, **kwargs) -> SATAlgorithm:
     """Instantiate an algorithm by its Table II name.
 
     ``kR1W`` additionally accepts ``p=<float>`` (e.g. ``kR1W`` with
     ``p=0.25``); it is reachable as ``make_algorithm("kR1W", p=0.25)``.
+    ``"auto"`` returns the :mod:`repro.autotune` planner-backed selector,
+    which picks among the concrete algorithms per input (accepts
+    ``planner=`` and ``kind=``).
     """
     if name == "kR1W":
         factory: Callable[..., SATAlgorithm] = CombinedKR1W
+    elif name == "auto":
+        factory = _auto_factory()
     else:
         try:
             factory = _FACTORIES[name]
         except KeyError:
             raise ConfigurationError(
-                f"unknown SAT algorithm {name!r}; choose from {ALGORITHM_NAMES + ['kR1W']}"
+                f"unknown SAT algorithm {name!r}; choose from "
+                f"{ALGORITHM_NAMES + ['kR1W', 'auto']} "
+                f"('auto' picks per input via the cost model)"
             ) from None
     _check_kwargs(name, factory, kwargs)
     try:

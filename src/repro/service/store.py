@@ -46,7 +46,7 @@ import numpy as np
 from ..errors import ConfigurationError, ShapeError, UnknownDataset
 from ..obs import runtime as obs
 
-__all__ = ["Dataset", "TileAggregates", "TiledSATStore"]
+__all__ = ["Dataset", "TileAggregates", "TiledSATStore", "auto_tile_sats"]
 
 #: Default tile side. 64 balances update cost (``O(t^2)``) against
 #: aggregate size (``O((n/t)^2)``) around the n=1K-4K serving sweet spot;
@@ -65,6 +65,42 @@ TileSATFn = Callable[[np.ndarray], np.ndarray]
 def _sat_dtype(dtype: np.dtype) -> np.dtype:
     """The dtype a cumsum-built SAT of this input dtype would have."""
     return np.cumsum(np.zeros(1, dtype=dtype)).dtype
+
+
+def auto_tile_sats(params=None, *, planner=None) -> TileSATFn:
+    """A :data:`TileSATFn` backed by the :mod:`repro.autotune` planner.
+
+    Each tile runs through ``algorithm="auto"`` (kind ``serving-ingest``,
+    so ingest latencies pool separately from ad-hoc computes): the
+    planner picks the algorithm per tile shape from the cost model and
+    refines the choice with the measured per-tile latencies as ingest
+    proceeds. Bit-identity to the numpy cumsum is inherited from the
+    delegated algorithms (the conformance contract), so the store's
+    exactness guarantees are unchanged.
+    """
+    from ..autotune.auto import AutoSAT
+
+    algorithm = AutoSAT(planner=planner, kind="serving-ingest")
+
+    def tile_sats(tiles: np.ndarray) -> np.ndarray:
+        tiles = np.asarray(tiles)
+        out = np.empty(tiles.shape, dtype=np.float64)
+        for i in range(tiles.shape[0]):
+            out[i] = algorithm.compute(tiles[i], params).sat
+        return out
+
+    return tile_sats
+
+
+def _resolve_tile_sats(tile_sats) -> Optional[TileSATFn]:
+    """Accept ``"auto"`` anywhere a :data:`TileSATFn` is accepted."""
+    if tile_sats == "auto":
+        return auto_tile_sats()
+    if tile_sats is not None and not callable(tile_sats):
+        raise ConfigurationError(
+            f"tile_sats must be a callable, 'auto', or None, got {tile_sats!r}"
+        )
+    return tile_sats
 
 
 class TileAggregates:
@@ -364,8 +400,8 @@ class Dataset:
         #: route the dirty-tile re-SATs of every later update through the
         #: same (bit-identical) backend — the fault-injection suite uses
         #: this to prove updates stay exact under seeded transient faults.
-        self.update_tile_sats = update_tile_sats
-        self.values = TileAggregates(matrix, tile, tile_sats)
+        self.update_tile_sats = _resolve_tile_sats(update_tile_sats)
+        self.values = TileAggregates(matrix, tile, _resolve_tile_sats(tile_sats))
         self.squares = (
             TileAggregates(
                 np.square(matrix.astype(self.values.dtype, copy=False)), tile
@@ -462,7 +498,12 @@ class TiledSATStore:
     def put(self, name: str, matrix: np.ndarray, *, tile: Optional[int] = None,
             track_squares: bool = False,
             tile_sats: Optional[TileSATFn] = None) -> Dataset:
-        """Ingest (or replace) a dataset; may evict LRU datasets to fit."""
+        """Ingest (or replace) a dataset; may evict LRU datasets to fit.
+
+        ``tile_sats`` may be a backend callable, ``None`` (numpy cumsum),
+        or ``"auto"`` — the :mod:`repro.autotune` planner picks and
+        refines the per-tile algorithm (see :func:`auto_tile_sats`).
+        """
         ds = Dataset(
             name, matrix, tile or self.default_tile,
             track_squares=track_squares, tile_sats=tile_sats,

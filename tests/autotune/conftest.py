@@ -1,0 +1,19 @@
+"""Isolation for autotune tests: private sidecar path, fresh default planner.
+
+Every test in this package runs with ``REPRO_AUTOTUNE_PATH`` pointed at a
+per-test temp file and the process-wide default planner cleared, so tests
+neither read a developer's real ``~/.cache/repro/autotune.json`` nor leak
+learned state into each other (or into the rest of the suite).
+"""
+
+import pytest
+
+from repro.autotune import set_default_planner
+
+
+@pytest.fixture(autouse=True)
+def isolated_autotune(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_AUTOTUNE_PATH", str(tmp_path / "autotune.json"))
+    previous = set_default_planner(None)
+    yield
+    set_default_planner(previous)

@@ -1,0 +1,124 @@
+"""Exact-arm unit tests for the refinement update (Welford + blending)."""
+
+import math
+
+import pytest
+
+from repro.autotune import ArmStats, KeyState
+
+
+class TestArmStats:
+    def test_welford_updates_are_exact(self):
+        stats = ArmStats()
+        stats.observe(2.0)
+        assert (stats.count, stats.mean, stats.m2) == (1, 2.0, 0.0)
+        stats.observe(4.0)
+        assert (stats.count, stats.mean, stats.m2) == (2, 3.0, 2.0)
+        stats.observe(9.0)
+        assert stats.count == 3
+        assert stats.mean == pytest.approx(5.0)
+        # m2 = sum of squared deviations from the final mean: 9 + 1 + 16.
+        assert stats.m2 == pytest.approx(26.0)
+
+    def test_mean_matches_direct_computation(self):
+        values = [0.103, 0.0004, 7.25, 3.0, 0.9999, 12.5]
+        stats = ArmStats()
+        for v in values:
+            stats.observe(v)
+        assert stats.mean == pytest.approx(sum(values) / len(values), rel=1e-12)
+        direct_m2 = sum((v - sum(values) / len(values)) ** 2 for v in values)
+        assert stats.m2 == pytest.approx(direct_m2, rel=1e-9)
+
+    def test_variance_needs_two_samples(self):
+        stats = ArmStats()
+        assert stats.variance == 0.0
+        stats.observe(5.0)
+        assert stats.variance == 0.0
+        stats.observe(7.0)
+        assert stats.variance == pytest.approx(2.0)  # sample variance
+
+    def test_codec_round_trip(self):
+        stats = ArmStats()
+        for v in (1.5, 2.5, 10.0):
+            stats.observe(v)
+        restored = ArmStats.from_list(stats.as_list())
+        assert (restored.count, restored.mean, restored.m2) == (
+            stats.count, stats.mean, stats.m2,
+        )
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            [-1, 0.0, 0.0],  # negative count
+            [2, float("nan"), 0.0],  # non-finite mean
+            [2, 1.0, -0.5],  # negative m2
+            [2, 1.0],  # wrong arity
+        ],
+    )
+    def test_implausible_payloads_raise(self, raw):
+        with pytest.raises(ValueError):
+            ArmStats.from_list(raw)
+
+
+class TestKeyStateScoring:
+    def test_pure_prior_until_first_measurement(self):
+        state = KeyState({"a": 3.0, "b": 1.0, "c": 2.0})
+        assert state.scale() is None
+        assert state.blended_mean("b", prior_weight=1.0) == 1.0
+        assert state.best(prior_weight=1.0) == "b"
+        assert state.ranked(1.0, 0.35)[0][0] == "b"
+
+    def test_scale_converts_prior_units_to_seconds(self):
+        state = KeyState({"a": 2.0, "b": 4.0})
+        state.observe("a", 0.2)  # measured 0.1 s per prior unit
+        assert state.scale() == pytest.approx(0.1)
+        # b is unmeasured: its blend is the rescaled prior = 0.4 s.
+        assert state.blended_mean("b", prior_weight=1.0) == pytest.approx(0.4)
+
+    def test_blend_is_exact_pseudo_count_average(self):
+        state = KeyState({"a": 2.0})
+        state.observe("a", 0.3)
+        state.observe("a", 0.5)
+        # scale = mean/prior = 0.4/2 = 0.2; blend with prior_weight=1:
+        # (1 * 2.0 * 0.2 + 2 * 0.4) / (1 + 2) = 1.2 / 3 = 0.4
+        assert state.blended_mean("a", prior_weight=1.0) == pytest.approx(0.4)
+
+    def test_measurements_override_a_wrong_prior(self):
+        state = KeyState({"fast_by_model": 1.0, "slow_by_model": 5.0})
+        for _ in range(20):
+            state.observe("fast_by_model", 1.0)  # actually slow
+            state.observe("slow_by_model", 0.01)  # actually fast
+        assert state.best(prior_weight=1.0) == "slow_by_model"
+
+    def test_under_measured_arm_gets_optimism(self):
+        state = KeyState({"a": 1.0, "b": 1.0})
+        for _ in range(50):
+            state.observe("a", 0.5)
+        state.observe("b", 0.5)
+        # Identical means; the exploration bonus must favor the
+        # less-measured arm under UCB scoring.
+        score_a = state.score("a", prior_weight=1.0, ucb_c=0.35)
+        score_b = state.score("b", prior_weight=1.0, ucb_c=0.35)
+        assert score_b < score_a
+
+    def test_least_measured_breaks_ties_by_name(self):
+        state = KeyState({"b": 1.0, "a": 2.0, "c": 3.0})
+        assert state.least_measured() == "a"
+        state.observe("a", 0.1)
+        assert state.least_measured() == "b"
+
+    def test_codec_round_trip(self):
+        state = KeyState({"x": 1.0})
+        state.observe("x", 0.25)
+        state.decisions = 7
+        state.modes["prior"] = 4
+        restored = KeyState.from_dict(state.as_dict())
+        assert restored.decisions == 7
+        assert restored.modes["prior"] == 4
+        assert restored.stats["x"].mean == pytest.approx(0.25)
+
+    def test_scores_are_finite(self):
+        state = KeyState({"a": 1.0, "b": 2.0})
+        state.observe("a", 1e-9)
+        for arm_id, score in state.ranked(1.0, 0.35):
+            assert math.isfinite(score)

@@ -1,0 +1,123 @@
+"""Sidecar persistence: round-trip, restart, truncation/corruption fallback."""
+
+import json
+import os
+
+import pytest
+
+from repro.autotune import Arm, AutotunePlanner
+from repro.autotune import sidecar
+
+
+ARMS = [Arm("a", prior=1.0), Arm("b", prior=3.0)]
+
+
+def test_round_trip_preserves_learned_choices(tmp_path):
+    path = str(tmp_path / "state.json")
+    first = AutotunePlanner(path=path)
+    for _ in range(10):
+        first.observe_arm("k", "a", 0.9)
+        first.observe_arm("k", "b", 0.05)
+    assert first.decide("k", ARMS, explore=False).arm_id == "b"
+    first.save()
+
+    # A new planner (a new process, as far as the sidecar is concerned)
+    # starts from the measurements, not the model prior.
+    second = AutotunePlanner(path=path)
+    assert second.sidecar_status == "loaded"
+    decision = second.decide("k", ARMS, explore=False)
+    assert decision.arm_id == "b"
+    assert decision.mode == "exploit"
+    assert second.stats()["measurements"] == 20
+
+
+def test_missing_file_is_the_normal_first_run(tmp_path):
+    planner = AutotunePlanner(path=str(tmp_path / "absent.json"))
+    assert planner.sidecar_status == "missing"
+    assert planner.decide("k", ARMS).mode == "prior"
+
+
+def test_truncated_sidecar_falls_back_with_one_warning(tmp_path, caplog):
+    path = str(tmp_path / "state.json")
+    planner = AutotunePlanner(path=path)
+    planner.observe_arm("k", "a", 0.5)
+    planner.save()
+    raw = open(path).read()
+    with open(path, "w") as fh:
+        fh.write(raw[: len(raw) // 2])
+
+    with caplog.at_level("WARNING", logger="repro.autotune.sidecar"):
+        recovered = AutotunePlanner(path=path)
+    assert recovered.sidecar_status == "corrupt"
+    warnings = [r for r in caplog.records if "falling back" in r.getMessage()]
+    assert len(warnings) == 1
+    # Planner still works: pure model prior.
+    assert recovered.decide("k", ARMS).mode == "prior"
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        "not json at all {",
+        '"a bare string"',
+        '{"version": 999, "keys": {}}',
+        '{"version": 1}',  # missing keys
+        '{"version": 1, "keys": {"k": {"arms": {"a": [1, "NaN", 0]}}}}',
+        "",
+    ],
+)
+def test_corrupt_payloads_fall_back(tmp_path, payload):
+    path = str(tmp_path / "state.json")
+    with open(path, "w") as fh:
+        fh.write(payload)
+    keys, status = sidecar.load(path)
+    assert status == "corrupt"
+    assert keys == {}
+
+
+def test_save_is_atomic_no_temp_debris(tmp_path):
+    path = str(tmp_path / "nested" / "state.json")
+    planner = AutotunePlanner(path=path)
+    planner.observe_arm("k", "a", 0.5)
+    planner.save()
+    data = json.load(open(path))
+    assert data["version"] == sidecar.SIDECAR_VERSION
+    leftovers = [f for f in os.listdir(os.path.dirname(path)) if f.endswith(".tmp")]
+    assert leftovers == []
+
+
+def test_autosave_after_threshold(tmp_path):
+    path = str(tmp_path / "state.json")
+    planner = AutotunePlanner(path=path, autosave_every=3)
+    planner.observe_arm("k", "a", 0.5)
+    planner.observe_arm("k", "a", 0.5)
+    assert not os.path.exists(path)
+    planner.observe_arm("k", "a", 0.5)  # third observation trips the save
+    assert os.path.exists(path)
+
+
+def test_path_none_disables_persistence(tmp_path, monkeypatch):
+    monkeypatch.setenv(sidecar.ENV_VAR, str(tmp_path / "env.json"))
+    planner = AutotunePlanner(path=None)
+    planner.observe_arm("k", "a", 0.5)
+    assert planner.save() is None
+    assert not os.path.exists(str(tmp_path / "env.json"))
+
+
+def test_env_var_sets_default_path(tmp_path, monkeypatch):
+    target = str(tmp_path / "from-env.json")
+    monkeypatch.setenv(sidecar.ENV_VAR, target)
+    planner = AutotunePlanner()
+    assert planner.path == target
+    planner.observe_arm("k", "a", 0.5)
+    planner.save()
+    assert os.path.exists(target)
+
+
+def test_unreadable_directory_path_is_corrupt_not_fatal(tmp_path, caplog):
+    directory = tmp_path / "iamadir.json"
+    directory.mkdir()
+    with caplog.at_level("WARNING", logger="repro.autotune.sidecar"):
+        keys, status = sidecar.load(str(directory))
+    assert status == "corrupt"
+    assert keys == {}

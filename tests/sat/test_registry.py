@@ -49,7 +49,7 @@ class TestIntrospection:
     def test_list_algorithms_table_order_plus_parametric(self):
         names = list_algorithms()
         assert names[: len(ALGORITHM_NAMES)] == ALGORITHM_NAMES
-        assert names[-1] == "kR1W"
+        assert names[-2:] == ["kR1W", "auto"]
 
     def test_list_algorithms_fixed_only(self):
         assert list_algorithms(include_parametric=False) == ALGORITHM_NAMES
